@@ -1,0 +1,162 @@
+// Command cycloid-sim builds a Cycloid network and inspects it
+// interactively from the command line: route lookups hop by hop, print
+// routing tables, store and fetch keys, and churn the membership.
+//
+// Usage:
+//
+//	cycloid-sim -nodes 500 -dim 8 route "some key"
+//	cycloid-sim -nodes 200 table "(4,10110110)"
+//	cycloid-sim -nodes 200 owner movie.mkv
+//	cycloid-sim -nodes 300 churn 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cycloid"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: cycloid-sim [flags] <command> [args]
+
+commands:
+  route <key>      route a lookup for <key> from a random node, hop by hop
+  owner <key>      print the node responsible for <key>
+  table <(k,a)>    print a node's routing table, e.g. "(4,10110110)"
+  nodes            list the live nodes
+  churn <rounds>   run <rounds> of one join + one leave, then verify lookups
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 500, "network size")
+		dim   = flag.Int("dim", 8, "Cycloid dimension d (ID space d*2^d)")
+		leaf  = flag.Int("leaf", 1, "leaf-set half width (1 = 7-entry, 2 = 11-entry)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	d, err := cycloid.Bootstrap(*nodes, cycloid.Options{Dim: *dim, LeafSetHalf: *leaf, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "route":
+		need(2, "route <key>")
+		key := flag.Arg(1)
+		from := d.Nodes()[0]
+		r, err := d.Lookup(from, key)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("key %q hashes to owner %s\n", key, fmtID(d, r.Terminal))
+		fmt.Printf("route (%d hops, %d timeouts):\n", r.PathLength(), r.Timeouts)
+		fmt.Printf("  start %s\n", fmtID(d, r.Source))
+		for _, h := range r.Hops {
+			fmt.Printf("  -[%-10s]-> %s\n", h.Phase, fmtID(d, h.To))
+		}
+	case "owner":
+		need(2, "owner <key>")
+		id, err := d.Owner(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s\n", fmtID(d, id))
+	case "table":
+		need(2, `table "(k,binary-a)"`)
+		var k uint8
+		var abits string
+		if _, err := fmt.Sscanf(flag.Arg(1), "(%d,%s", &k, &abits); err != nil {
+			fail(fmt.Errorf("cannot parse node id %q: %w", flag.Arg(1), err))
+		}
+		abits = trimParen(abits)
+		var a uint32
+		for _, c := range abits {
+			a <<= 1
+			if c == '1' {
+				a |= 1
+			} else if c != '0' {
+				fail(fmt.Errorf("cubical index %q must be binary", abits))
+			}
+		}
+		table, err := d.RoutingTable(cycloid.NodeID{K: k, A: a})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(table)
+	case "nodes":
+		for _, id := range d.Nodes() {
+			fmt.Println(fmtID(d, id))
+		}
+	case "churn":
+		need(2, "churn <rounds>")
+		var rounds int
+		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
+			fail(err)
+		}
+		for i := 0; i < rounds; i++ {
+			if _, err := d.Join(); err != nil {
+				fail(err)
+			}
+			if err := d.Leave(d.Nodes()[i%d.Size()]); err != nil {
+				fail(err)
+			}
+		}
+		d.Stabilize()
+		ok := 0
+		for i := 0; i < 100; i++ {
+			key := fmt.Sprintf("verify-%d", i)
+			r, err := d.Lookup(d.Nodes()[i%d.Size()], key)
+			if err != nil {
+				fail(err)
+			}
+			owner, err := d.Owner(key)
+			if err != nil {
+				fail(err)
+			}
+			if r.Terminal == owner {
+				ok++
+			}
+		}
+		fmt.Printf("after %d join/leave rounds: %d nodes, %d/100 verification lookups exact\n",
+			rounds, d.Size(), ok)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func fmtID(d *cycloid.DHT, id cycloid.NodeID) string {
+	return fmt.Sprintf("(%d,%0*b)", id.K, d.Dim(), id.A)
+}
+
+func trimParen(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == ')' || s[len(s)-1] == ' ') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func need(n int, form string) {
+	if flag.NArg() < n {
+		fmt.Fprintf(os.Stderr, "usage: cycloid-sim %s\n", form)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cycloid-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command cycloidd runs one live Cycloid node over TCP. Start the first
+// node of an overlay with just a listen address; start every further node
+// with -join pointing at any live member. The daemon also accepts simple
+// client commands against a running overlay.
+//
+// Usage:
+//
+//	cycloidd -listen 127.0.0.1:4001                       # first node
+//	cycloidd -listen 127.0.0.1:4002 -join 127.0.0.1:4001  # join overlay
+//	cycloidd -join 127.0.0.1:4001 put greeting "hello"    # client put
+//	cycloidd -join 127.0.0.1:4001 get greeting            # client get
+//	cycloidd -join 127.0.0.1:4001 route greeting          # show the route
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cycloid/p2p"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP address to serve the overlay protocol on")
+		join      = flag.String("join", "", "address of any live overlay member to join through")
+		dim       = flag.Int("dim", 8, "Cycloid dimension d (all overlay members must agree)")
+		stabilize = flag.Duration("stabilize", 30*time.Second, "periodic stabilization interval")
+	)
+	flag.Parse()
+
+	node, err := p2p.Start(p2p.Config{
+		Dim:            *dim,
+		ListenAddr:     *listen,
+		StabilizeEvery: *stabilize,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if flag.NArg() > 0 {
+		// Client mode: join, run one command, leave quietly.
+		defer node.Close()
+		if *join == "" {
+			fail(fmt.Errorf("client commands need -join <member>"))
+		}
+		if err := node.Join(*join); err != nil {
+			fail(err)
+		}
+		if err := runClient(node, flag.Args()); err != nil {
+			fail(err)
+		}
+		if err := node.Leave(); err != nil && err != p2p.ErrStopped {
+			fail(err)
+		}
+		return
+	}
+
+	// Daemon mode.
+	if *join != "" {
+		if err := node.Join(*join); err != nil {
+			node.Close()
+			fail(err)
+		}
+	}
+	id := node.ID()
+	fmt.Printf("cycloidd: node (%d,%0*b) serving on %s (dimension %d)\n",
+		id.K, *dim, id.A, node.Addr(), *dim)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("cycloidd: leaving gracefully")
+	if err := node.Leave(); err != nil && err != p2p.ErrStopped {
+		fail(err)
+	}
+}
+
+func runClient(node *p2p.Node, args []string) error {
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		return node.Put(args[1], []byte(args[2]))
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		val, route, err := node.Get(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\t(owner (%d,%d), %d hops)\n", val, route.Terminal.K, route.Terminal.A, route.Hops)
+		return nil
+	case "route":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: route <key>")
+		}
+		route, err := node.Lookup(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("key %q -> node (%d,%d) at %s in %d hops (timeouts %d, phases %v)\n",
+			args[1], route.Terminal.K, route.Terminal.A, route.Addr, route.Hops, route.Timeouts, route.Phases)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (put, get, route)", args[0])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cycloidd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Package cycloid is a Go implementation of Cycloid, the constant-degree
+// lookup-efficient peer-to-peer overlay of Shen, Xu and Chen (IPPS 2004 /
+// Performance Evaluation 2005), together with the full simulation
+// apparatus the paper evaluates it with.
+//
+// A d-dimensional Cycloid emulates a cube-connected cycles graph: each
+// node is named by a pair (k, a) of a cyclic index in [0, d) and a cubical
+// index in [0, 2^d), keeps only seven routing entries (a cubical neighbor,
+// two cyclic neighbors and two 2-entry leaf sets), and resolves lookups in
+// O(d) hops through three phases — ascending, descending and traverse.
+//
+// This package is the public facade: it wraps the overlay in a simple
+// bootstrap / join / leave / lookup / put / get API and is safe for
+// concurrent use. The comparison baselines the paper measures against
+// (Chord, Koorde, Viceroy) and the experiment harness that regenerates
+// every table and figure live under internal/ and are reachable through
+// cmd/cycloid-bench.
+package cycloid
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	impl "cycloid/internal/cycloid"
+	"cycloid/internal/hashing"
+	"cycloid/internal/ids"
+)
+
+// NodeID identifies a node: a cyclic index K in [0, d) and a cubical
+// index A in [0, 2^d).
+type NodeID = ids.CycloidID
+
+// Options configures a DHT.
+type Options struct {
+	// Dim is the dimension d; the ID space holds d*2^d node positions.
+	// The default 8 gives the 2048-position space the paper evaluates.
+	Dim int
+	// LeafSetHalf selects the per-side leaf-set width: 1 for the paper's
+	// 7-entry routing state (the default), 2 for the 11-entry variant.
+	LeafSetHalf int
+	// Seed makes node placement and join routing deterministic. The
+	// default 1 keeps runs reproducible; vary it to resample topologies.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Dim == 0 {
+		o.Dim = 8
+	}
+	if o.LeafSetHalf == 0 {
+		o.LeafSetHalf = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// DHT is a Cycloid overlay network plus a consistent-hashed key/value
+// store on top of it. All methods are safe for concurrent use.
+type DHT struct {
+	mu   sync.Mutex
+	net  *impl.Network
+	rng  *rand.Rand
+	data map[uint64]map[string][]byte // linearized node ID -> stored items
+}
+
+// ErrEmpty reports an operation that needs at least one live node.
+var ErrEmpty = errors.New("cycloid: network has no nodes")
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("cycloid: key not found")
+
+// New creates an empty DHT.
+func New(opts Options) (*DHT, error) {
+	opts.defaults()
+	net, err := impl.New(impl.Config{Dim: opts.Dim, LeafHalf: opts.LeafSetHalf})
+	if err != nil {
+		return nil, err
+	}
+	return &DHT{
+		net:  net,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		data: make(map[uint64]map[string][]byte),
+	}, nil
+}
+
+// Bootstrap creates a DHT with n nodes at random distinct positions and
+// converged routing state, the starting point of every experiment.
+func Bootstrap(n int, opts Options) (*DHT, error) {
+	opts.defaults()
+	d, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := impl.Config{Dim: opts.Dim, LeafHalf: opts.LeafSetHalf}
+	net, err := impl.NewRandom(cfg, n, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	d.net = net
+	return d, nil
+}
+
+// Dim returns the network dimension d.
+func (d *DHT) Dim() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.net.Config().Dim
+}
+
+// Size returns the number of live nodes.
+func (d *DHT) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.net.Size()
+}
+
+// Nodes returns the IDs of all live nodes in linear order.
+func (d *DHT) Nodes() []NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	space := d.net.Space()
+	out := make([]NodeID, 0, d.net.Size())
+	for _, v := range d.net.NodeIDs() {
+		out = append(out, space.FromLinear(v))
+	}
+	return out
+}
+
+// Join adds one node at a random unoccupied position using the paper's
+// join protocol and returns its ID.
+func (d *DHT) Join() (NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, err := d.net.Join(d.rng)
+	if err != nil {
+		return NodeID{}, err
+	}
+	id := d.net.Space().FromLinear(v)
+	d.rebalanceAfterJoin(v)
+	return id, nil
+}
+
+// JoinAt adds a node at a specific position.
+func (d *DHT) JoinAt(id NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.net.Space().Contains(id) {
+		return fmt.Errorf("cycloid: ID %v outside the %d-dimensional space", id, d.net.Config().Dim)
+	}
+	if err := d.net.JoinAt(id, d.rng); err != nil {
+		return err
+	}
+	d.rebalanceAfterJoin(d.net.Space().Linear(id))
+	return nil
+}
+
+// Leave removes a node gracefully: it notifies its leaf sets and hands its
+// stored keys to the nodes now responsible for them. Other nodes' routing
+// tables keep stale entries until stabilization, exactly as in the paper.
+func (d *DHT) Leave(id NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.net.Space().Linear(id)
+	departing := d.data[v]
+	delete(d.data, v)
+	if err := d.net.Leave(v); err != nil {
+		return err
+	}
+	if d.net.Size() > 0 {
+		for key, val := range departing {
+			d.storeLocked(key, val)
+		}
+	}
+	return nil
+}
+
+// Stabilize runs one stabilization round on every node, repairing stale
+// routing-table entries from the live membership.
+func (d *DHT) Stabilize() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, v := range append([]uint64(nil), d.net.NodeIDs()...) {
+		d.net.Stabilize(v)
+	}
+}
+
+// Lookup routes a request for the given application key from the given
+// source node and returns the route taken.
+func (d *DHT) Lookup(from NodeID, key string) (Route, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lookupLocked(from, key)
+}
+
+func (d *DHT) lookupLocked(from NodeID, key string) (Route, error) {
+	if d.net.Size() == 0 {
+		return Route{}, ErrEmpty
+	}
+	space := d.net.Space()
+	res := d.net.Lookup(space.Linear(from), d.keyPoint(key))
+	return newRoute(space, key, res), nil
+}
+
+// Owner returns the node responsible for an application key.
+func (d *DHT) Owner(key string) (NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.net.Size() == 0 {
+		return NodeID{}, ErrEmpty
+	}
+	return d.net.Space().FromLinear(d.net.Responsible(d.keyPoint(key))), nil
+}
+
+// RoutingTable renders a node's routing state in the paper's Table 2
+// layout.
+func (d *DHT) RoutingTable(id NodeID) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ts, err := d.net.Table(id)
+	if err != nil {
+		return "", err
+	}
+	return ts.String(), nil
+}
+
+// keyPoint maps an application key onto the ID space.
+func (d *DHT) keyPoint(key string) uint64 {
+	return hashing.KeyString(key, d.net.Space().Size())
+}

@@ -1,0 +1,215 @@
+package cycloid
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBootstrapAndLookup(t *testing.T) {
+	d, err := Bootstrap(500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 500 || d.Dim() != 8 {
+		t.Fatalf("Size/Dim = %d/%d", d.Size(), d.Dim())
+	}
+	nodes := d.Nodes()
+	if len(nodes) != 500 {
+		t.Fatalf("Nodes() returned %d", len(nodes))
+	}
+	owner, err := d.Owner("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range nodes[:50] {
+		r, err := d.Lookup(from, "hello")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Terminal != owner {
+			t.Fatalf("lookup from %v ended at %v, owner is %v", from, r.Terminal, owner)
+		}
+		if r.PathLength() > 0 && r.Hops[0].From != from {
+			t.Fatal("route does not start at the source")
+		}
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	d, err := Bootstrap(200, Options{Dim: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("movie.mkv", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	from := d.Nodes()[0]
+	val, route, err := d.Get(from, "movie.mkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(val) != "payload" {
+		t.Fatalf("Get = %q", val)
+	}
+	if route.Key != "movie.mkv" {
+		t.Fatalf("route key = %q", route.Key)
+	}
+	if _, _, err := d.Get(from, "missing"); err != ErrNotFound {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := d.Delete("movie.mkv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get(from, "movie.mkv"); err != ErrNotFound {
+		t.Fatal("value survived Delete")
+	}
+	if err := d.Delete("movie.mkv"); err != ErrNotFound {
+		t.Fatalf("Delete(missing) = %v", err)
+	}
+}
+
+func TestKeysSurviveChurn(t *testing.T) {
+	d, err := Bootstrap(100, Options{Dim: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 200
+	for i := 0; i < items; i++ {
+		if err := d.Put(fmt.Sprintf("item-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: joins pull keys over, graceful leaves hand keys off.
+	for round := 0; round < 40; round++ {
+		if _, err := d.Join(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Leave(d.Nodes()[round%d.Size()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Stabilize()
+	from := d.Nodes()[0]
+	for i := 0; i < items; i++ {
+		key := fmt.Sprintf("item-%d", i)
+		val, _, err := d.Get(from, key)
+		if err != nil {
+			t.Fatalf("%s lost during churn: %v", key, err)
+		}
+		if val[0] != byte(i) {
+			t.Fatalf("%s corrupted", key)
+		}
+	}
+	total := 0
+	for _, c := range d.Keys() {
+		total += c
+	}
+	if total != items {
+		t.Fatalf("Keys() counts %d items, want %d", total, items)
+	}
+}
+
+func TestJoinAtAndRoutingTable(t *testing.T) {
+	d, err := Bootstrap(10, Options{Dim: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var free NodeID
+	taken := make(map[NodeID]bool)
+	for _, id := range d.Nodes() {
+		taken[id] = true
+	}
+	for k := 0; k < 5 && taken[free]; k++ {
+		for a := uint32(0); a < 32; a++ {
+			free = NodeID{K: uint8(k), A: a}
+			if !taken[free] {
+				break
+			}
+		}
+	}
+	if err := d.JoinAt(free); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JoinAt(free); err == nil {
+		t.Fatal("JoinAt occupied position should fail")
+	}
+	if err := d.JoinAt(NodeID{K: 31, A: 0}); err == nil {
+		t.Fatal("JoinAt out-of-space ID should fail")
+	}
+	table, err := d.RoutingTable(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) == 0 {
+		t.Fatal("empty routing table render")
+	}
+}
+
+func TestEmptyNetworkErrors(t *testing.T) {
+	d, err := New(Options{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", nil); err != ErrEmpty {
+		t.Fatalf("Put on empty = %v", err)
+	}
+	if _, err := d.Owner("k"); err != ErrEmpty {
+		t.Fatalf("Owner on empty = %v", err)
+	}
+	if _, err := d.Lookup(NodeID{}, "k"); err != ErrEmpty {
+		t.Fatalf("Lookup on empty = %v", err)
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	d, err := Bootstrap(64, Options{Dim: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Lookup(d.Nodes()[0], "some-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	if len(s) == 0 {
+		t.Fatal("empty route string")
+	}
+	if r.PathLength() > 0 {
+		if r.PhaseHops(Ascending)+r.PhaseHops(Descending)+r.PhaseHops(Traverse) != r.PathLength() {
+			t.Fatal("phase hops do not add up to path length")
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	d, err := Bootstrap(128, Options{Dim: 7, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := d.Nodes()[g]
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i)
+				if err := d.Put(key, []byte(key)); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := d.Get(from, key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

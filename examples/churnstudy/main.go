@@ -1,0 +1,77 @@
+// Churnstudy: measure how Cycloid behaves while nodes continuously join
+// and leave — the dynamic-network scenario of Section 4.4 — using only the
+// public API. Prints lookup quality with and without stabilization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cycloid"
+)
+
+func main() {
+	dht, err := cycloid.Bootstrap(800, cycloid.Options{Dim: 8, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+
+	// Seed the store so lookups have something to find.
+	const items = 300
+	for i := 0; i < items; i++ {
+		if err := dht.Put(key(i), []byte{1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("start: %d nodes, %d stored items\n\n", dht.Size(), items)
+	fmt.Println("round  nodes  found   mean-hops  timeouts/lookup")
+	for round := 1; round <= 10; round++ {
+		// Churn burst: 40 joins and 40 graceful leaves.
+		for i := 0; i < 40; i++ {
+			if _, err := dht.Join(); err != nil {
+				log.Fatal(err)
+			}
+			nodes := dht.Nodes()
+			if err := dht.Leave(nodes[rng.Intn(len(nodes))]); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Probe without stabilizing: leaf sets keep lookups exact, stale
+		// routing-table entries cost timeouts.
+		found, hops, timeouts := probe(dht, rng)
+		fmt.Printf("%4d   %4d   %d/%d   %8.2f   %.3f\n",
+			round, dht.Size(), found, items, hops, timeouts)
+
+		// Periodic stabilization repairs the routing tables, as every
+		// node does once per 30s in the paper's setup.
+		if round%3 == 0 {
+			dht.Stabilize()
+			found, hops, timeouts = probe(dht, rng)
+			fmt.Printf("       (stabilized)  %d/%d   %8.2f   %.3f\n", found, items, hops, timeouts)
+		}
+	}
+}
+
+func probe(dht *cycloid.DHT, rng *rand.Rand) (found int, meanHops, meanTimeouts float64) {
+	nodes := dht.Nodes()
+	totalHops, totalTimeouts, lookups := 0, 0, 0
+	for i := 0; i < 300; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		_, route, err := dht.Get(from, key(i))
+		if err == nil {
+			found++
+		} else if err != cycloid.ErrNotFound {
+			log.Fatal(err)
+		}
+		totalHops += route.PathLength()
+		totalTimeouts += route.Timeouts
+		lookups++
+	}
+	return found, float64(totalHops) / float64(lookups), float64(totalTimeouts) / float64(lookups)
+}
+
+func key(i int) string { return fmt.Sprintf("object-%04d", i) }

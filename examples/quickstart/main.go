@@ -1,0 +1,50 @@
+// Quickstart: bootstrap a Cycloid overlay, store a value, and follow a
+// lookup through the three routing phases.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cycloid"
+)
+
+func main() {
+	// A d=8 Cycloid has a 2048-position ID space — the configuration the
+	// paper evaluates. Bootstrap 500 nodes with converged routing tables.
+	dht, err := cycloid.Bootstrap(500, cycloid.Options{Dim: 8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, dimension %d, 7 routing entries per node\n\n",
+		dht.Size(), dht.Dim())
+
+	// Store a value; it lands on the node whose ID is numerically closest
+	// to the key's (cyclic, cubical) hash.
+	if err := dht.Put("alice/readme.txt", []byte("hello, overlay")); err != nil {
+		log.Fatal(err)
+	}
+	owner, _ := dht.Owner("alice/readme.txt")
+	fmt.Printf("key %q is stored on node (%d,%08b)\n\n", "alice/readme.txt", owner.K, owner.A)
+
+	// Fetch it from an arbitrary node and show the route: ascending
+	// (raise the cyclic index via the outside leaf set), descending
+	// (correct cubical bits), traverse (close in through leaf sets).
+	from := dht.Nodes()[0]
+	value, route, err := dht.Get(from, "alice/readme.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lookup from (%d,%08b) took %d hops:\n", from.K, from.A, route.PathLength())
+	for _, hop := range route.Hops {
+		fmt.Printf("  -[%-10s]-> (%d,%08b)\n", hop.Phase, hop.To.K, hop.To.A)
+	}
+	fmt.Printf("value: %q\n\n", value)
+
+	// Every node holds just seven entries; print the route target's table.
+	table, err := dht.RoutingTable(route.Terminal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+}

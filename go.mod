@@ -1,0 +1,3 @@
+module cycloid
+
+go 1.22

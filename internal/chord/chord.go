@@ -1,0 +1,351 @@
+// Package chord implements the Chord DHT (Stoica et al.) as the O(log n)
+// reference baseline the paper compares the constant-degree DHTs against.
+// Each node keeps a finger table of m entries (finger[i] = successor of
+// id + 2^i), a successor list, and a predecessor pointer; keys live at
+// their successor; lookups forward through the closest preceding finger.
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+// Config parameterizes a Chord network.
+type Config struct {
+	// Bits is m, the number of identifier bits; the ring holds 2^m IDs.
+	Bits int
+	// SuccessorList is the number of successors each node tracks. The
+	// mass-departure experiment relies on these staying fresh (departing
+	// nodes notify them) while fingers go stale.
+	SuccessorList int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Bits < 2 || c.Bits > 32 {
+		return fmt.Errorf("chord: bits %d out of range [2,32]", c.Bits)
+	}
+	if c.SuccessorList < 1 || c.SuccessorList > 32 {
+		return fmt.Errorf("chord: successor list length %d out of range [1,32]", c.SuccessorList)
+	}
+	return nil
+}
+
+// ErrFull reports a fully occupied identifier space.
+var ErrFull = errors.New("chord: identifier space is full")
+
+// ErrUnknownNode reports an operation on a non-live node.
+var ErrUnknownNode = errors.New("chord: node not in network")
+
+type ref struct {
+	id uint64
+	ok bool
+}
+
+func mkref(id uint64) ref { return ref{id: id, ok: true} }
+
+// Node is one Chord participant.
+type Node struct {
+	id      uint64
+	fingers []ref // fingers[i] = successor(id + 2^i)
+	succs   []ref // successor list, nearest first
+	pred    ref
+}
+
+// Network is an in-memory Chord overlay.
+type Network struct {
+	cfg   Config
+	ring  ids.Ring
+	nodes map[uint64]*Node
+
+	sorted      []uint64
+	sortedDirty bool
+}
+
+// New returns an empty network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:   cfg,
+		ring:  ids.NewRing(cfg.Bits),
+		nodes: make(map[uint64]*Node),
+	}, nil
+}
+
+// NewRandom builds a converged network of n nodes at distinct random IDs.
+func NewRandom(cfg Config, n int, rng *rand.Rand) (*Network, error) {
+	net, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > net.ring.Size() {
+		return nil, fmt.Errorf("chord: %d nodes exceed ring of %d", n, net.ring.Size())
+	}
+	if uint64(n)*2 > net.ring.Size() {
+		perm := rng.Perm(int(net.ring.Size()))
+		for _, p := range perm[:n] {
+			net.addMember(uint64(p))
+		}
+	} else {
+		for len(net.nodes) < n {
+			v := uint64(rng.Int63n(int64(net.ring.Size())))
+			if _, taken := net.nodes[v]; !taken {
+				net.addMember(v)
+			}
+		}
+	}
+	net.BuildAll()
+	return net, nil
+}
+
+// Name implements overlay.Network.
+func (net *Network) Name() string { return "chord" }
+
+// KeySpace implements overlay.Network.
+func (net *Network) KeySpace() uint64 { return net.ring.Size() }
+
+// Size returns the number of live nodes.
+func (net *Network) Size() int { return len(net.nodes) }
+
+// NodeIDs returns the sorted live node IDs.
+func (net *Network) NodeIDs() []uint64 {
+	if net.sortedDirty {
+		net.sorted = net.sorted[:0]
+		for v := range net.nodes {
+			net.sorted = append(net.sorted, v)
+		}
+		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
+		net.sortedDirty = false
+	}
+	return net.sorted
+}
+
+func (net *Network) addMember(id uint64) *Node {
+	n := &Node{id: id}
+	net.nodes[id] = n
+	net.sortedDirty = true
+	return n
+}
+
+func (net *Network) removeMember(id uint64) {
+	delete(net.nodes, id)
+	net.sortedDirty = true
+}
+
+// successorOf returns the first live node at or after v (clockwise).
+func (net *Network) successorOf(v uint64) uint64 {
+	s := net.NodeIDs()
+	pos := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return s[pos%len(s)]
+}
+
+// predecessorOf returns the last live node strictly before v.
+func (net *Network) predecessorOf(v uint64) uint64 {
+	s := net.NodeIDs()
+	pos := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return s[((pos-1)%len(s)+len(s))%len(s)]
+}
+
+// Responsible implements overlay.Network: keys live at their successor.
+func (net *Network) Responsible(key uint64) uint64 {
+	if len(net.nodes) == 0 {
+		panic("chord: Responsible on empty network")
+	}
+	return net.successorOf(key)
+}
+
+// BuildAll recomputes every node's state from the membership.
+func (net *Network) BuildAll() {
+	for _, n := range net.nodes {
+		net.buildNode(n)
+	}
+}
+
+func (net *Network) buildNode(n *Node) {
+	net.buildFingers(n)
+	net.buildSuccessors(n)
+	n.pred = mkref(net.predecessorOf(n.id))
+}
+
+func (net *Network) buildFingers(n *Node) {
+	m := net.cfg.Bits
+	if cap(n.fingers) < m {
+		n.fingers = make([]ref, m)
+	}
+	n.fingers = n.fingers[:m]
+	for i := 0; i < m; i++ {
+		n.fingers[i] = mkref(net.successorOf(net.ring.Add(n.id, 1<<uint(i))))
+	}
+}
+
+func (net *Network) buildSuccessors(n *Node) {
+	L := net.cfg.SuccessorList
+	n.succs = n.succs[:0]
+	cur := n.id
+	for i := 0; i < L; i++ {
+		cur = net.successorOf(net.ring.Add(cur, 1))
+		n.succs = append(n.succs, mkref(cur))
+		if cur == n.id {
+			break // wrapped: fewer live nodes than list slots
+		}
+	}
+}
+
+// Lookup implements overlay.Network. Finger hops are tagged PhaseFinger
+// and successor(-list) hops PhaseSuccessor, enabling the same per-phase
+// accounting as the other DHTs.
+func (net *Network) Lookup(src, key uint64) overlay.Result {
+	res := overlay.Result{Key: key, Source: src}
+	cur, ok := net.nodes[src]
+	if !ok {
+		res.Failed = true
+		return res
+	}
+	budget := 8*net.cfg.Bits + 64
+	for {
+		// Already the owner?
+		if cur.pred.ok && net.ring.Between(key, cur.pred.id, cur.id) {
+			break
+		}
+		succ, timeouts := net.firstLiveSuccessor(cur)
+		res.Timeouts += timeouts
+		if succ == nil {
+			res.Failed = true
+			break
+		}
+		if succ.id == cur.id {
+			break // single live node
+		}
+		if net.ring.Between(key, cur.id, succ.id) {
+			// Final hop: the successor owns the key.
+			res.Hops = append(res.Hops, overlay.Hop{From: cur.id, To: succ.id, Phase: overlay.PhaseSuccessor})
+			cur = succ
+			break
+		}
+		next, phase, timeouts := net.closestPreceding(cur, key, succ)
+		res.Timeouts += timeouts
+		res.Hops = append(res.Hops, overlay.Hop{From: cur.id, To: next.id, Phase: phase})
+		cur = next
+		if len(res.Hops) >= budget {
+			res.Failed = true
+			break
+		}
+	}
+	res.Terminal = cur.id
+	if !res.Failed {
+		res.Failed = res.Terminal != net.Responsible(key)
+	}
+	return res
+}
+
+// firstLiveSuccessor resolves the successor list, counting a timeout per
+// departed entry tried.
+func (net *Network) firstLiveSuccessor(n *Node) (*Node, int) {
+	timeouts := 0
+	for _, r := range n.succs {
+		if !r.ok {
+			continue
+		}
+		if s, live := net.nodes[r.id]; live {
+			return s, timeouts
+		}
+		timeouts++
+	}
+	return nil, timeouts
+}
+
+// closestPreceding picks the highest finger in (cur, key), falling back
+// through lower fingers (a timeout per departed finger tried) and finally
+// the live successor.
+func (net *Network) closestPreceding(cur *Node, key uint64, liveSucc *Node) (*Node, overlay.Phase, int) {
+	timeouts := 0
+	for i := len(cur.fingers) - 1; i >= 0; i-- {
+		f := cur.fingers[i]
+		if !f.ok || f.id == cur.id {
+			continue
+		}
+		if !net.ring.BetweenOpen(f.id, cur.id, key) {
+			continue
+		}
+		if n, live := net.nodes[f.id]; live {
+			return n, overlay.PhaseFinger, timeouts
+		}
+		timeouts++
+	}
+	return liveSucc, overlay.PhaseSuccessor, timeouts
+}
+
+// Join implements overlay.Churner: the new node builds its own state and
+// notifies its neighbors on the ring (predecessor's successor lists and
+// successor's predecessor pointer); other nodes' fingers stay stale until
+// stabilization.
+func (net *Network) Join(rng *rand.Rand) (uint64, error) {
+	size := net.ring.Size()
+	if uint64(len(net.nodes)) == size {
+		return 0, ErrFull
+	}
+	var v uint64
+	for {
+		v = uint64(rng.Int63n(int64(size)))
+		if _, taken := net.nodes[v]; !taken {
+			break
+		}
+	}
+	n := net.addMember(v)
+	net.buildNode(n)
+	net.repairNeighborhood(v)
+	return v, nil
+}
+
+// Leave implements overlay.Churner: graceful departure notifies the
+// predecessor(s) and successor, keeping successor lists and predecessor
+// pointers fresh; fingers pointing at the departed node go stale.
+func (net *Network) Leave(id uint64) error {
+	if _, ok := net.nodes[id]; !ok {
+		return ErrUnknownNode
+	}
+	net.removeMember(id)
+	if len(net.nodes) == 0 {
+		return nil
+	}
+	net.repairNeighborhood(id)
+	return nil
+}
+
+// repairNeighborhood rewrites the successor lists of the SuccessorList
+// live nodes preceding position v and the predecessor pointer of the node
+// following it — the converged effect of Chord's join/leave notifications.
+func (net *Network) repairNeighborhood(v uint64) {
+	succ := net.nodes[net.successorOf(v)]
+	succ.pred = mkref(net.predecessorOf(succ.id))
+	cur := v
+	for i := 0; i < net.cfg.SuccessorList; i++ {
+		p := net.predecessorOf(cur)
+		n := net.nodes[p]
+		net.buildSuccessors(n)
+		n.pred = mkref(net.predecessorOf(n.id))
+		cur = p
+		if p == v {
+			break
+		}
+	}
+	// The joining/leaving position's successor also refreshes its list.
+	net.buildSuccessors(succ)
+}
+
+// Stabilize implements overlay.Churner: one node refreshes its fingers,
+// successor list and predecessor from the live membership.
+func (net *Network) Stabilize(id uint64) {
+	n, ok := net.nodes[id]
+	if !ok {
+		return
+	}
+	net.buildNode(n)
+}

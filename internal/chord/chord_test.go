@@ -1,0 +1,183 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cycloid/internal/overlay"
+)
+
+func mustRandom(t testing.TB, cfg Config, n int, seed int64) *Network {
+	t.Helper()
+	net, err := NewRandom(cfg, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func bruteResponsible(net *Network, key uint64) uint64 {
+	var best uint64
+	bestSet := false
+	for _, v := range net.NodeIDs() {
+		if !bestSet || net.ring.Clockwise(key, v) < net.ring.Clockwise(key, best) {
+			best, bestSet = v, true
+		}
+	}
+	return best
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{{Bits: 1, SuccessorList: 3}, {Bits: 33, SuccessorList: 3}, {Bits: 8, SuccessorList: 0}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+}
+
+func TestResponsibleIsSuccessor(t *testing.T) {
+	net := mustRandom(t, Config{Bits: 8, SuccessorList: 3}, 20, 1)
+	for key := uint64(0); key < net.KeySpace(); key++ {
+		if got, want := net.Responsible(key), bruteResponsible(net, key); got != want {
+			t.Fatalf("Responsible(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestLookupExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 17, 100, 256} {
+		net := mustRandom(t, Config{Bits: 10, SuccessorList: 3}, n, int64(n))
+		for trial := 0; trial < 400; trial++ {
+			src := overlay.RandomNode(net, rng)
+			key := overlay.RandomKey(net, rng)
+			res := net.Lookup(src, key)
+			if res.Failed || res.Terminal != net.Responsible(key) {
+				t.Fatalf("n=%d src=%d key=%d: %+v want %d", n, src, key, res, net.Responsible(key))
+			}
+			if res.Timeouts != 0 {
+				t.Fatalf("timeouts in stable network: %+v", res)
+			}
+		}
+	}
+}
+
+func TestLookupQuickProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, keyRaw uint16) bool {
+		n := 1 + int(nRaw)%100
+		net, err := NewRandom(Config{Bits: 10, SuccessorList: 4}, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		src := overlay.RandomNode(net, rng)
+		key := uint64(keyRaw) % net.KeySpace()
+		res := net.Lookup(src, key)
+		return !res.Failed && res.Terminal == bruteResponsible(net, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupPathLengthLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := mustRandom(t, Config{Bits: 11, SuccessorList: 3}, 2048, 7)
+	total := 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatal("lookup failed")
+		}
+		total += res.PathLength()
+	}
+	mean := float64(total) / trials
+	// Classic Chord: ~0.5*log2(n) = 5.5 for n=2048. Allow slack.
+	if mean < 3 || mean > 8 {
+		t.Errorf("mean path length %.2f outside the expected ~5.5 band", mean)
+	}
+}
+
+func TestGracefulDepartureTimeoutsButNoFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := mustRandom(t, Config{Bits: 11, SuccessorList: 3}, 1024, 8)
+	for i := 0; i < 300; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timeouts := 0
+	for i := 0; i < 2000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatalf("lookup failed after graceful departures: %+v", res)
+		}
+		timeouts += res.Timeouts
+	}
+	if timeouts == 0 {
+		t.Error("stale fingers should have produced timeouts")
+	}
+}
+
+func TestStabilizeClearsTimeouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := mustRandom(t, Config{Bits: 10, SuccessorList: 3}, 500, 9)
+	for i := 0; i < 150; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range append([]uint64(nil), net.NodeIDs()...) {
+		net.Stabilize(v)
+	}
+	for i := 0; i < 1000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Timeouts != 0 || res.Failed {
+			t.Fatalf("after stabilization: %+v", res)
+		}
+	}
+}
+
+func TestJoinThenLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := mustRandom(t, Config{Bits: 10, SuccessorList: 3}, 50, 10)
+	for i := 0; i < 100; i++ {
+		if _, err := net.Join(rng); err != nil {
+			t.Fatal(err)
+		}
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatalf("join %d: lookup failed: %+v", i, res)
+		}
+	}
+	if net.Size() != 150 {
+		t.Fatalf("size = %d, want 150", net.Size())
+	}
+}
+
+func TestFingerHopsDominate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := mustRandom(t, Config{Bits: 11, SuccessorList: 3}, 2048, 11)
+	finger, succ := 0, 0
+	for i := 0; i < 1000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		finger += res.PhaseHops(overlay.PhaseFinger)
+		succ += res.PhaseHops(overlay.PhaseSuccessor)
+	}
+	if finger <= succ {
+		t.Errorf("finger hops (%d) should dominate successor hops (%d) in a converged network", finger, succ)
+	}
+}
+
+func TestLookupFromOwner(t *testing.T) {
+	net := mustRandom(t, Config{Bits: 8, SuccessorList: 3}, 10, 12)
+	for _, v := range net.NodeIDs() {
+		res := net.Lookup(v, v) // a node always owns its own ID
+		if res.PathLength() != 0 || res.Terminal != v || res.Failed {
+			t.Fatalf("self lookup: %+v", res)
+		}
+	}
+}

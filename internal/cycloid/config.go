@@ -1,0 +1,52 @@
+// Package cycloid implements the Cycloid DHT, the constant-degree
+// lookup-efficient overlay of Shen, Xu and Chen. A d-dimensional Cycloid
+// emulates the cube-connected cycles graph CCC(d): nodes carry a pair
+// (k, a) of a cyclic and a cubical index, keep seven (or eleven) routing
+// entries, and resolve lookups in O(d) hops through three phases —
+// ascending, descending and traverse-cycle.
+package cycloid
+
+import (
+	"fmt"
+
+	"cycloid/internal/ids"
+)
+
+// Config parameterizes a Cycloid network.
+type Config struct {
+	// Dim is the network dimension d; the ID space holds d*2^d positions.
+	Dim int
+	// LeafHalf is the number of entries kept on each side of each leaf
+	// set: 1 gives the paper's seven-entry node state (cubical neighbor,
+	// two cyclic neighbors, 2-entry inside leaf set, 2-entry outside leaf
+	// set), 2 gives the eleven-entry variant the paper evaluates as a
+	// trade-off for lookup hop count.
+	LeafHalf int
+}
+
+// Validate checks the configuration, returning a descriptive error for
+// out-of-range values.
+func (c Config) Validate() error {
+	if c.Dim < 2 || c.Dim > ids.MaxDim {
+		return fmt.Errorf("cycloid: dimension %d out of range [2,%d]", c.Dim, ids.MaxDim)
+	}
+	if c.LeafHalf < 1 || c.LeafHalf > 4 {
+		return fmt.Errorf("cycloid: leaf-set half width %d out of range [1,4]", c.LeafHalf)
+	}
+	return nil
+}
+
+// TableEntries returns the total number of routing-state entries per node
+// (7 for LeafHalf=1, 11 for LeafHalf=2).
+func (c Config) TableEntries() int { return 3 + 4*c.LeafHalf }
+
+// DimForNodes returns the smallest dimension d whose ID space d*2^d can
+// hold at least n nodes.
+func DimForNodes(n int) int {
+	for d := 2; d <= ids.MaxDim; d++ {
+		if uint64(d)<<uint(d) >= uint64(n) {
+			return d
+		}
+	}
+	return ids.MaxDim
+}

@@ -1,0 +1,21 @@
+package cycloid
+
+// Fail removes a node without any departure notification — the ungraceful
+// failure the paper's Section 3.4 deliberately excludes and its conclusion
+// flags as the weak spot of constant-degree DHTs. Every reference to the
+// node, leaf sets included, goes stale; subsequent lookups through the
+// hole record timeouts, may dead-end before reaching the responsible node,
+// and are repaired only by stabilization.
+//
+// This is an extension beyond the paper's evaluation, exercised by the
+// "ungraceful" experiment: it quantifies how much the 11-entry leaf sets
+// buy in failure-prone environments.
+func (net *Network) Fail(id uint64) error {
+	n, ok := net.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	net.removeMember(n.ID)
+	net.maint.Failures++
+	return nil
+}

@@ -1,0 +1,174 @@
+package cycloid
+
+import (
+	"errors"
+	"math/rand"
+
+	"cycloid/internal/ids"
+)
+
+// ErrFull reports that every position of the ID space is occupied.
+var ErrFull = errors.New("cycloid: identifier space is full")
+
+// ErrUnknownNode reports an operation on a node that is not live.
+var ErrUnknownNode = errors.New("cycloid: node not in network")
+
+// Maintenance tallies the protocol work done by joins, leaves and
+// stabilization — the paper's "maintenance overhead" measure.
+type Maintenance struct {
+	Joins          int
+	Leaves         int
+	JoinRouteHops  int // hops spent routing join messages to the closest node
+	LeafSetUpdates int // nodes whose leaf sets were rewritten by notifications
+	Stabilizations int
+	Failures       int // ungraceful removals (extension, see Fail)
+}
+
+// Maintenance returns the accumulated maintenance counters.
+func (net *Network) Maintenance() Maintenance { return net.maint }
+
+// Join adds one node at a uniformly random unoccupied position, following
+// the protocol of Section 3.3.1: the new node routes a join message via an
+// existing node to the node Z numerically closest to its ID, derives its
+// leaf sets from Z's neighborhood, initializes its routing table with the
+// local-remote search, and notifies its inside leaf set (and, when it is a
+// primary, the nodes of the adjacent cycles). Routing-table entries of
+// other nodes are NOT updated — that is stabilization's job, so lookups
+// between a join and the next stabilization can hit stale entries.
+func (net *Network) Join(rng *rand.Rand) (uint64, error) {
+	v, err := net.randomFreeSlot(rng)
+	if err != nil {
+		return 0, err
+	}
+	return v, net.JoinAt(net.space.FromLinear(v), rng)
+}
+
+// JoinAt adds a node at the given unoccupied position.
+func (net *Network) JoinAt(id ids.CycloidID, rng *rand.Rand) error {
+	v := net.space.Linear(id)
+	if _, taken := net.nodes[v]; taken {
+		return errors.New("cycloid: position already occupied")
+	}
+	// Route the join message from a random existing node to Z, the node
+	// closest to the new ID; the hop count is pure maintenance traffic.
+	if net.Size() > 0 {
+		src := net.NodeIDs()[rng.Intn(net.Size())]
+		res := net.Lookup(src, v)
+		net.maint.JoinRouteHops += res.PathLength()
+	}
+
+	n := net.addMember(id)
+	net.computeLeafSets(n)
+	net.computeRoutingTable(n)
+	net.notifyNeighborhood(id.A)
+	net.maint.Joins++
+	return nil
+}
+
+// Leave performs the graceful departure of Section 3.3.2: the node
+// notifies its inside leaf set, and — when it is the primary of its cycle
+// — the nodes of the adjacent cycles, which update their leaf sets. Nodes
+// holding the departed node as a cubical or cyclic neighbor are NOT
+// notified (the node has only outgoing connections), leaving stale entries
+// that cost timeouts until stabilization repairs them.
+func (net *Network) Leave(id uint64) error {
+	n, ok := net.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	a := n.ID.A
+	// Collect the neighborhood before removal: adjacency can change when
+	// the departing node was the last member of its cycle.
+	affected := net.neighborhoodCycles(a)
+	net.removeMember(n.ID)
+	affected = append(affected, net.neighborhoodCycles(a)...)
+	net.repairLeafSets(affected)
+	net.maint.Leaves++
+	return nil
+}
+
+// Stabilize runs one node's periodic stabilization: it repairs the node's
+// leaf sets and re-resolves its cubical and cyclic neighbors against the
+// current membership, as Section 3.3.2 delegates to "system stabilization,
+// as in Chord".
+func (net *Network) Stabilize(id uint64) {
+	n, ok := net.nodes[id]
+	if !ok {
+		return
+	}
+	net.buildNode(n)
+	net.maint.Stabilizations++
+}
+
+// notifyNeighborhood rewrites the leaf sets of every node whose leaf sets
+// can reference cycle a: the members of a itself and of the nonempty
+// cycles within LeafHalf positions on either side. This is the converged
+// effect of the paper's join/leave notification messages (which propagate
+// around the affected cycles).
+func (net *Network) notifyNeighborhood(a uint32) {
+	net.repairLeafSets(net.neighborhoodCycles(a))
+}
+
+// neighborhoodCycles returns cycle a plus the nonempty cycles within
+// LeafHalf positions on each side.
+func (net *Network) neighborhoodCycles(a uint32) []uint32 {
+	out := []uint32{a}
+	for i := 1; i <= net.cfg.LeafHalf; i++ {
+		if c, ok := net.adjCycle(a, -1, i); ok {
+			out = append(out, c)
+		}
+		if c, ok := net.adjCycle(a, +1, i); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// repairLeafSets recomputes the leaf sets of all live members of the given
+// cycles (deduplicated).
+func (net *Network) repairLeafSets(cycles []uint32) {
+	seen := make(map[uint32]bool, len(cycles))
+	for _, a := range cycles {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		for _, k := range net.membersOf(a) {
+			v := net.space.Linear(ids.CycloidID{K: k, A: a})
+			if n, ok := net.nodes[v]; ok {
+				net.computeLeafSets(n)
+				net.maint.LeafSetUpdates++
+			}
+		}
+	}
+}
+
+// randomFreeSlot picks a uniformly random unoccupied linearized ID.
+func (net *Network) randomFreeSlot(rng *rand.Rand) (uint64, error) {
+	size := net.space.Size()
+	free := size - uint64(len(net.nodes))
+	if free == 0 {
+		return 0, ErrFull
+	}
+	if free > size/4 {
+		// Sparse enough for rejection sampling.
+		for {
+			v := uint64(rng.Int63n(int64(size)))
+			if _, taken := net.nodes[v]; !taken {
+				return v, nil
+			}
+		}
+	}
+	// Dense: pick the idx-th free slot by scanning.
+	idx := uint64(rng.Int63n(int64(free)))
+	for v := uint64(0); v < size; v++ {
+		if _, taken := net.nodes[v]; taken {
+			continue
+		}
+		if idx == 0 {
+			return v, nil
+		}
+		idx--
+	}
+	return 0, ErrFull
+}

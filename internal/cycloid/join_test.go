@@ -1,0 +1,220 @@
+package cycloid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+// freshLeafSets recomputes a node's leaf sets without mutating it.
+func freshLeafSets(net *Network, n *Node) (insideL, insideR, outsideL, outsideR []ref) {
+	tmp := &Node{ID: n.ID}
+	net.computeLeafSets(tmp)
+	return tmp.insideL, tmp.insideR, tmp.outsideL, tmp.outsideR
+}
+
+// assertLeafSetsConverged checks the invariant the join/leave notification
+// protocol must maintain: every live node's leaf sets equal what a full
+// recomputation from the membership would produce.
+func assertLeafSetsConverged(t *testing.T, net *Network) {
+	t.Helper()
+	for _, v := range net.NodeIDs() {
+		n := net.nodes[v]
+		il, ir, ol, or := freshLeafSets(net, n)
+		if !reflect.DeepEqual(n.insideL, il) || !reflect.DeepEqual(n.insideR, ir) {
+			t.Fatalf("node %v inside leaf sets stale:\n got %v|%v\nwant %v|%v", n.ID, n.insideL, n.insideR, il, ir)
+		}
+		if !reflect.DeepEqual(n.outsideL, ol) || !reflect.DeepEqual(n.outsideR, or) {
+			t.Fatalf("node %v outside leaf sets stale:\n got %v|%v\nwant %v|%v", n.ID, n.outsideL, n.outsideR, ol, or)
+		}
+	}
+}
+
+func TestJoinMaintainsLeafSets(t *testing.T) {
+	for _, half := range []int{1, 2} {
+		rng := rand.New(rand.NewSource(42))
+		net := mustRandom(t, Config{Dim: 5, LeafHalf: half}, 10, 7)
+		for i := 0; i < 60; i++ {
+			if _, err := net.Join(rng); err != nil {
+				t.Fatal(err)
+			}
+			assertLeafSetsConverged(t, net)
+		}
+		if net.Size() != 70 {
+			t.Fatalf("size = %d, want 70", net.Size())
+		}
+		if net.Maintenance().Joins != 60 {
+			t.Errorf("maintenance joins = %d", net.Maintenance().Joins)
+		}
+	}
+}
+
+func TestLeaveMaintainsLeafSets(t *testing.T) {
+	for _, half := range []int{1, 2} {
+		rng := rand.New(rand.NewSource(43))
+		net := mustRandom(t, Config{Dim: 5, LeafHalf: half}, 80, 8)
+		for net.Size() > 1 {
+			id := overlay.RandomNode(net, rng)
+			if err := net.Leave(id); err != nil {
+				t.Fatal(err)
+			}
+			assertLeafSetsConverged(t, net)
+		}
+	}
+}
+
+func TestLookupsSucceedAcrossChurnWithoutStabilization(t *testing.T) {
+	// Leaf sets alone (kept fresh by graceful notifications) must keep
+	// lookups exact even while routing tables go stale.
+	rng := rand.New(rand.NewSource(44))
+	net := mustRandom(t, Config{Dim: 6, LeafHalf: 1}, 100, 9)
+	for i := 0; i < 150; i++ {
+		if rng.Intn(2) == 0 && net.Size() > 2 {
+			if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := net.Join(rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src := overlay.RandomNode(net, rng)
+		key := overlay.RandomKey(net, rng)
+		res := net.Lookup(src, key)
+		if res.Failed || res.Terminal != bruteResponsible(net, key) {
+			t.Fatalf("iteration %d: lookup diverged: %+v want %d", i, res, bruteResponsible(net, key))
+		}
+	}
+}
+
+func TestLeaveCausesTimeoutsInRoutingTables(t *testing.T) {
+	// Graceful departures repair leaf sets but not other nodes' cubical
+	// and cyclic neighbors; with 30% of a complete network gone, lookups
+	// must still succeed while recording timeouts.
+	rng := rand.New(rand.NewSource(45))
+	net := mustComplete(t, 7) // 896 nodes
+	depart := int(float64(net.Size()) * 0.3)
+	for i := 0; i < depart; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalTimeouts, failures := 0, 0
+	for i := 0; i < 2000; i++ {
+		src := overlay.RandomNode(net, rng)
+		key := overlay.RandomKey(net, rng)
+		res := net.Lookup(src, key)
+		if res.Failed {
+			failures++
+		}
+		totalTimeouts += res.Timeouts
+	}
+	if failures > 0 {
+		t.Errorf("%d lookups failed after graceful mass departure", failures)
+	}
+	if totalTimeouts == 0 {
+		t.Error("expected stale routing-table entries to cause timeouts")
+	}
+}
+
+func TestStabilizeRemovesTimeouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	net := mustComplete(t, 6) // 384 nodes
+	for i := 0; i < 100; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range append([]uint64(nil), net.NodeIDs()...) {
+		net.Stabilize(v)
+	}
+	for i := 0; i < 1000; i++ {
+		src := overlay.RandomNode(net, rng)
+		key := overlay.RandomKey(net, rng)
+		res := net.Lookup(src, key)
+		if res.Timeouts != 0 {
+			t.Fatalf("timeout after full stabilization: %+v", res)
+		}
+		if res.Failed {
+			t.Fatalf("failure after full stabilization: %+v", res)
+		}
+	}
+	if net.Maintenance().Stabilizations == 0 {
+		t.Error("stabilization counter not incremented")
+	}
+}
+
+func TestStabilizeEqualsBuildAll(t *testing.T) {
+	// Stabilizing every node one by one must converge to exactly the
+	// state BuildAll computes.
+	rng := rand.New(rand.NewSource(47))
+	a := mustRandom(t, Config{Dim: 5, LeafHalf: 2}, 60, 10)
+	for i := 0; i < 20; i++ {
+		a.removeMember(a.space.FromLinear(overlay.RandomNode(a, rng))) // surgical removal: max staleness
+	}
+	for _, v := range append([]uint64(nil), a.NodeIDs()...) {
+		a.Stabilize(v)
+	}
+	b, err := New(Config{Dim: 5, LeafHalf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range a.NodeIDs() {
+		b.addMember(b.space.FromLinear(v))
+	}
+	b.BuildAll()
+	for _, v := range a.NodeIDs() {
+		na, nb := a.nodes[v], b.nodes[v]
+		if na.cubical != nb.cubical || na.cyclicL != nb.cyclicL || na.cyclicS != nb.cyclicS {
+			t.Fatalf("node %d routing table differs after stabilization", v)
+		}
+		if !reflect.DeepEqual(na.insideL, nb.insideL) || !reflect.DeepEqual(na.outsideR, nb.outsideR) {
+			t.Fatalf("node %d leaf sets differ after stabilization", v)
+		}
+	}
+}
+
+func TestJoinFullSpace(t *testing.T) {
+	net := mustComplete(t, 3)
+	if _, err := net.Join(rand.New(rand.NewSource(1))); err != ErrFull {
+		t.Fatalf("Join on full space = %v, want ErrFull", err)
+	}
+}
+
+func TestLeaveUnknown(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 4, LeafHalf: 1}, 3, 11)
+	for v := uint64(0); v < net.space.Size(); v++ {
+		if !net.Contains(v) {
+			if err := net.Leave(v); err != ErrUnknownNode {
+				t.Fatalf("Leave(absent) = %v, want ErrUnknownNode", err)
+			}
+			return
+		}
+	}
+}
+
+func TestJoinAtOccupied(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 4, LeafHalf: 1}, 3, 12)
+	id := net.space.FromLinear(net.NodeIDs()[0])
+	if err := net.JoinAt(id, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("JoinAt occupied position should error")
+	}
+}
+
+func TestJoinRouteHopsAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	net := mustRandom(t, Config{Dim: 6, LeafHalf: 1}, 50, 13)
+	for i := 0; i < 20; i++ {
+		if _, err := net.Join(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if net.Maintenance().JoinRouteHops == 0 {
+		t.Error("join routing should cost hops in a 50-node network")
+	}
+	if net.Maintenance().LeafSetUpdates == 0 {
+		t.Error("join notifications should rewrite some leaf sets")
+	}
+}

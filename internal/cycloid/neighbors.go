@@ -1,0 +1,190 @@
+package cycloid
+
+import (
+	"sort"
+
+	"cycloid/internal/ids"
+)
+
+// computeLeafSets derives a node's inside and outside leaf sets from the
+// current membership — the converged state the paper's join notifications
+// and stabilization maintain.
+//
+// Inside leaf set: the node's predecessor(s) and successor(s) on its local
+// cycle (nodes sharing its cubical index, ordered by cyclic index mod d).
+// A node alone on its cycle points at itself. Outside leaf set: the
+// primary node (largest cyclic index) of the preceding and succeeding
+// nonempty remote cycles on the large cycle; a node whose cycle is the
+// only one points at itself.
+func (net *Network) computeLeafSets(n *Node) {
+	half := net.cfg.LeafHalf
+	a := n.ID.A
+	ks := net.membersOf(a)
+	m := len(ks)
+	pos := sort.Search(m, func(i int) bool { return ks[i] >= n.ID.K })
+
+	n.insideL = n.insideL[:0]
+	n.insideR = n.insideR[:0]
+	for i := 1; i <= half; i++ {
+		pk := ks[((pos-i)%m+m)%m]
+		sk := ks[(pos+i)%m]
+		n.insideL = append(n.insideL, mkref(ids.CycloidID{K: pk, A: a}))
+		n.insideR = append(n.insideR, mkref(ids.CycloidID{K: sk, A: a}))
+	}
+
+	n.outsideL = n.outsideL[:0]
+	n.outsideR = n.outsideR[:0]
+	for i := 1; i <= half; i++ {
+		if c, ok := net.adjCycle(a, -1, i); ok {
+			p, _ := net.primaryOf(c)
+			n.outsideL = append(n.outsideL, mkref(p))
+		} else {
+			n.outsideL = append(n.outsideL, mkref(n.ID))
+		}
+		if c, ok := net.adjCycle(a, +1, i); ok {
+			p, _ := net.primaryOf(c)
+			n.outsideR = append(n.outsideR, mkref(p))
+		} else {
+			n.outsideR = append(n.outsideR, mkref(n.ID))
+		}
+	}
+}
+
+// computeRoutingTable derives the cubical and cyclic neighbors of
+// Section 3.1. For node (k, a) with k > 0:
+//
+//   - cubical neighbor: a node (k-1, a_{d-1}…a_{k+1} ¬a_k x…x) — cyclic
+//     index k-1, cubical index agreeing with a above bit k, bit k flipped,
+//     low bits arbitrary. Among the matching live nodes the one whose
+//     cubical index is numerically closest to a XOR 2^k is used.
+//   - cyclic neighbors: the first larger and first smaller nodes with
+//     cyclic index k-1 whose most significant different bit with a is no
+//     larger than k-1 (i.e. cubical index in a's bit-k block).
+//
+// A node with k == 0 has neither cubical nor cyclic neighbors.
+func (net *Network) computeRoutingTable(n *Node) {
+	n.cubical, n.cyclicL, n.cyclicS = ref{}, ref{}, ref{}
+	k := uint(n.ID.K)
+	if k == 0 {
+		return
+	}
+	a := n.ID.A
+	mask := uint32(1<<k) - 1
+	wantK := n.ID.K - 1
+
+	// Cubical neighbor: search the flipped block for cycles containing a
+	// node with cyclic index k-1.
+	flipped := a ^ (1 << k)
+	bestSet := false
+	var best uint32
+	net.eachCycleInRange(flipped&^mask, flipped|mask, func(c uint32) {
+		if !net.hasMember(c, wantK) {
+			return
+		}
+		if !bestSet || absDiff32(c, flipped) < absDiff32(best, flipped) {
+			best, bestSet = c, true
+		}
+	})
+	if !bestSet {
+		// Sparse network: the flipped block holds no node with cyclic
+		// index k-1. The join protocol's local-remote search keeps looking
+		// through neighboring remote cycles until it finds one ("this is
+		// done to enhance the possibility and the speed of finding the
+		// neighbors"), so fall back to the k-1-index node whose cubical
+		// index is circularly closest to the ideal flipped position.
+		best, bestSet = net.nearestWithK(wantK, flipped)
+	}
+	if bestSet {
+		n.cubical = mkref(ids.CycloidID{K: wantK, A: best})
+	}
+
+	// Cyclic neighbors: within a's own block, smallest >= a and largest <= a.
+	lo, hi := a&^mask, a|mask
+	largeSet, smallSet := false, false
+	var large, small uint32
+	net.eachCycleInRange(lo, hi, func(c uint32) {
+		if !net.hasMember(c, wantK) {
+			return
+		}
+		if c >= a && (!largeSet || c < large) {
+			large, largeSet = c, true
+		}
+		if c <= a && (!smallSet || c > small) {
+			small, smallSet = c, true
+		}
+	})
+	if !largeSet {
+		// Same local-remote relaxation: the first k-1-index node at or
+		// clockwise of a, anywhere on the large cycle.
+		large, largeSet = net.firstWithKFrom(wantK, a, +1)
+	}
+	if !smallSet {
+		small, smallSet = net.firstWithKFrom(wantK, a, -1)
+	}
+	if largeSet {
+		n.cyclicL = mkref(ids.CycloidID{K: wantK, A: large})
+	}
+	if smallSet {
+		n.cyclicS = mkref(ids.CycloidID{K: wantK, A: small})
+	}
+}
+
+// nearestWithK returns the cubical index of the node with cyclic index k
+// circularly closest to the target cubical index.
+func (net *Network) nearestWithK(k uint8, target uint32) (uint32, bool) {
+	bk := net.byK[k]
+	m := len(bk)
+	if m == 0 {
+		return 0, false
+	}
+	pos := sort.Search(m, func(i int) bool { return bk[i] >= target })
+	cw := bk[pos%m]
+	ccw := bk[((pos-1)%m+m)%m]
+	if net.space.CycleDist(ccw, target) < net.space.CycleDist(cw, target) {
+		return ccw, true
+	}
+	return cw, true
+}
+
+// firstWithKFrom returns the cubical index of the first node with cyclic
+// index k at-or-after (dir > 0) or at-or-before (dir < 0) cubical index a,
+// wrapping around the large cycle.
+func (net *Network) firstWithKFrom(k uint8, a uint32, dir int) (uint32, bool) {
+	bk := net.byK[k]
+	m := len(bk)
+	if m == 0 {
+		return 0, false
+	}
+	pos := sort.Search(m, func(i int) bool { return bk[i] >= a })
+	if dir > 0 {
+		return bk[pos%m], true
+	}
+	if pos < m && bk[pos] == a {
+		return a, true
+	}
+	return bk[((pos-1)%m+m)%m], true
+}
+
+// eachCycleInRange calls fn for every nonempty cycle index in [lo, hi].
+func (net *Network) eachCycleInRange(lo, hi uint32, fn func(uint32)) {
+	m := len(net.cycleIdx)
+	start := sort.Search(m, func(i int) bool { return net.cycleIdx[i] >= lo })
+	for i := start; i < m && net.cycleIdx[i] <= hi; i++ {
+		fn(net.cycleIdx[i])
+	}
+}
+
+// hasMember reports whether cycle a contains a live node with cyclic
+// index k.
+func (net *Network) hasMember(a uint32, k uint8) bool {
+	ks := net.cycles[a]
+	pos := sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+	return pos < len(ks) && ks[pos] == k
+}
+
+func absDiff32(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

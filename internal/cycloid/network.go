@@ -1,0 +1,310 @@
+package cycloid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cycloid/internal/ids"
+)
+
+// Network is an in-memory Cycloid overlay: the full set of live nodes
+// plus the membership indexes that stand in for what deployed nodes learn
+// through joins, notifications and stabilization.
+type Network struct {
+	cfg   Config
+	space ids.Space
+
+	nodes    map[uint64]*Node   // live nodes keyed by linearized ID
+	cycles   map[uint32][]uint8 // sorted cyclic indices of each nonempty cycle
+	cycleIdx []uint32           // sorted cubical indices of nonempty cycles
+	byK      [][]uint32         // for each cyclic index, sorted cubical indices of nodes carrying it
+
+	sorted      []uint64 // sorted linearized IDs of live nodes
+	sortedDirty bool
+
+	maint Maintenance
+}
+
+// New returns an empty network with the given configuration.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:    cfg,
+		space:  ids.NewSpace(cfg.Dim),
+		nodes:  make(map[uint64]*Node),
+		cycles: make(map[uint32][]uint8),
+		byK:    make([][]uint32, cfg.Dim),
+	}, nil
+}
+
+// NewComplete builds the complete d-dimensional Cycloid with all d*2^d
+// nodes present and every routing table converged.
+func NewComplete(cfg Config) (*Network, error) {
+	net, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for v := uint64(0); v < net.space.Size(); v++ {
+		net.addMember(net.space.FromLinear(v))
+	}
+	net.BuildAll()
+	return net, nil
+}
+
+// NewRandom builds a converged network of n nodes at distinct uniformly
+// random ID positions.
+func NewRandom(cfg Config, n int, rng *rand.Rand) (*Network, error) {
+	net, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	size := net.space.Size()
+	if uint64(n) > size {
+		return nil, fmt.Errorf("cycloid: %d nodes exceed ID space of %d", n, size)
+	}
+	if uint64(n)*2 > size {
+		// Dense case: permute all positions and take the first n so
+		// rejection sampling cannot stall.
+		perm := rng.Perm(int(size))
+		for _, p := range perm[:n] {
+			net.addMember(net.space.FromLinear(uint64(p)))
+		}
+	} else {
+		for net.Size() < n {
+			v := uint64(rng.Int63n(int64(size)))
+			if _, taken := net.nodes[v]; !taken {
+				net.addMember(net.space.FromLinear(v))
+			}
+		}
+	}
+	net.BuildAll()
+	return net, nil
+}
+
+// Config returns the network configuration.
+func (net *Network) Config() Config { return net.cfg }
+
+// Space returns the network's identifier space.
+func (net *Network) Space() ids.Space { return net.space }
+
+// Name implements overlay.Network.
+func (net *Network) Name() string {
+	return fmt.Sprintf("cycloid-%d", net.cfg.TableEntries())
+}
+
+// KeySpace implements overlay.Network: keys live in [0, d*2^d).
+func (net *Network) KeySpace() uint64 { return net.space.Size() }
+
+// Size returns the number of live nodes.
+func (net *Network) Size() int { return len(net.nodes) }
+
+// NodeIDs returns the sorted linearized IDs of live nodes.
+func (net *Network) NodeIDs() []uint64 {
+	if net.sortedDirty {
+		net.sorted = net.sorted[:0]
+		for v := range net.nodes {
+			net.sorted = append(net.sorted, v)
+		}
+		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
+		net.sortedDirty = false
+	}
+	return net.sorted
+}
+
+// Node returns the live node with the given ID, if present.
+func (net *Network) Node(id ids.CycloidID) (*Node, bool) {
+	n, ok := net.nodes[net.space.Linear(id)]
+	return n, ok
+}
+
+// Contains reports whether a live node occupies the linearized ID v.
+func (net *Network) Contains(v uint64) bool {
+	_, ok := net.nodes[v]
+	return ok
+}
+
+// addMember inserts a node into the membership indexes without building
+// its routing state.
+func (net *Network) addMember(id ids.CycloidID) *Node {
+	v := net.space.Linear(id)
+	if _, dup := net.nodes[v]; dup {
+		panic(fmt.Sprintf("cycloid: duplicate node %v", id))
+	}
+	n := &Node{ID: id}
+	net.nodes[v] = n
+	ks := net.cycles[id.A]
+	pos := sort.Search(len(ks), func(i int) bool { return ks[i] >= id.K })
+	ks = append(ks, 0)
+	copy(ks[pos+1:], ks[pos:])
+	ks[pos] = id.K
+	net.cycles[id.A] = ks
+	if len(ks) == 1 {
+		cpos := sort.Search(len(net.cycleIdx), func(i int) bool { return net.cycleIdx[i] >= id.A })
+		net.cycleIdx = append(net.cycleIdx, 0)
+		copy(net.cycleIdx[cpos+1:], net.cycleIdx[cpos:])
+		net.cycleIdx[cpos] = id.A
+	}
+	bk := net.byK[id.K]
+	bpos := sort.Search(len(bk), func(i int) bool { return bk[i] >= id.A })
+	bk = append(bk, 0)
+	copy(bk[bpos+1:], bk[bpos:])
+	bk[bpos] = id.A
+	net.byK[id.K] = bk
+	net.sortedDirty = true
+	return n
+}
+
+// removeMember deletes a node from the membership indexes. Routing-state
+// entries in other nodes referring to it are left untouched (stale).
+func (net *Network) removeMember(id ids.CycloidID) {
+	v := net.space.Linear(id)
+	if _, ok := net.nodes[v]; !ok {
+		panic(fmt.Sprintf("cycloid: removing absent node %v", id))
+	}
+	delete(net.nodes, v)
+	ks := net.cycles[id.A]
+	pos := sort.Search(len(ks), func(i int) bool { return ks[i] >= id.K })
+	ks = append(ks[:pos], ks[pos+1:]...)
+	if len(ks) == 0 {
+		delete(net.cycles, id.A)
+		cpos := sort.Search(len(net.cycleIdx), func(i int) bool { return net.cycleIdx[i] >= id.A })
+		net.cycleIdx = append(net.cycleIdx[:cpos], net.cycleIdx[cpos+1:]...)
+	} else {
+		net.cycles[id.A] = ks
+	}
+	bk := net.byK[id.K]
+	bpos := sort.Search(len(bk), func(i int) bool { return bk[i] >= id.A })
+	net.byK[id.K] = append(bk[:bpos], bk[bpos+1:]...)
+	net.sortedDirty = true
+}
+
+// BuildAll recomputes every node's routing state from the membership,
+// modelling a fully converged (stabilized) network.
+func (net *Network) BuildAll() {
+	for _, n := range net.nodes {
+		net.buildNode(n)
+	}
+}
+
+// buildNode recomputes one node's leaf sets and routing table.
+func (net *Network) buildNode(n *Node) {
+	net.computeLeafSets(n)
+	net.computeRoutingTable(n)
+}
+
+// membersOf returns the sorted cyclic indices present in cycle a.
+func (net *Network) membersOf(a uint32) []uint8 { return net.cycles[a] }
+
+// primaryOf returns the primary node (largest cyclic index) of cycle a.
+func (net *Network) primaryOf(a uint32) (ids.CycloidID, bool) {
+	ks := net.cycles[a]
+	if len(ks) == 0 {
+		return ids.CycloidID{}, false
+	}
+	return ids.CycloidID{K: ks[len(ks)-1], A: a}, true
+}
+
+// adjCycle returns the step-th nonempty cycle strictly before (dir < 0) or
+// after (dir > 0) cycle a on the large cycle, wrapping around. The cycle a
+// itself is skipped; if fewer distinct other cycles exist the walk wraps
+// onto a and ok is false.
+func (net *Network) adjCycle(a uint32, dir int, step int) (uint32, bool) {
+	m := len(net.cycleIdx)
+	if m == 0 {
+		return 0, false
+	}
+	// Position of the first cycle >= a.
+	pos := sort.Search(m, func(i int) bool { return net.cycleIdx[i] >= a })
+	var idx int
+	if dir > 0 {
+		// First strictly-after position.
+		start := pos
+		if start < m && net.cycleIdx[start] == a {
+			start++
+		}
+		idx = (start + step - 1) % m
+	} else {
+		// First strictly-before position.
+		start := pos - 1
+		idx = ((start-(step-1))%m + m) % m
+	}
+	c := net.cycleIdx[idx]
+	if c == a {
+		return c, false
+	}
+	return c, true
+}
+
+// Responsible implements overlay.Network: the node the placement rule of
+// Section 3.1 assigns the key to. Only the one or two cycles nearest the
+// key's cubical index can contain the winner, and within a cycle only the
+// one or two members nearest the key's cyclic index, so the search is
+// O(log n).
+func (net *Network) Responsible(key uint64) uint64 {
+	id, ok := net.responsibleID(net.space.FromLinear(key))
+	if !ok {
+		panic("cycloid: Responsible on empty network")
+	}
+	return net.space.Linear(id)
+}
+
+func (net *Network) responsibleID(t ids.CycloidID) (ids.CycloidID, bool) {
+	if len(net.cycleIdx) == 0 {
+		return ids.CycloidID{}, false
+	}
+	var best ids.CycloidID
+	have := false
+	consider := func(c ids.CycloidID) {
+		if !have || net.space.Closer(t, c, best) {
+			best = c
+			have = true
+		}
+	}
+	for _, a := range net.nearestCycles(t.A) {
+		for _, k := range net.nearestMembers(a, t.K) {
+			consider(ids.CycloidID{K: k, A: a})
+		}
+	}
+	return best, have
+}
+
+// nearestCycles returns the nonempty cycle(s) at minimal circular distance
+// from cubical index b: the first nonempty cycle clockwise from b
+// (inclusive) and the first counter-clockwise (inclusive), deduplicated.
+func (net *Network) nearestCycles(b uint32) []uint32 {
+	m := len(net.cycleIdx)
+	pos := sort.Search(m, func(i int) bool { return net.cycleIdx[i] >= b })
+	cw := net.cycleIdx[pos%m]
+	ccw := net.cycleIdx[((pos-1)%m+m)%m]
+	if pos < m && net.cycleIdx[pos] == b {
+		ccw = b
+	}
+	if cw == ccw {
+		return []uint32{cw}
+	}
+	return []uint32{cw, ccw}
+}
+
+// nearestMembers returns the member(s) of cycle a at minimal circular
+// distance from cyclic index l: the first member clockwise from l
+// (inclusive) and the first counter-clockwise (inclusive), deduplicated.
+func (net *Network) nearestMembers(a uint32, l uint8) []uint8 {
+	ks := net.cycles[a]
+	m := len(ks)
+	if m == 0 {
+		return nil
+	}
+	pos := sort.Search(m, func(i int) bool { return ks[i] >= l })
+	cw := ks[pos%m]
+	ccw := ks[((pos-1)%m+m)%m]
+	if pos < m && ks[pos] == l {
+		ccw = l
+	}
+	if cw == ccw {
+		return []uint8{cw}
+	}
+	return []uint8{cw, ccw}
+}

@@ -1,0 +1,265 @@
+package cycloid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycloid/internal/ids"
+)
+
+func mustComplete(t testing.TB, d int) *Network {
+	t.Helper()
+	net, err := NewComplete(Config{Dim: d, LeafHalf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func mustRandom(t testing.TB, cfg Config, n int, seed int64) *Network {
+	t.Helper()
+	net, err := NewRandom(cfg, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// bruteResponsible is the O(n) ground truth for key placement.
+func bruteResponsible(net *Network, key uint64) uint64 {
+	t := net.space.FromLinear(key)
+	var best ids.CycloidID
+	have := false
+	for _, v := range net.NodeIDs() {
+		id := net.space.FromLinear(v)
+		if !have || net.space.Closer(t, id, best) {
+			best, have = id, true
+		}
+	}
+	return net.space.Linear(best)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{{Dim: 1, LeafHalf: 1}, {Dim: 31, LeafHalf: 1}, {Dim: 4, LeafHalf: 0}, {Dim: 4, LeafHalf: 5}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	if err := (Config{Dim: 8, LeafHalf: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestTableEntries(t *testing.T) {
+	if got := (Config{Dim: 8, LeafHalf: 1}).TableEntries(); got != 7 {
+		t.Errorf("7-entry config reports %d entries", got)
+	}
+	if got := (Config{Dim: 8, LeafHalf: 2}).TableEntries(); got != 11 {
+		t.Errorf("11-entry config reports %d entries", got)
+	}
+}
+
+func TestDimForNodes(t *testing.T) {
+	cases := []struct{ n, d int }{{1, 2}, {8, 2}, {9, 3}, {24, 3}, {25, 4}, {2048, 8}, {2049, 9}}
+	for _, c := range cases {
+		if got := DimForNodes(c.n); got != c.d {
+			t.Errorf("DimForNodes(%d) = %d, want %d", c.n, got, c.d)
+		}
+	}
+}
+
+func TestCompleteNetworkSize(t *testing.T) {
+	net := mustComplete(t, 4)
+	if net.Size() != 64 {
+		t.Fatalf("complete d=4 size = %d, want 64", net.Size())
+	}
+	if net.KeySpace() != 64 {
+		t.Fatalf("KeySpace = %d, want 64", net.KeySpace())
+	}
+	if net.Name() != "cycloid-7" {
+		t.Errorf("Name = %q", net.Name())
+	}
+}
+
+func TestNewRandomDistinctNodes(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 8, LeafHalf: 1}, 2000, 1)
+	if net.Size() != 2000 {
+		t.Fatalf("size = %d, want 2000", net.Size())
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range net.NodeIDs() {
+		if seen[v] {
+			t.Fatalf("duplicate node %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNewRandomRejectsOverfull(t *testing.T) {
+	if _, err := NewRandom(Config{Dim: 3, LeafHalf: 1}, 25, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for n > d*2^d")
+	}
+}
+
+// TestCompleteNetworkStructure checks the converged routing state of a
+// complete Cycloid: the structure Section 3.1 and Figure 2 describe.
+func TestCompleteNetworkStructure(t *testing.T) {
+	const d = 5
+	net := mustComplete(t, d)
+	for _, v := range net.NodeIDs() {
+		n := net.nodes[v]
+		k, a := n.ID.K, n.ID.A
+		if k == 0 {
+			if n.cubical.ok || n.cyclicL.ok || n.cyclicS.ok {
+				t.Fatalf("%v: k=0 node must have no cubical or cyclic neighbors", n.ID)
+			}
+		} else {
+			wantCub := ids.CycloidID{K: k - 1, A: a ^ (1 << k)}
+			if !n.cubical.ok || n.cubical.id != wantCub {
+				t.Fatalf("%v: cubical = %v, want %v", n.ID, n.cubical.id, wantCub)
+			}
+			// In a complete network the nearest block member at-or-above
+			// and at-or-below a is a itself.
+			wantCyc := ids.CycloidID{K: k - 1, A: a}
+			if n.cyclicL.id != wantCyc || n.cyclicS.id != wantCyc {
+				t.Fatalf("%v: cyclic = %v/%v, want %v", n.ID, n.cyclicL.id, n.cyclicS.id, wantCyc)
+			}
+		}
+		// Inside leaf set: cycle predecessor and successor.
+		wantPred := ids.CycloidID{K: (k + d - 1) % d, A: a}
+		wantSucc := ids.CycloidID{K: (k + 1) % d, A: a}
+		if n.insideL[0].id != wantPred || n.insideR[0].id != wantSucc {
+			t.Fatalf("%v: inside leaf = %v/%v, want %v/%v", n.ID, n.insideL[0].id, n.insideR[0].id, wantPred, wantSucc)
+		}
+		// Outside leaf set: primaries (k = d-1) of the adjacent cycles.
+		cycles := net.space.Cycles()
+		wantL := ids.CycloidID{K: d - 1, A: (a + cycles - 1) % cycles}
+		wantR := ids.CycloidID{K: d - 1, A: (a + 1) % cycles}
+		if n.outsideL[0].id != wantL || n.outsideR[0].id != wantR {
+			t.Fatalf("%v: outside leaf = %v/%v, want %v/%v", n.ID, n.outsideL[0].id, n.outsideR[0].id, wantL, wantR)
+		}
+	}
+}
+
+// TestTable2Pattern checks the routing-table shape of the paper's Table 2:
+// node (4,10110110) in an eight-dimensional Cycloid.
+func TestTable2Pattern(t *testing.T) {
+	net := mustComplete(t, 8)
+	id := ids.CycloidID{K: 4, A: 0b10110110}
+	ts, err := net.Table(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.CubicalPattern != "(3,1010xxxx)" {
+		t.Errorf("cubical pattern = %q, want (3,1010xxxx)", ts.CubicalPattern)
+	}
+	if ts.Cubical != "(3,10100110)" {
+		t.Errorf("cubical = %q (complete network should use the exact flipped index)", ts.Cubical)
+	}
+	if ts.InsideLeft[0] != "(3,10110110)" || ts.InsideRight[0] != "(5,10110110)" {
+		t.Errorf("inside leaf set = %v / %v", ts.InsideLeft, ts.InsideRight)
+	}
+	if ts.OutsideLeft[0] != "(7,10110101)" || ts.OutsideRight[0] != "(7,10110111)" {
+		t.Errorf("outside leaf set = %v / %v", ts.OutsideLeft, ts.OutsideRight)
+	}
+	if got := ts.String(); len(got) == 0 {
+		t.Error("TableState.String returned empty")
+	}
+	if _, err := net.Table(ids.CycloidID{K: 0, A: 0}); err != nil {
+		t.Errorf("Table of live node errored: %v", err)
+	}
+}
+
+func TestTableUnknownNode(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 4, LeafHalf: 1}, 5, 3)
+	// Find an unoccupied position.
+	for v := uint64(0); v < net.space.Size(); v++ {
+		if !net.Contains(v) {
+			if _, err := net.Table(net.space.FromLinear(v)); err == nil {
+				t.Fatal("Table of absent node should error")
+			}
+			return
+		}
+	}
+}
+
+func TestResponsibleMatchesBruteForce(t *testing.T) {
+	cfgs := []Config{{Dim: 4, LeafHalf: 1}, {Dim: 5, LeafHalf: 2}}
+	for _, cfg := range cfgs {
+		for _, n := range []int{1, 2, 7, 20} {
+			net := mustRandom(t, cfg, n, int64(n)*31)
+			for key := uint64(0); key < net.space.Size(); key++ {
+				got := net.Responsible(key)
+				want := bruteResponsible(net, key)
+				if got != want {
+					t.Fatalf("cfg=%+v n=%d key=%d: Responsible=%d, want %d", cfg, n, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestResponsibleCompleteIsIdentity(t *testing.T) {
+	net := mustComplete(t, 4)
+	for key := uint64(0); key < net.space.Size(); key++ {
+		if got := net.Responsible(key); got != key {
+			t.Fatalf("complete network: Responsible(%d) = %d, want identity", key, got)
+		}
+	}
+}
+
+func TestAdjCycle(t *testing.T) {
+	net, err := New(Config{Dim: 4, LeafHalf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []uint32{2, 5, 11} {
+		net.addMember(ids.CycloidID{K: 0, A: a})
+	}
+	cases := []struct {
+		a    uint32
+		dir  int
+		step int
+		want uint32
+		ok   bool
+	}{
+		{5, +1, 1, 11, true},
+		{5, +1, 2, 2, true}, // wraps
+		{5, -1, 1, 2, true},
+		{5, -1, 2, 11, true}, // wraps
+		{3, +1, 1, 5, true},  // from an empty position
+		{3, -1, 1, 2, true},
+		{5, +1, 3, 5, false}, // wraps onto the origin cycle
+	}
+	for _, c := range cases {
+		got, ok := net.adjCycle(c.a, c.dir, c.step)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("adjCycle(%d,%d,%d) = %d,%v, want %d,%v", c.a, c.dir, c.step, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	net, err := New(Config{Dim: 4, LeafHalf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ids.CycloidID{K: 2, A: 9}
+	net.addMember(id)
+	net.BuildAll()
+	n := net.nodes[net.space.Linear(id)]
+	// A node alone in its cycle points at itself from both leaf sets.
+	if n.insideL[0].id != id || n.insideR[0].id != id {
+		t.Error("single node inside leaf set should self-reference")
+	}
+	if n.outsideL[0].id != id || n.outsideR[0].id != id {
+		t.Error("single node outside leaf set should self-reference")
+	}
+	for key := uint64(0); key < net.space.Size(); key++ {
+		res := net.Lookup(net.space.Linear(id), key)
+		if res.Failed || res.Terminal != net.space.Linear(id) || res.PathLength() != 0 {
+			t.Fatalf("lookup in 1-node network: %+v", res)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package cycloid
+
+import (
+	"fmt"
+	"strings"
+
+	"cycloid/internal/ids"
+)
+
+// ref is a routing-state entry: the identifier of another node as last
+// learned. A ref can go stale — the node it names may have departed —
+// which is exactly how the paper's timeout metric arises.
+type ref struct {
+	id ids.CycloidID
+	ok bool // false for an empty entry
+}
+
+func mkref(id ids.CycloidID) ref { return ref{id: id, ok: true} }
+
+// Node is one Cycloid participant. All routing state is stored as IDs,
+// not pointers, so stale entries behave like the paper's: contacting one
+// costs a timeout and forces a leaf-set detour.
+type Node struct {
+	ID ids.CycloidID
+
+	// Routing table (Section 3.1, Table 2).
+	cubical ref // (k-1, a with bit k flipped, low bits arbitrary); empty when k == 0
+	cyclicL ref // first larger node with cyclic index k-1 sharing bits d-1..k
+	cyclicS ref // first smaller such node
+
+	// Leaf sets, closest entry first. insideL/insideR are the
+	// predecessor(s) and successor(s) on the local cycle; outsideL/outsideR
+	// are the primary nodes of the preceding and succeeding remote cycles.
+	insideL  []ref
+	insideR  []ref
+	outsideL []ref
+	outsideR []ref
+}
+
+// leafRefs returns all leaf-set entries in preference-free order.
+func (n *Node) leafRefs() []ref {
+	out := make([]ref, 0, len(n.insideL)+len(n.insideR)+len(n.outsideL)+len(n.outsideR))
+	out = append(out, n.insideL...)
+	out = append(out, n.insideR...)
+	out = append(out, n.outsideL...)
+	out = append(out, n.outsideR...)
+	return out
+}
+
+// allRefs returns every routing-state entry, leaf sets first.
+func (n *Node) allRefs() []ref {
+	out := n.leafRefs()
+	out = append(out, n.cubical, n.cyclicL, n.cyclicS)
+	return out
+}
+
+// TableState is a printable snapshot of a node's routing state, the shape
+// of Table 2 in the paper.
+type TableState struct {
+	ID             ids.CycloidID
+	CubicalPattern string // e.g. "(3,1010xxxx)"
+	Cubical        string
+	CyclicLarger   string
+	CyclicSmaller  string
+	InsideLeft     []string
+	InsideRight    []string
+	OutsideLeft    []string
+	OutsideRight   []string
+}
+
+func fmtRef(r ref, d int) string {
+	if !r.ok {
+		return "-"
+	}
+	return r.id.Format(d)
+}
+
+func fmtRefs(rs []ref, d int) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = fmtRef(r, d)
+	}
+	return out
+}
+
+// cubicalPattern renders the wildcard form of the node's ideal cubical
+// neighbor, e.g. "(3,1010xxxx)" for node (4,10110110) in d=8.
+func cubicalPattern(id ids.CycloidID, d int) string {
+	if id.K == 0 {
+		return "-"
+	}
+	k := int(id.K)
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%d,", k-1)
+	for bit := d - 1; bit >= 0; bit-- {
+		switch {
+		case bit > k:
+			fmt.Fprintf(&b, "%d", (id.A>>uint(bit))&1)
+		case bit == k:
+			fmt.Fprintf(&b, "%d", ((id.A>>uint(bit))&1)^1)
+		default:
+			b.WriteByte('x')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Table returns the node's current routing state rendered in the paper's
+// Table 2 format.
+func (net *Network) Table(id ids.CycloidID) (TableState, error) {
+	n, ok := net.nodes[net.space.Linear(id)]
+	if !ok {
+		return TableState{}, fmt.Errorf("cycloid: node %v not in network", id)
+	}
+	d := net.space.Dim()
+	return TableState{
+		ID:             n.ID,
+		CubicalPattern: cubicalPattern(n.ID, d),
+		Cubical:        fmtRef(n.cubical, d),
+		CyclicLarger:   fmtRef(n.cyclicL, d),
+		CyclicSmaller:  fmtRef(n.cyclicS, d),
+		InsideLeft:     fmtRefs(n.insideL, d),
+		InsideRight:    fmtRefs(n.insideR, d),
+		OutsideLeft:    fmtRefs(n.outsideL, d),
+		OutsideRight:   fmtRefs(n.outsideR, d),
+	}, nil
+}
+
+// String renders the table state over several lines.
+func (t TableState) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %s\n", t.ID)
+	fmt.Fprintf(&b, "  cubical neighbor  %s -> %s\n", t.CubicalPattern, t.Cubical)
+	fmt.Fprintf(&b, "  cyclic neighbors  %s, %s\n", t.CyclicLarger, t.CyclicSmaller)
+	fmt.Fprintf(&b, "  inside leaf set   %v | %v\n", t.InsideLeft, t.InsideRight)
+	fmt.Fprintf(&b, "  outside leaf set  %v | %v\n", t.OutsideLeft, t.OutsideRight)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package cycloid
+
+import (
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+// Lookup routes a request for key from the live node src, implementing the
+// three-phase algorithm of Section 3.2:
+//
+//  1. Ascending — while the current cyclic index is below the most
+//     significant different bit (MSDB) with the target's cubical index,
+//     forward through the outside leaf set (whose entries are primary
+//     nodes, so this usually takes one hop).
+//  2. Descending — when the cyclic index equals the MSDB, take the cubical
+//     neighbor to correct that bit; when it exceeds the MSDB, step the
+//     cyclic index down through cyclic neighbors or the inside leaf set,
+//     preferring nodes that preserve the corrected prefix.
+//  3. Traverse cycle — once the target lies within the span the leaf sets
+//     cover, forward greedily to the leaf-set node numerically closest to
+//     the target until the current node itself is closest.
+//
+// The per-hop decision logic lives in DecideStep and is shared with real
+// transports; this driver adds liveness: contacting a departed node
+// records a timeout and the next candidate is tried, as the paper
+// prescribes. A safety valve switches to pure greedy leaf-set forwarding
+// if phased routing stops making progress (possible only with heavily
+// stale state), which guarantees termination.
+func (net *Network) Lookup(src, key uint64) overlay.Result {
+	res := overlay.Result{Key: key, Source: src}
+	cur, ok := net.nodes[src]
+	if !ok {
+		res.Failed = true
+		return res
+	}
+	t := net.space.FromLinear(key)
+	d := net.space.Dim()
+	window := 4*d + 16
+	budget := 64*d + 128
+
+	greedyOnly := false
+	best := cur.ID
+	sinceImprove := 0
+	for {
+		step := DecideStep(net.space, cur.state(), t, greedyOnly)
+		next, timeouts := net.resolve(step.Candidates)
+		res.Timeouts += timeouts
+		if next == nil {
+			break // cur keeps the request (or every closer entry is dead)
+		}
+		res.Hops = append(res.Hops, overlay.Hop{
+			From:  net.space.Linear(cur.ID),
+			To:    net.space.Linear(next.ID),
+			Phase: step.Phase,
+		})
+		cur = next
+		if net.space.Closer(t, cur.ID, best) {
+			best = cur.ID
+			sinceImprove = 0
+		} else if sinceImprove++; sinceImprove >= window {
+			greedyOnly = true
+		}
+		if len(res.Hops) >= budget {
+			greedyOnly = true
+		}
+		if len(res.Hops) >= 2*budget {
+			// Unreachable in practice; only pathological stale state could
+			// get here. Give up rather than loop.
+			res.Terminal = net.space.Linear(cur.ID)
+			res.Failed = true
+			return res
+		}
+	}
+	res.Terminal = net.space.Linear(cur.ID)
+	res.Failed = len(net.nodes) > 0 && res.Terminal != net.Responsible(key)
+	return res
+}
+
+// resolve walks a preference-ordered candidate list: each departed
+// candidate actually tried costs one timeout; the first live one wins. It
+// returns nil if every candidate is dead or the list is empty.
+func (net *Network) resolve(cands []ids.CycloidID) (*Node, int) {
+	timeouts := 0
+	for _, id := range cands {
+		if n, live := net.nodes[net.space.Linear(id)]; live {
+			return n, timeouts
+		}
+		timeouts++
+	}
+	return nil, timeouts
+}

@@ -1,0 +1,213 @@
+package cycloid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+// TestLookupExhaustiveComplete routes every (source, key) pair of small
+// complete networks and checks exact termination at the responsible node.
+func TestLookupExhaustiveComplete(t *testing.T) {
+	for _, d := range []int{3, 4, 5} {
+		net := mustComplete(t, d)
+		for src := uint64(0); src < net.space.Size(); src++ {
+			for key := uint64(0); key < net.space.Size(); key++ {
+				res := net.Lookup(src, key)
+				if res.Failed {
+					t.Fatalf("d=%d src=%d key=%d failed", d, src, key)
+				}
+				if res.Terminal != key {
+					t.Fatalf("d=%d src=%d key=%d terminal=%d (complete network must land on the key)", d, src, key, res.Terminal)
+				}
+				if res.Timeouts != 0 {
+					t.Fatalf("timeouts in a stable network: %+v", res)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupPaperExample reproduces Figure 4's route shape: from (0,0100)
+// to key (2,1111) in a four-dimensional Cycloid. In the complete network
+// the phases are ascending (1 hop), descending (2 cubical hops), traverse.
+func TestLookupPaperExample(t *testing.T) {
+	net := mustComplete(t, 4)
+	src := net.space.Linear(ids.CycloidID{K: 0, A: 0b0100})
+	key := net.space.Linear(ids.CycloidID{K: 2, A: 0b1111})
+	res := net.Lookup(src, key)
+	if res.Failed || res.Terminal != key {
+		t.Fatalf("lookup failed: %+v", res)
+	}
+	wantPhases := []overlay.Phase{
+		overlay.PhaseAscending,
+		overlay.PhaseDescending,
+		overlay.PhaseDescending,
+		overlay.PhaseTraverse,
+	}
+	if len(res.Hops) != len(wantPhases) {
+		t.Fatalf("path length = %d, want %d (hops: %+v)", len(res.Hops), len(wantPhases), res.Hops)
+	}
+	for i, h := range res.Hops {
+		if h.Phase != wantPhases[i] {
+			t.Errorf("hop %d phase = %v, want %v", i, h.Phase, wantPhases[i])
+		}
+	}
+	// The ascending hop must land on a primary node of an adjacent cycle.
+	first := net.space.FromLinear(res.Hops[0].To)
+	if first.K != 3 {
+		t.Errorf("ascending hop landed on %v, want a primary (k=3)", first)
+	}
+}
+
+// TestLookupRandomSparse checks exact termination on random sparse
+// networks for both the 7- and 11-entry configurations.
+func TestLookupRandomSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, cfg := range []Config{{Dim: 5, LeafHalf: 1}, {Dim: 5, LeafHalf: 2}} {
+		for _, n := range []int{1, 2, 3, 10, 40, 100, 160} {
+			net := mustRandom(t, cfg, n, rng.Int63())
+			for trial := 0; trial < 300; trial++ {
+				src := overlay.RandomNode(net, rng)
+				key := overlay.RandomKey(net, rng)
+				res := net.Lookup(src, key)
+				want := bruteResponsible(net, key)
+				if res.Failed || res.Terminal != want {
+					t.Fatalf("cfg=%+v n=%d src=%d key=%d: terminal=%d failed=%v, want %d",
+						cfg, n, src, key, res.Terminal, res.Failed, want)
+				}
+				if res.Timeouts != 0 {
+					t.Fatalf("timeouts in a stable network: %+v", res)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupQuickProperty drives randomized network shapes through
+// testing/quick: every lookup must terminate at the brute-force
+// responsible node.
+func TestLookupQuickProperty(t *testing.T) {
+	cfg := Config{Dim: 4, LeafHalf: 1}
+	f := func(seed int64, nRaw uint8, srcRaw, keyRaw uint16) bool {
+		n := 1 + int(nRaw)%64
+		net, err := NewRandom(cfg, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		src := net.NodeIDs()[int(srcRaw)%n]
+		key := uint64(keyRaw) % net.space.Size()
+		res := net.Lookup(src, key)
+		return !res.Failed && res.Terminal == bruteResponsible(net, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLookupPathLengthIsOrderD verifies the headline claim: mean path
+// length stays within a small multiple of d on complete networks.
+func TestLookupPathLengthIsOrderD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{5, 6, 7, 8} {
+		net := mustComplete(t, d)
+		total, trials := 0, 2000
+		for i := 0; i < trials; i++ {
+			src := overlay.RandomNode(net, rng)
+			key := overlay.RandomKey(net, rng)
+			res := net.Lookup(src, key)
+			if res.Failed {
+				t.Fatalf("d=%d: lookup failed", d)
+			}
+			total += res.PathLength()
+		}
+		mean := float64(total) / float64(trials)
+		if mean > 2.5*float64(d) {
+			t.Errorf("d=%d: mean path length %.2f exceeds 2.5d", d, mean)
+		}
+		if mean < 1 {
+			t.Errorf("d=%d: implausibly short mean path %.2f", d, mean)
+		}
+	}
+}
+
+// TestElevenEntryNotSlower checks the leaf-set width trade-off the paper
+// reports: the 11-entry variant should not lengthen paths.
+func TestElevenEntryNotSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n7 := mustRandom(t, Config{Dim: 7, LeafHalf: 1}, 500, 77)
+	n11 := mustRandom(t, Config{Dim: 7, LeafHalf: 2}, 500, 77)
+	var t7, t11 int
+	for i := 0; i < 3000; i++ {
+		src7 := overlay.RandomNode(n7, rng)
+		key := overlay.RandomKey(n7, rng)
+		t7 += n7.Lookup(src7, key).PathLength()
+		src11 := n11.NodeIDs()[0]
+		t11 += n11.Lookup(src11, key).PathLength()
+	}
+	// Different node sets, so only compare loosely.
+	if float64(t11) > 1.15*float64(t7) {
+		t.Errorf("11-entry paths (%d) much longer than 7-entry (%d)", t11, t7)
+	}
+}
+
+// TestLookupFromEveryNodeSparse exercises lookups whose source is in every
+// structural position (primaries, k=0 nodes, singleton cycles).
+func TestLookupFromEveryNodeSparse(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 6, LeafHalf: 1}, 60, 1234)
+	rng := rand.New(rand.NewSource(4321))
+	for _, src := range net.NodeIDs() {
+		key := overlay.RandomKey(net, rng)
+		res := net.Lookup(src, key)
+		if res.Failed || res.Terminal != bruteResponsible(net, key) {
+			t.Fatalf("src=%d key=%d: %+v", src, key, res)
+		}
+	}
+}
+
+// TestLookupUnknownSource verifies a lookup from a dead source fails fast.
+func TestLookupUnknownSource(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 4, LeafHalf: 1}, 4, 9)
+	var free uint64
+	for v := uint64(0); v < net.space.Size(); v++ {
+		if !net.Contains(v) {
+			free = v
+			break
+		}
+	}
+	res := net.Lookup(free, 0)
+	if !res.Failed {
+		t.Error("lookup from absent source should fail")
+	}
+}
+
+// TestHopsAreRealEdges checks that every recorded hop goes to a node the
+// forwarding node actually references (or referenced) — no teleporting.
+func TestHopsAreRealEdges(t *testing.T) {
+	net := mustComplete(t, 6)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		src := overlay.RandomNode(net, rng)
+		key := overlay.RandomKey(net, rng)
+		res := net.Lookup(src, key)
+		for _, h := range res.Hops {
+			from := net.nodes[h.From]
+			if from == nil {
+				t.Fatalf("hop from dead node %d", h.From)
+			}
+			found := false
+			for _, r := range from.allRefs() {
+				if r.ok && net.space.Linear(r.id) == h.To {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("hop %d->%d is not a routing-state edge", h.From, h.To)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package cycloid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+func TestNodeStateSnapshot(t *testing.T) {
+	net := mustComplete(t, 5)
+	id := ids.CycloidID{K: 3, A: 0b10110}
+	s, ok := net.State(id)
+	if !ok {
+		t.Fatal("State of live node not found")
+	}
+	if s.ID != id {
+		t.Fatalf("snapshot ID = %v", s.ID)
+	}
+	if s.Cubical == nil || *s.Cubical != (ids.CycloidID{K: 2, A: 0b11110}) {
+		t.Fatalf("cubical = %v", s.Cubical)
+	}
+	if len(s.InsideL) != 1 || len(s.OutsideR) != 1 {
+		t.Fatalf("leaf widths: %d/%d", len(s.InsideL), len(s.OutsideR))
+	}
+	if len(s.LeafSet()) != 4 {
+		t.Fatalf("LeafSet size = %d, want 4", len(s.LeafSet()))
+	}
+	if _, ok := net.State(ids.CycloidID{K: 4, A: 31}); !ok {
+		t.Fatal("State of another live node not found")
+	}
+}
+
+func TestStateOfAbsentNode(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 4, LeafHalf: 1}, 3, 1)
+	for v := uint64(0); v < net.space.Size(); v++ {
+		if !net.Contains(v) {
+			if _, ok := net.State(net.space.FromLinear(v)); ok {
+				t.Fatal("State of absent node should report !ok")
+			}
+			return
+		}
+	}
+}
+
+// TestDecideStepDeterministic verifies the decision is a pure function of
+// (state, target): same inputs, same outputs.
+func TestDecideStepDeterministic(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 6, LeafHalf: 1}, 80, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		src := overlay.RandomNode(net, rng)
+		s, _ := net.State(net.space.FromLinear(src))
+		target := net.space.FromLinear(overlay.RandomKey(net, rng))
+		a := DecideStep(net.space, s, target, false)
+		b := DecideStep(net.space, s, target, false)
+		if a.Phase != b.Phase || !reflect.DeepEqual(a.Candidates, b.Candidates) {
+			t.Fatalf("DecideStep not deterministic: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// TestDecideStepNeverProposesSelf checks candidates exclude the deciding
+// node and contain no duplicates.
+func TestDecideStepNeverProposesSelf(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 5, LeafHalf: 2}, 60, 4)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		id := net.space.FromLinear(overlay.RandomNode(net, rng))
+		s, _ := net.State(id)
+		target := net.space.FromLinear(overlay.RandomKey(net, rng))
+		step := DecideStep(net.space, s, target, trial%2 == 0)
+		seen := map[ids.CycloidID]bool{}
+		for _, c := range step.Candidates {
+			if c == id {
+				t.Fatalf("candidate list contains the deciding node: %+v", step)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate candidate %v", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// TestDecideStepEmptyMeansResponsible: a node with no candidates for a
+// target must be the network's responsible node for it.
+func TestDecideStepEmptyMeansResponsible(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 5, LeafHalf: 1}, 40, 6)
+	for _, v := range net.NodeIDs() {
+		id := net.space.FromLinear(v)
+		s, _ := net.State(id)
+		for key := uint64(0); key < net.space.Size(); key++ {
+			target := net.space.FromLinear(key)
+			step := DecideStep(net.space, s, target, false)
+			if len(step.Candidates) == 0 && net.Responsible(key) != v {
+				t.Fatalf("node %v keeps key %v but responsible is %v",
+					id, target, net.space.FromLinear(net.Responsible(key)))
+			}
+		}
+	}
+}
+
+// TestDecideStepGreedyImproves: in greedy-only mode every candidate must
+// be strictly closer to the target than the deciding node.
+func TestDecideStepGreedyImproves(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 6, LeafHalf: 1}, 100, 7)
+	f := func(srcRaw, keyRaw uint16) bool {
+		nodes := net.NodeIDs()
+		id := net.space.FromLinear(nodes[int(srcRaw)%len(nodes)])
+		s, _ := net.State(id)
+		target := net.space.FromLinear(uint64(keyRaw) % net.space.Size())
+		step := DecideStep(net.space, s, target, true)
+		for _, c := range step.Candidates {
+			if !net.space.Closer(target, c, id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecideStepCandidatesAreKnown: every candidate must come from the
+// node's own routing state — no invented identities.
+func TestDecideStepCandidatesAreKnown(t *testing.T) {
+	net := mustRandom(t, Config{Dim: 6, LeafHalf: 2}, 90, 8)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		id := net.space.FromLinear(overlay.RandomNode(net, rng))
+		s, _ := net.State(id)
+		known := map[ids.CycloidID]bool{}
+		for _, e := range s.LeafSet() {
+			known[e] = true
+		}
+		for _, p := range []*ids.CycloidID{s.Cubical, s.CyclicL, s.CyclicS} {
+			if p != nil {
+				known[*p] = true
+			}
+		}
+		target := net.space.FromLinear(overlay.RandomKey(net, rng))
+		for _, c := range DecideStep(net.space, s, target, false).Candidates {
+			if !known[c] {
+				t.Fatalf("candidate %v not in node %v's routing state", c, id)
+			}
+		}
+	}
+}
+
+// TestFailLeavesEverythingStale covers the ungraceful-failure extension at
+// the unit level: leaf sets of other nodes keep referencing the failed
+// node until stabilization.
+func TestFailLeavesEverythingStale(t *testing.T) {
+	net := mustComplete(t, 4)
+	victim := ids.CycloidID{K: 2, A: 7}
+	if err := net.Fail(net.space.Linear(victim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Fail(net.space.Linear(victim)); err != ErrUnknownNode {
+		t.Fatalf("double Fail = %v, want ErrUnknownNode", err)
+	}
+	// The victim's cycle successor still references it.
+	succ := net.nodes[net.space.Linear(ids.CycloidID{K: 3, A: 7})]
+	if succ.insideL[0].id != victim {
+		t.Fatalf("inside leaf should be stale, got %v", succ.insideL[0].id)
+	}
+	if net.Maintenance().Failures != 1 {
+		t.Fatalf("failure counter = %d", net.Maintenance().Failures)
+	}
+	// Stabilization repairs it.
+	net.Stabilize(net.space.Linear(ids.CycloidID{K: 3, A: 7}))
+	if succ.insideL[0].id == victim {
+		t.Fatal("stabilization did not repair the stale leaf entry")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cycloid/internal/cycloid"
+	"cycloid/internal/stats"
+	"cycloid/internal/workload"
+)
+
+// AblationLeafSetOptions parameterizes the leaf-set width ablation: the
+// 7- vs 11-entry trade-off the paper evaluates, extended to wider sets.
+type AblationLeafSetOptions struct {
+	// Halves are the leaf-set half-widths to sweep (1 = 7 entries,
+	// 2 = 11, 3 = 15, 4 = 19).
+	Halves []int
+	// Dims are the Cycloid dimensions, default {6, 7, 8}.
+	Dims []int
+	// LookupBudget caps lookups per network.
+	LookupBudget int
+	Seed         int64
+}
+
+func (o *AblationLeafSetOptions) defaults() {
+	if len(o.Halves) == 0 {
+		o.Halves = []int{1, 2, 3, 4}
+	}
+	if len(o.Dims) == 0 {
+		o.Dims = []int{6, 7, 8}
+	}
+	if o.LookupBudget == 0 {
+		o.LookupBudget = 100000
+	}
+}
+
+// RunAblationLeafSet sweeps the Cycloid leaf-set width and reports mean
+// path lengths, quantifying the state-vs-hops trade-off of Section 3.2.
+func RunAblationLeafSet(o AblationLeafSetOptions) (Table, error) {
+	o.defaults()
+	t := Table{
+		Caption: "Ablation: Cycloid leaf-set width vs. mean path length",
+		Header:  []string{"n"},
+	}
+	for _, h := range o.Halves {
+		t.Header = append(t.Header, fmt.Sprintf("%d entries", cycloid.Config{Dim: 8, LeafHalf: h}.TableEntries()))
+	}
+	for _, d := range o.Dims {
+		n := d << uint(d)
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, h := range o.Halves {
+			net, err := cycloid.NewComplete(cycloid.Config{Dim: d, LeafHalf: h})
+			if err != nil {
+				return Table{}, err
+			}
+			rng := rand.New(rand.NewSource(o.Seed + int64(d*10+h)))
+			var paths stats.Sample
+			lookups := o.LookupBudget / 4
+			workload.RandomPairs(net, lookups, rng, func(l workload.Lookup) {
+				r := net.Lookup(l.Src, l.Key)
+				if !r.Failed {
+					paths.AddInt(r.PathLength())
+				}
+			})
+			row = append(row, f2(paths.Mean()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblationStabilizationOptions parameterizes the stabilization-interval
+// ablation under churn.
+type AblationStabilizationOptions struct {
+	// Intervals are the per-node stabilization periods in seconds.
+	Intervals []float64
+	// Rate is the join/leave rate, default 0.20/s.
+	Rate float64
+	// Nodes and Lookups as in ChurnOptions (smaller defaults here).
+	Nodes   int
+	Lookups int
+	Seed    int64
+}
+
+func (o *AblationStabilizationOptions) defaults() {
+	if len(o.Intervals) == 0 {
+		o.Intervals = []float64{10, 30, 60, 120}
+	}
+	if o.Rate == 0 {
+		o.Rate = 0.20
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 2048
+	}
+	if o.Lookups == 0 {
+		o.Lookups = 4000
+	}
+}
+
+// RunAblationStabilization sweeps the stabilization interval for the
+// 7-entry Cycloid at a fixed churn rate: longer intervals leave stale
+// routing tables alive longer, trading maintenance traffic for timeouts.
+func RunAblationStabilization(o AblationStabilizationOptions) (Table, error) {
+	o.defaults()
+	t := Table{
+		Caption: fmt.Sprintf("Ablation: Cycloid stabilization interval at churn rate %.2f/s", o.Rate),
+		Header:  []string{"interval (s)", "mean path", "timeouts/lookup", "failures"},
+	}
+	for _, iv := range o.Intervals {
+		res, err := RunChurn(ChurnOptions{
+			Nodes:          o.Nodes,
+			Rates:          []float64{o.Rate},
+			Lookups:        o.Lookups,
+			StabilizeEvery: iv,
+			Seed:           o.Seed,
+			DHTs:           []string{"cycloid-7"},
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		c := res.Cells["cycloid-7"][0]
+		t.Rows = append(t.Rows, []string{
+			f0(iv), f2(c.MeanPath), fmt.Sprintf("%.3f", c.Timeouts.Mean), fmt.Sprintf("%d", c.Failures),
+		})
+	}
+	return t, nil
+}

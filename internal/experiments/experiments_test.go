@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig5Shape asserts the paper's headline comparison: Cycloid yields
+// the best average-case location efficiency among the constant-degree
+// DHTs, with Viceroy far behind.
+func TestFig5Shape(t *testing.T) {
+	r, err := RunPathLength(PathLengthOptions{
+		Dims:         []int{5, 6, 7, 8},
+		LookupBudget: 20000,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Dims {
+		c7 := r.Cells["cycloid-7"][i].MeanPath
+		c11 := r.Cells["cycloid-11"][i].MeanPath
+		vic := r.Cells["viceroy"][i].MeanPath
+		koo := r.Cells["koorde"][i].MeanPath
+		n := r.Cells["cycloid-7"][i].Nodes
+		if c7 <= 0 || vic <= 0 || koo <= 0 {
+			t.Fatalf("n=%d: zero path lengths", n)
+		}
+		if vic <= c7 {
+			t.Errorf("n=%d: viceroy (%.2f) should be slower than cycloid-7 (%.2f)", n, vic, c7)
+		}
+		if koo <= c7 {
+			t.Errorf("n=%d: koorde (%.2f) should be slower than cycloid-7 (%.2f)", n, koo, c7)
+		}
+		if c11 > c7*1.05 {
+			t.Errorf("n=%d: cycloid-11 (%.2f) should not be slower than cycloid-7 (%.2f)", n, c11, c7)
+		}
+		if r.Cells["cycloid-7"][i].Failures > 0 {
+			t.Errorf("n=%d: cycloid failures in a stable network", n)
+		}
+	}
+	// Viceroy is "more than two times" Cycloid at the larger sizes.
+	last := len(r.Dims) - 1
+	if ratio := r.Cells["viceroy"][last].MeanPath / r.Cells["cycloid-7"][last].MeanPath; ratio < 1.7 {
+		t.Errorf("viceroy/cycloid ratio %.2f at n=2048, want > 1.7", ratio)
+	}
+}
+
+// TestFig7Shape asserts the phase-breakdown claims of Section 4.1.
+func TestFig7Shape(t *testing.T) {
+	r, err := RunPathLength(PathLengthOptions{
+		Dims:         []int{7, 8},
+		LookupBudget: 20000,
+		Seed:         2,
+		DHTs:         []string{"cycloid-7", "viceroy", "koorde"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Dims {
+		cy := r.Cells["cycloid-7"][i]
+		total := cy.PhaseMean["ascending"] + cy.PhaseMean["descending"] + cy.PhaseMean["traverse"]
+		if asc := cy.PhaseMean["ascending"] / total; asc > 0.25 {
+			t.Errorf("cycloid ascending share %.2f, paper says up to ~15%%", asc)
+		}
+		vi := r.Cells["viceroy"][i]
+		vtotal := vi.PhaseMean["ascending"] + vi.PhaseMean["descending"] + vi.PhaseMean["traverse"]
+		vasc := vi.PhaseMean["ascending"] / vtotal
+		if vasc < 0.15 || vasc > 0.50 {
+			t.Errorf("viceroy ascending share %.2f, paper says ~30%%", vasc)
+		}
+		// Viceroy's ascending phase costs (log n)/2 steps; Cycloid's about
+		// one. Their shares must reflect that ordering.
+		if vi.PhaseMean["ascending"] <= cy.PhaseMean["ascending"] {
+			t.Errorf("viceroy ascending hops (%.2f) should exceed cycloid's (%.2f)",
+				vi.PhaseMean["ascending"], cy.PhaseMean["ascending"])
+		}
+		ko := r.Cells["koorde"][i]
+		share := ko.PhaseMean["successor"] / (ko.PhaseMean["successor"] + ko.PhaseMean["debruijn"])
+		if share < 0.10 || share > 0.55 {
+			t.Errorf("koorde successor share %.2f in dense network, paper says ~30%%", share)
+		}
+	}
+}
+
+// TestFig8Shape asserts the key-distribution claims: Cycloid matches
+// Chord/Koorde in a dense network, Viceroy is far more imbalanced.
+func TestFig8Shape(t *testing.T) {
+	r, err := RunKeyDistribution(KeyDistributionOptions{
+		Nodes:     2000,
+		KeyCounts: []int{20000, 100000},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.KeyCounts {
+		cy := r.Summary["cycloid-7"][i]
+		vi := r.Summary["viceroy"][i]
+		ko := r.Summary["koorde"][i]
+		if vi.P99 <= cy.P99 {
+			t.Errorf("keycount %d: viceroy p99 (%.0f) should exceed cycloid p99 (%.0f)", r.KeyCounts[i], vi.P99, cy.P99)
+		}
+		if cy.P99 > ko.P99*1.5 {
+			t.Errorf("keycount %d: cycloid p99 (%.0f) should be comparable to koorde (%.0f)", r.KeyCounts[i], cy.P99, ko.P99)
+		}
+		wantMean := float64(r.KeyCounts[i]) / 2000
+		if cy.Mean < wantMean*0.95 || cy.Mean > wantMean*1.05 {
+			t.Errorf("cycloid mean %.2f, want ~%.2f", cy.Mean, wantMean)
+		}
+	}
+}
+
+// TestFig9Shape asserts the sparse-network claim: Cycloid balances keys
+// better than Koorde when only half the ID space is occupied.
+func TestFig9Shape(t *testing.T) {
+	r, err := RunKeyDistribution(KeyDistributionOptions{
+		Nodes:     1000,
+		KeyCounts: []int{100000},
+		Seed:      4,
+		DHTs:      []string{"cycloid-7", "koorde"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy := r.Summary["cycloid-7"][0]
+	ko := r.Summary["koorde"][0]
+	if cy.P99 >= ko.P99 {
+		t.Errorf("sparse network: cycloid p99 (%.0f) should be below koorde p99 (%.0f)", cy.P99, ko.P99)
+	}
+	if cy.Var >= ko.Var {
+		t.Errorf("sparse network: cycloid variance (%.1f) should be below koorde's (%.1f)", cy.Var, ko.Var)
+	}
+}
+
+// TestFig10Shape asserts the query-load claim: Cycloid has the smallest
+// load variation among the constant-degree DHTs.
+func TestFig10Shape(t *testing.T) {
+	r, err := RunQueryLoad(QueryLoadOptions{
+		Sizes:        []int{2048},
+		LookupBudget: 40000,
+		Seed:         5,
+		DHTs:         []string{"cycloid-7", "viceroy", "koorde"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy := r.Summary["cycloid-7"][0]
+	vi := r.Summary["viceroy"][0]
+	ko := r.Summary["koorde"][0]
+	cyRel := cy.P99 / cy.Mean
+	viRel := vi.P99 / vi.Mean
+	koRel := ko.P99 / ko.Mean
+	if cyRel >= viRel {
+		t.Errorf("cycloid relative p99 load %.2f should be below viceroy's %.2f", cyRel, viRel)
+	}
+	if cyRel >= koRel {
+		t.Errorf("cycloid relative p99 load %.2f should be below koorde's %.2f", cyRel, koRel)
+	}
+}
+
+// TestFailuresShape asserts Section 4.3: everyone but Koorde resolves all
+// lookups; Viceroy sees no timeouts and shrinking paths; Cycloid's
+// timeouts grow with p.
+func TestFailuresShape(t *testing.T) {
+	r, err := RunFailures(FailureOptions{
+		Nodes:   2048,
+		Probs:   []float64{0.1, 0.5},
+		Lookups: 2500,
+		Seed:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Probs {
+		for _, name := range []string{"cycloid-7", "cycloid-11", "viceroy", "chord"} {
+			if f := r.Cells[name][i].Failures; f > 0 {
+				t.Errorf("%s: %d failures at p=%.1f, want 0", name, f, r.Probs[i])
+			}
+		}
+		if to := r.Cells["viceroy"][i].Timeouts.Mean; to != 0 {
+			t.Errorf("viceroy timeouts %.3f at p=%.1f, want 0", to, r.Probs[i])
+		}
+	}
+	if r.Cells["koorde"][1].Failures == 0 {
+		t.Error("koorde should fail some lookups at p=0.5")
+	}
+	cyLow, cyHigh := r.Cells["cycloid-7"][0].Timeouts.Mean, r.Cells["cycloid-7"][1].Timeouts.Mean
+	if cyHigh <= cyLow {
+		t.Errorf("cycloid timeouts should grow with p: %.2f -> %.2f", cyLow, cyHigh)
+	}
+	if cyLow <= 0 {
+		t.Error("cycloid should see some timeouts at p=0.1")
+	}
+	viLow, viHigh := r.Cells["viceroy"][0].MeanPath, r.Cells["viceroy"][1].MeanPath
+	if viHigh >= viLow {
+		t.Errorf("viceroy path should shrink with departures: %.2f -> %.2f", viLow, viHigh)
+	}
+	chLow, chHigh := r.Cells["chord"][0].Timeouts.Mean, r.Cells["chord"][1].Timeouts.Mean
+	if chHigh <= chLow {
+		t.Errorf("chord timeouts should grow with p: %.2f -> %.2f", chLow, chHigh)
+	}
+	// Koorde's backup promotion keeps its timeout counts below Cycloid's.
+	if ko := r.Cells["koorde"][1].Timeouts.Mean; ko >= cyHigh {
+		t.Errorf("koorde timeouts (%.2f) should stay below cycloid's (%.2f)", ko, cyHigh)
+	}
+}
+
+// TestChurnShape asserts Section 4.4: with stabilization, path lengths
+// stay near the stable-network value, timeouts stay small, and no lookups
+// fail.
+func TestChurnShape(t *testing.T) {
+	r, err := RunChurn(ChurnOptions{
+		Nodes:   2048,
+		Rates:   []float64{0.05, 0.40},
+		Lookups: 1200,
+		Seed:    7,
+		DHTs:    []string{"cycloid-7", "viceroy", "koorde", "chord"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cycloid-7", "viceroy", "koorde", "chord"} {
+		for i := range r.Rates {
+			c := r.Cells[name][i]
+			if c.Failures > c.Lookups/100 {
+				t.Errorf("%s at R=%.2f: %d failures of %d lookups", name, c.Rate, c.Failures, c.Lookups)
+			}
+			if c.Timeouts.Mean > 1.0 {
+				t.Errorf("%s at R=%.2f: timeout mean %.3f, stabilization should keep it small", name, c.Rate, c.Timeouts.Mean)
+			}
+		}
+		if r.Cells[name][0].Joins == 0 && name != "cycloid-7" {
+			t.Errorf("%s: no joins happened", name)
+		}
+	}
+	// Cycloid's churn path length stays near its stable value (~9 at 2048).
+	for i := range r.Rates {
+		if p := r.Cells["cycloid-7"][i].MeanPath; p < 5 || p > 13 {
+			t.Errorf("cycloid churn path %.2f at R=%.2f outside the stable band", p, r.Rates[i])
+		}
+	}
+	if to := r.Cells["viceroy"][1].Timeouts.Mean; to != 0 {
+		t.Errorf("viceroy should have no timeouts under churn, got %.3f", to)
+	}
+}
+
+// TestSparsityShape asserts Section 4.5: sparsity leaves Cycloid's
+// efficiency intact (path even shrinks slightly) while Koorde's successor
+// walks lengthen.
+func TestSparsityShape(t *testing.T) {
+	r, err := RunSparsity(SparsityOptions{
+		Sparsities: []float64{0, 0.5, 0.9},
+		Lookups:    3000,
+		Seed:       8,
+		DHTs:       []string{"cycloid-7", "koorde", "viceroy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy0 := r.Cells["cycloid-7"][0].MeanPath
+	cy9 := r.Cells["cycloid-7"][2].MeanPath
+	if cy9 > cy0 {
+		t.Errorf("cycloid path should not grow with sparsity: %.2f -> %.2f", cy0, cy9)
+	}
+	ko0 := r.Cells["koorde"][0]
+	ko9 := r.Cells["koorde"][2]
+	share := func(c SparsityCell) float64 {
+		d, s := c.PhaseMean["debruijn"], c.PhaseMean["successor"]
+		return s / (d + s)
+	}
+	if share(ko9) <= share(ko0) {
+		t.Errorf("koorde successor share should grow with sparsity: %.2f -> %.2f", share(ko0), share(ko9))
+	}
+	for i := range r.Sparsities {
+		for _, name := range []string{"cycloid-7", "koorde", "viceroy"} {
+			if f := r.Cells[name][i].Failures; f > 0 {
+				t.Errorf("%s: %d failures at sparsity %.1f", name, f, r.Sparsities[i])
+			}
+		}
+	}
+}
+
+// TestStaticTables sanity-checks the definitional tables.
+func TestStaticTables(t *testing.T) {
+	t2, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t2.String()
+	if !strings.Contains(out, "(3,1010xxxx)") {
+		t.Errorf("table2 missing the paper's cubical pattern:\n%s", out)
+	}
+	t3 := RunTable3()
+	if len(t3.Rows) != 4 {
+		t.Errorf("table3 rows = %d", len(t3.Rows))
+	}
+}
+
+// TestAblationLeafSet verifies wider leaf sets never lengthen paths.
+func TestAblationLeafSet(t *testing.T) {
+	tab, err := RunAblationLeafSet(AblationLeafSetOptions{
+		Halves:       []int{1, 4},
+		Dims:         []int{7},
+		LookupBudget: 20000,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 3 {
+		t.Fatalf("unexpected table shape: %+v", tab.Rows)
+	}
+	var narrow, wide float64
+	if _, err := parseF(tab.Rows[0][1], &narrow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseF(tab.Rows[0][2], &wide); err != nil {
+		t.Fatal(err)
+	}
+	if wide > narrow*1.02 {
+		t.Errorf("19-entry Cycloid (%.2f) should not be slower than 7-entry (%.2f)", wide, narrow)
+	}
+}
+
+// TestRegistryRunsQuick smoke-runs cheap experiments end to end through
+// the registry, the same path cmd/cycloid-bench uses.
+func TestRegistryRunsQuick(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"table2", "table3"} {
+		var sb strings.Builder
+		if err := reg[id].Run(&sb, RunConfig{Seed: 1, Quick: true}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+	if len(IDs()) < 15 {
+		t.Errorf("registry has %d experiments, expected all tables and figures", len(IDs()))
+	}
+}

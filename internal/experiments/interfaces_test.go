@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"cycloid/internal/chord"
+	"cycloid/internal/cycloid"
+	"cycloid/internal/koorde"
+	"cycloid/internal/overlay"
+	"cycloid/internal/viceroy"
+)
+
+// Compile-time checks: every DHT implements the full Churner surface the
+// experiment harness drives.
+var (
+	_ overlay.Churner = (*cycloid.Network)(nil)
+	_ overlay.Churner = (*chord.Network)(nil)
+	_ overlay.Churner = (*koorde.Network)(nil)
+	_ overlay.Churner = (*viceroy.Network)(nil)
+)

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+// TestCrossDHTInvariants checks properties every DHT implementation must
+// satisfy, uniformly across all five systems:
+//
+//  1. lookups are deterministic (same source, same key, same route),
+//  2. the terminal never depends on the source (consistent placement),
+//  3. a lookup from the responsible node itself takes zero hops,
+//  4. every hop's From is the previous hop's To (contiguous routes),
+//  5. Responsible agrees with the lookup terminal.
+func TestCrossDHTInvariants(t *testing.T) {
+	for _, name := range DHTNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			net, err := Build(name, 300, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(22))
+			for trial := 0; trial < 200; trial++ {
+				key := overlay.RandomKey(net, rng)
+				owner := net.Responsible(key)
+
+				// (3) zero hops from the owner.
+				self := net.Lookup(owner, key)
+				if self.PathLength() != 0 || self.Terminal != owner || self.Failed {
+					t.Fatalf("lookup from owner: %+v", self)
+				}
+
+				srcA := overlay.RandomNode(net, rng)
+				srcB := overlay.RandomNode(net, rng)
+				ra1 := net.Lookup(srcA, key)
+				ra2 := net.Lookup(srcA, key)
+				rb := net.Lookup(srcB, key)
+
+				// (1) determinism.
+				if ra1.Terminal != ra2.Terminal || ra1.PathLength() != ra2.PathLength() {
+					t.Fatalf("nondeterministic lookup: %+v vs %+v", ra1, ra2)
+				}
+				// (2) source independence and (5) placement agreement.
+				if ra1.Terminal != rb.Terminal || ra1.Terminal != owner {
+					t.Fatalf("terminals disagree: %d vs %d vs owner %d", ra1.Terminal, rb.Terminal, owner)
+				}
+				// (4) route contiguity.
+				prev := srcA
+				for _, h := range ra1.Hops {
+					if h.From != prev {
+						t.Fatalf("discontiguous route: hop from %d, expected %d", h.From, prev)
+					}
+					prev = h.To
+				}
+				if len(ra1.Hops) > 0 && prev != ra1.Terminal {
+					t.Fatalf("route does not end at the terminal")
+				}
+			}
+		})
+	}
+}
+
+// TestCrossDHTChurnInvariants drives every DHT through the same
+// join/leave/stabilize cycle and re-checks lookup exactness.
+func TestCrossDHTChurnInvariants(t *testing.T) {
+	for _, name := range DHTNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			net, err := Build(name, 200, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(32))
+			for i := 0; i < 60; i++ {
+				if _, err := net.Join(rng); err != nil {
+					t.Fatal(err)
+				}
+				if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range append([]uint64(nil), net.NodeIDs()...) {
+				net.Stabilize(id)
+			}
+			if net.Size() != 200 {
+				t.Fatalf("size drifted to %d", net.Size())
+			}
+			for trial := 0; trial < 150; trial++ {
+				key := overlay.RandomKey(net, rng)
+				r := net.Lookup(overlay.RandomNode(net, rng), key)
+				if r.Failed || r.Terminal != net.Responsible(key) {
+					t.Fatalf("post-churn lookup diverged: %+v want %d", r, net.Responsible(key))
+				}
+				if r.Timeouts != 0 {
+					t.Fatalf("timeouts after full stabilization: %+v", r)
+				}
+			}
+		})
+	}
+}

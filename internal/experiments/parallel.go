@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelDo runs fn(i) for every i in [0, n) across GOMAXPROCS workers
+// and returns the first error. Experiment cells (one DHT at one parameter
+// point) are mutually independent — each builds its own network and owns
+// its own RNG — so the sweeps parallelize without changing any result.
+func parallelDo(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// parseF parses a float cell rendered by the table writers.
+func parseF(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", out)
+}

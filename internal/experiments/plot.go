@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the table as comma-separated values for downstream plotting
+// tools, quoting cells that contain commas.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Plot renders the table as an ASCII line chart, the shape the paper's
+// figures plot: the first column is the X axis, every further column is
+// one series (cells may carry percentile annotations — only the leading
+// number is plotted). Returns an empty string when the table has no
+// plottable numeric data.
+func (t Table) Plot(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	type series struct {
+		name string
+		ys   []float64
+	}
+	var xs []float64
+	var all []series
+	for ci := 1; ci < len(t.Header); ci++ {
+		all = append(all, series{name: t.Header[ci]})
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return ""
+		}
+		x, err := leadingFloat(row[0])
+		if err != nil {
+			return ""
+		}
+		xs = append(xs, x)
+		for ci := 1; ci < len(row); ci++ {
+			y, err := leadingFloat(row[ci])
+			if err != nil {
+				return ""
+			}
+			all[ci-1].ys = append(all[ci-1].ys, y)
+		}
+	}
+	if len(xs) < 2 || len(all) == 0 {
+		return ""
+	}
+
+	xmin, xmax := minMax(xs)
+	var ymin, ymax float64 = math.Inf(1), math.Inf(-1)
+	for _, s := range all {
+		lo, hi := minMax(s.ys)
+		ymin, ymax = math.Min(ymin, lo), math.Max(ymax, hi)
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range all {
+		mark := marks[si%len(marks)]
+		for i := range xs {
+			col := int(math.Round((xs[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((ymax - s.ys[i]) / (ymax - ymin) * float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Caption)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s%-*g%g\n", " ", width-len(fmt.Sprint(xmax))+1, xmin, xmax)
+	b.WriteString("        ")
+	for si, s := range all {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", marks[si%len(marks)], s.name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// leadingFloat parses the leading numeric token of a cell like
+// "8.69" or "0.94 (0, 5)".
+func leadingFloat(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("no number in %q", s)
+	}
+	return strconv.ParseFloat(s[:end], 64)
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return lo, hi
+}

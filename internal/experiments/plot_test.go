@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	return Table{
+		Caption: "sample figure",
+		Header:  []string{"n", "cycloid-7", "viceroy"},
+		Rows: [][]string{
+			{"24", "2.28", "5.42"},
+			{"160", "4.86", "9.86"},
+			{"2048", "8.69", "17.55"},
+		},
+	}
+}
+
+func TestCSV(t *testing.T) {
+	got := sampleTable().CSV()
+	want := "n,cycloid-7,viceroy\n24,2.28,5.42\n160,4.86,9.86\n2048,8.69,17.55\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := Table{
+		Header: []string{"p", "timeouts"},
+		Rows:   [][]string{{"0.10", `0.94 (0, 5)`}, {"0.20", `say "hi"`}},
+	}
+	got := tab.CSV()
+	if !strings.Contains(got, `"0.94 (0, 5)"`) {
+		t.Errorf("comma cell not quoted:\n%s", got)
+	}
+	if !strings.Contains(got, `"say ""hi"""`) {
+		t.Errorf("quote cell not escaped:\n%s", got)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	out := sampleTable().Plot(60, 12)
+	if out == "" {
+		t.Fatal("Plot returned empty for a numeric table")
+	}
+	if !strings.Contains(out, "sample figure") {
+		t.Error("plot missing caption")
+	}
+	if !strings.Contains(out, "* cycloid-7") || !strings.Contains(out, "o viceroy") {
+		t.Errorf("plot missing legend:\n%s", out)
+	}
+	// The max Y label should appear at the top of the axis.
+	if !strings.Contains(out, "17.55") {
+		t.Errorf("plot missing y-axis max:\n%s", out)
+	}
+	// Both series marks must be drawn somewhere.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("plot missing series marks:\n%s", out)
+	}
+}
+
+func TestPlotHandlesAnnotatedCells(t *testing.T) {
+	tab := Table{
+		Caption: "annotated",
+		Header:  []string{"p", "timeouts"},
+		Rows:    [][]string{{"0.10", "0.94 (0, 5)"}, {"0.50", "7.18 (0, 25)"}},
+	}
+	if tab.Plot(40, 8) == "" {
+		t.Fatal("Plot should parse the leading number of annotated cells")
+	}
+}
+
+func TestPlotRejectsNonNumeric(t *testing.T) {
+	tab := Table{
+		Header: []string{"system", "base"},
+		Rows:   [][]string{{"cycloid", "CCC"}},
+	}
+	if tab.Plot(40, 8) != "" {
+		t.Fatal("Plot should return empty for non-numeric tables")
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	one := Table{Header: []string{"x", "y"}, Rows: [][]string{{"1", "2"}}}
+	if one.Plot(40, 8) != "" {
+		t.Fatal("single-point tables cannot be plotted")
+	}
+	flat := Table{
+		Caption: "flat",
+		Header:  []string{"x", "y"},
+		Rows:    [][]string{{"1", "5"}, {"2", "5"}, {"3", "5"}},
+	}
+	if flat.Plot(40, 8) == "" {
+		t.Fatal("constant series must still plot (degenerate y-range)")
+	}
+}
+
+func TestLeadingFloat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"8.69", 8.69, false},
+		{"0.94 (0, 5)", 0.94, false},
+		{"-3.5x", -3.5, false},
+		{" 42 ", 42, false},
+		{"CCC", 0, true},
+	}
+	for _, c := range cases {
+		got, err := leadingFloat(c.in)
+		if (err != nil) != c.err || (!c.err && got != c.want) {
+			t.Errorf("leadingFloat(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}

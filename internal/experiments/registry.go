@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunConfig is the common knob set cmd/cycloid-bench exposes.
+type RunConfig struct {
+	Seed int64
+	// Quick shrinks workloads by roughly an order of magnitude for smoke
+	// runs; the full defaults match the paper's setup.
+	Quick bool
+	// Lookups overrides the per-experiment lookup count when positive.
+	Lookups int
+	// Format selects the output rendering: "table" (default, the paper's
+	// layout), "csv" for downstream plotting tools, or "plot" for ASCII
+	// line charts of the figure series.
+	Format string
+}
+
+// emit renders one table in the configured format. Tables without numeric
+// series (e.g. Table 2) fall back to the tabular layout under "plot".
+func emit(w io.Writer, cfg RunConfig, t Table) error {
+	switch cfg.Format {
+	case "csv":
+		_, err := io.WriteString(w, t.CSV())
+		return err
+	case "plot":
+		if p := t.Plot(64, 16); p != "" {
+			_, err := io.WriteString(w, p)
+			return err
+		}
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+func (c RunConfig) lookups(full, quick int) int {
+	if c.Lookups > 0 {
+		return c.Lookups
+	}
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Runner executes one experiment and writes its table(s).
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(w io.Writer, cfg RunConfig) error
+}
+
+// Registry returns all experiments keyed by id.
+func Registry() map[string]Runner {
+	rs := []Runner{
+		{
+			ID:          "table1",
+			Description: "architectural comparison with measured path lengths",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				t, err := RunTable1(cfg.Seed, cfg.lookups(20000, 2000))
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, t)
+			},
+		},
+		{
+			ID:          "table2",
+			Description: "routing state of Cycloid node (4,10110110), d=8",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				t, err := RunTable2()
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, t)
+			},
+		},
+		{
+			ID:          "table3",
+			Description: "node identification and key assignment rules",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				return emit(w, cfg, RunTable3())
+			},
+		},
+		{
+			ID:          "fig5",
+			Description: "path length vs. network size (also produces fig6 data)",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunPathLength(PathLengthOptions{Seed: cfg.Seed, LookupBudget: cfg.lookups(200000, 20000)})
+				if err != nil {
+					return err
+				}
+				if err := emit(w, cfg, r.Fig5Table()); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				return emit(w, cfg, r.Fig6Table())
+			},
+		},
+		{
+			ID:          "fig6",
+			Description: "path length vs. network dimension",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunPathLength(PathLengthOptions{Seed: cfg.Seed, LookupBudget: cfg.lookups(200000, 20000)})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Fig6Table())
+			},
+		},
+		{
+			ID:          "fig7",
+			Description: "per-phase path length breakdown (Cycloid, Viceroy, Koorde)",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunPathLength(PathLengthOptions{Seed: cfg.Seed, LookupBudget: cfg.lookups(200000, 20000)})
+				if err != nil {
+					return err
+				}
+				for _, dht := range []string{"cycloid-7", "viceroy", "koorde"} {
+					if err := emit(w, cfg, r.Fig7Table(dht)); err != nil {
+						return err
+					}
+					fmt.Fprintln(w)
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig8",
+			Description: "key distribution, 2000 nodes in a 2048-ID space",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunKeyDistribution(KeyDistributionOptions{Nodes: 2000, Seed: cfg.Seed})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Table("Figure 8"))
+			},
+		},
+		{
+			ID:          "fig9",
+			Description: "key distribution, 1000 nodes (sparse network)",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunKeyDistribution(KeyDistributionOptions{
+					Nodes: 1000, Seed: cfg.Seed,
+					DHTs: []string{"cycloid-7", "chord", "koorde"},
+				})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Table("Figure 9"))
+			},
+		},
+		{
+			ID:          "fig10",
+			Description: "query load distribution, 64- and 2048-node networks",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunQueryLoad(QueryLoadOptions{Seed: cfg.Seed, LookupBudget: cfg.lookups(200000, 20000)})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Table())
+			},
+		},
+		{
+			ID:          "fig11",
+			Description: "path length and timeouts under massive departures (also table4)",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunFailures(FailureOptions{Seed: cfg.Seed, Lookups: cfg.lookups(10000, 2000)})
+				if err != nil {
+					return err
+				}
+				if err := emit(w, cfg, r.Fig11Table()); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				if err := emit(w, cfg, r.Table4()); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				return emit(w, cfg, r.FailureCountTable())
+			},
+		},
+		{
+			ID:          "table4",
+			Description: "timeouts vs. departure probability",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunFailures(FailureOptions{Seed: cfg.Seed, Lookups: cfg.lookups(10000, 2000)})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Table4())
+			},
+		},
+		{
+			ID:          "fig12",
+			Description: "path length under continuous churn with stabilization (also table5)",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				opts := ChurnOptions{Seed: cfg.Seed, Lookups: cfg.lookups(10000, 1500)}
+				if cfg.Quick {
+					opts.Rates = []float64{0.05, 0.20, 0.40}
+				}
+				r, err := RunChurn(opts)
+				if err != nil {
+					return err
+				}
+				if err := emit(w, cfg, r.Fig12Table()); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				return emit(w, cfg, r.Table5())
+			},
+		},
+		{
+			ID:          "table5",
+			Description: "timeouts vs. churn rate",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				opts := ChurnOptions{Seed: cfg.Seed, Lookups: cfg.lookups(10000, 1500)}
+				if cfg.Quick {
+					opts.Rates = []float64{0.05, 0.20, 0.40}
+				}
+				r, err := RunChurn(opts)
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Table5())
+			},
+		},
+		{
+			ID:          "fig13",
+			Description: "path length vs. ID-space sparsity (also fig14)",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunSparsity(SparsityOptions{Seed: cfg.Seed, Lookups: cfg.lookups(10000, 2000)})
+				if err != nil {
+					return err
+				}
+				if err := emit(w, cfg, r.Fig13Table()); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				return emit(w, cfg, r.Fig14Table())
+			},
+		},
+		{
+			ID:          "fig14",
+			Description: "Koorde hop breakdown vs. sparsity",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunSparsity(SparsityOptions{Seed: cfg.Seed, Lookups: cfg.lookups(10000, 2000), DHTs: []string{"koorde"}})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Fig14Table())
+			},
+		},
+		{
+			ID:          "ablation-leafset",
+			Description: "Cycloid leaf-set width sweep",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				t, err := RunAblationLeafSet(AblationLeafSetOptions{Seed: cfg.Seed, LookupBudget: cfg.lookups(100000, 10000)})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, t)
+			},
+		},
+		{
+			ID:          "ablation-stabilization",
+			Description: "Cycloid stabilization-interval sweep under churn",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				t, err := RunAblationStabilization(AblationStabilizationOptions{Seed: cfg.Seed, Lookups: cfg.lookups(4000, 1000)})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, t)
+			},
+		},
+		{
+			ID:          "ungraceful",
+			Description: "extension: silent failures without notifications, 7- vs 11-entry, plus recovery",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				r, err := RunUngraceful(UngracefulOptions{Seed: cfg.Seed, Lookups: cfg.lookups(5000, 1000)})
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, r.Table())
+			},
+		},
+		{
+			ID:          "maintenance",
+			Description: "join/leave maintenance overhead counters",
+			Run: func(w io.Writer, cfg RunConfig) error {
+				t, err := MaintenanceReport(512, cfg.lookups(200, 50), cfg.Seed)
+				if err != nil {
+					return err
+				}
+				return emit(w, cfg, t)
+			},
+		},
+	}
+	m := make(map[string]Runner, len(rs))
+	for _, r := range rs {
+		m[r.ID] = r
+	}
+	return m
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	m := Registry()
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryAllExperiments drives every registered experiment end to end
+// at a drastically reduced scale, covering each runner and table renderer.
+func TestRegistryAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep skipped in -short mode")
+	}
+	reg := Registry()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var sb strings.Builder
+			cfg := RunConfig{Seed: 3, Quick: true, Lookups: 300}
+			if err := reg[id].Run(&sb, cfg); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := sb.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced implausibly short output:\n%s", id, out)
+			}
+			if !strings.Contains(out, "\n") {
+				t.Fatalf("%s output has no rows", id)
+			}
+		})
+	}
+}
+
+// TestRunConfigLookups checks the workload-scaling precedence.
+func TestRunConfigLookups(t *testing.T) {
+	if got := (RunConfig{}).lookups(100, 10); got != 100 {
+		t.Errorf("default = %d, want full 100", got)
+	}
+	if got := (RunConfig{Quick: true}).lookups(100, 10); got != 10 {
+		t.Errorf("quick = %d, want 10", got)
+	}
+	if got := (RunConfig{Quick: true, Lookups: 55}).lookups(100, 10); got != 55 {
+		t.Errorf("override = %d, want 55", got)
+	}
+}
+
+// TestBuilders checks every DHT constructor the harness uses.
+func TestBuilders(t *testing.T) {
+	for _, name := range DHTNames {
+		net, err := Build(name, 100, 5)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if net.Size() != 100 {
+			t.Errorf("Build(%s) size = %d", name, net.Size())
+		}
+		netIn, err := BuildIn(name, 2048, 50, 5)
+		if err != nil {
+			t.Fatalf("BuildIn(%s): %v", name, err)
+		}
+		if netIn.Size() != 50 {
+			t.Errorf("BuildIn(%s) size = %d", name, netIn.Size())
+		}
+	}
+	if _, err := Build("nonesuch", 10, 1); err == nil {
+		t.Error("Build of unknown DHT should fail")
+	}
+	if _, err := BuildIn("nonesuch", 2048, 10, 1); err == nil {
+		t.Error("BuildIn of unknown DHT should fail")
+	}
+	if _, err := BuildIn("cycloid-7", 1000, 10, 1); err == nil {
+		t.Error("BuildIn with a space that is not d*2^d should fail")
+	}
+}
+
+// TestSpaceHelpers checks the ID-space sizing helpers.
+func TestSpaceHelpers(t *testing.T) {
+	if d := dimForSpace(2048); d != 8 {
+		t.Errorf("dimForSpace(2048) = %d, want 8", d)
+	}
+	if d := dimForSpace(24); d != 3 {
+		t.Errorf("dimForSpace(24) = %d, want 3", d)
+	}
+	if d := dimForSpace(1000); d != -1 {
+		t.Errorf("dimForSpace(1000) = %d, want -1", d)
+	}
+	if b := bitsForSpace(2048); b != 11 {
+		t.Errorf("bitsForSpace(2048) = %d, want 11", b)
+	}
+	if b := ringBitsFor(2049); b != 12 {
+		t.Errorf("ringBitsFor(2049) = %d, want 12", b)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a generic experiment output: a caption, a header row and data
+// rows, rendered the way the paper lays out its tables and figure series.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// WriteTo renders the table with aligned columns.
+func (t Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Caption)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// summaryCell renders a (mean, p1, p99) triple the way the paper's
+// percentile plots annotate points.
+func summaryCell(mean, p1, p99 float64) string {
+	return fmt.Sprintf("%.2f (%.0f, %.0f)", mean, p1, p99)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cycloid/internal/cycloid"
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+	"cycloid/internal/stats"
+	"cycloid/internal/viceroy"
+	"cycloid/internal/workload"
+)
+
+// RunTable1 reproduces Table 1 — the architectural comparison of the
+// DHTs — augmented with measured mean path lengths at n = 2048 so the
+// asymptotic claims can be checked against this implementation.
+func RunTable1(seed int64, lookups int) (Table, error) {
+	if lookups == 0 {
+		lookups = 20000
+	}
+	static := map[string][3]string{
+		"cycloid-7":  {"CCC", "O(d)", "7"},
+		"cycloid-11": {"CCC", "O(d)", "11"},
+		"viceroy":    {"Butterfly", "O(log n)", "7"},
+		"chord":      {"Cycle", "O(log n)", "O(log n)"},
+		"koorde":     {"de Bruijn", "O(log n)", "7"},
+	}
+	t := Table{
+		Caption: "Table 1: architectural comparison (measured at n = 2048)",
+		Header:  []string{"system", "base network", "lookup complexity", "routing state", "measured mean path"},
+	}
+	for _, name := range DHTNames {
+		net, err := Build(name, 2048, seed+hashName(name))
+		if err != nil {
+			return Table{}, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var paths stats.Sample
+		workload.RandomPairs(net, lookups, rng, func(l workload.Lookup) {
+			r := net.Lookup(l.Src, l.Key)
+			if !r.Failed {
+				paths.AddInt(r.PathLength())
+			}
+		})
+		s := static[name]
+		t.Rows = append(t.Rows, []string{name, s[0], s[1], s[2], f2(paths.Mean())})
+	}
+	return t, nil
+}
+
+// RunTable2 reproduces Table 2: the routing-table state of node
+// (4,10110110) in an eight-dimensional Cycloid. The paper shows a partial
+// network; this renders both the wildcard patterns (which are exact) and
+// the resolved entries in the complete network.
+func RunTable2() (Table, error) {
+	net, err := cycloid.NewComplete(cycloid.Config{Dim: 8, LeafHalf: 1})
+	if err != nil {
+		return Table{}, err
+	}
+	ts, err := net.Table(ids.CycloidID{K: 4, A: 0b10110110})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Caption: "Table 2: routing state of Cycloid node (4,10110110), d=8 (complete network)",
+		Header:  []string{"entry", "value"},
+		Rows: [][]string{
+			{"cubical neighbor (pattern)", ts.CubicalPattern},
+			{"cubical neighbor (resolved)", ts.Cubical},
+			{"cyclic neighbor (larger)", ts.CyclicLarger},
+			{"cyclic neighbor (smaller)", ts.CyclicSmaller},
+			{"inside leaf set", fmt.Sprintf("%v | %v", ts.InsideLeft, ts.InsideRight)},
+			{"outside leaf set", fmt.Sprintf("%v | %v", ts.OutsideLeft, ts.OutsideRight)},
+		},
+	}, nil
+}
+
+// RunTable3 reproduces Table 3: node identification and key assignment in
+// the three constant-degree DHTs. The table is definitional; rendering it
+// from code keeps it in sync with what the implementations actually do.
+func RunTable3() Table {
+	return Table{
+		Caption: "Table 3: node identification and key assignment",
+		Header:  []string{"", "cycloid", "viceroy", "koorde"},
+		Rows: [][]string{
+			{"base network", "CCC", "butterfly", "de Bruijn"},
+			{"ID space", "([0,d), [0,2^d))", "([1,log n], [0,1))", "[0,2^d)"},
+			{"node identity", "(k, a_{d-1}...a_0), k static", "(level, id), level dynamic", "id"},
+			{"key placement", "numerically closest node", "successor", "successor"},
+		},
+	}
+}
+
+// MaintenanceReport summarizes protocol overhead counters after a churn
+// bout on each DHT — the "cost for maintenance" dimension of Section 4.
+func MaintenanceReport(nodes, events int, seed int64) (Table, error) {
+	if nodes == 0 {
+		nodes = 512
+	}
+	if events == 0 {
+		events = 200
+	}
+	t := Table{
+		Caption: fmt.Sprintf("Maintenance overhead after %d joins + %d leaves (n=%d)", events, events, nodes),
+		Header:  []string{"system", "metric", "value"},
+	}
+	for _, name := range []string{"cycloid-7", "cycloid-11", "viceroy"} {
+		net, err := Build(name, nodes, seed+hashName(name))
+		if err != nil {
+			return Table{}, err
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < events; i++ {
+			if _, err := net.Join(rng); err != nil {
+				return Table{}, err
+			}
+			if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+				return Table{}, err
+			}
+		}
+		switch n := net.(type) {
+		case *cycloid.Network:
+			m := n.Maintenance()
+			t.Rows = append(t.Rows,
+				[]string{name, "join route hops", fmt.Sprintf("%d", m.JoinRouteHops)},
+				[]string{name, "leaf-set updates", fmt.Sprintf("%d", m.LeafSetUpdates)},
+			)
+		case *viceroy.Network:
+			m := n.Maintenance()
+			t.Rows = append(t.Rows,
+				[]string{name, "link updates", fmt.Sprintf("%d", m.LinkUpdates)},
+				[]string{name, "level changes", fmt.Sprintf("%d", m.LevelChanges)},
+			)
+		}
+	}
+	return t, nil
+}

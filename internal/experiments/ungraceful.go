@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cycloid/internal/cycloid"
+	"cycloid/internal/stats"
+	"cycloid/internal/workload"
+)
+
+// UngracefulOptions parameterizes the extension experiment the paper's
+// conclusion motivates: node failures *without* departure notifications,
+// leaving even the leaf sets stale until stabilization.
+type UngracefulOptions struct {
+	// Nodes is the starting size.
+	Nodes int
+	// Probs is the failure-probability sweep.
+	Probs []float64
+	// Lookups per configuration, measured before and after recovery.
+	Lookups int
+	Seed    int64
+}
+
+func (o *UngracefulOptions) defaults() {
+	if o.Nodes == 0 {
+		o.Nodes = 2048
+	}
+	if len(o.Probs) == 0 {
+		o.Probs = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	if o.Lookups == 0 {
+		o.Lookups = 5000
+	}
+}
+
+// UngracefulCell is the measurement for one (leaf width, p) pair.
+type UngracefulCell struct {
+	Variant    string
+	Prob       float64
+	Failures   int // lookups that missed the responsible node pre-recovery
+	Timeouts   stats.Summary
+	MeanPath   float64
+	PostRepair int // failures after full stabilization (must be 0)
+}
+
+// UngracefulResult carries the sweep.
+type UngracefulResult struct {
+	Probs   []float64
+	Lookups int
+	Cells   map[string][]UngracefulCell
+}
+
+// RunUngraceful fails each node silently with probability p, measures
+// lookup exactness with fully stale state, then stabilizes every node and
+// re-measures — quantifying the leaf-set-width trade-off in failure-prone
+// environments and the recovery power of stabilization.
+func RunUngraceful(o UngracefulOptions) (*UngracefulResult, error) {
+	o.defaults()
+	res := &UngracefulResult{Probs: o.Probs, Lookups: o.Lookups, Cells: make(map[string][]UngracefulCell)}
+	for _, half := range []int{1, 2} {
+		variant := fmt.Sprintf("cycloid-%d", 3+4*half)
+		for _, p := range o.Probs {
+			cfg := cycloid.Config{Dim: cycloid.DimForNodes(o.Nodes), LeafHalf: half}
+			net, err := cycloid.NewRandom(cfg, o.Nodes, rand.New(rand.NewSource(o.Seed+int64(half))))
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(o.Seed + int64(p*1000) + int64(half)))
+			for _, id := range workload.FailureSample(net.NodeIDs(), p, rng) {
+				if err := net.Fail(id); err != nil {
+					return nil, err
+				}
+			}
+			cell := UngracefulCell{Variant: variant, Prob: p}
+			var paths stats.Sample
+			var touts stats.Sample
+			workload.RandomPairs(net, o.Lookups, rng, func(l workload.Lookup) {
+				r := net.Lookup(l.Src, l.Key)
+				paths.AddInt(r.PathLength())
+				touts.AddInt(r.Timeouts)
+				if r.Failed {
+					cell.Failures++
+				}
+			})
+			cell.MeanPath = paths.Mean()
+			cell.Timeouts = touts.Summarize()
+
+			// Recovery: every node stabilizes once.
+			for _, id := range append([]uint64(nil), net.NodeIDs()...) {
+				net.Stabilize(id)
+			}
+			workload.RandomPairs(net, o.Lookups/2, rng, func(l workload.Lookup) {
+				if r := net.Lookup(l.Src, l.Key); r.Failed {
+					cell.PostRepair++
+				}
+			})
+			res.Cells[variant] = append(res.Cells[variant], cell)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the ungraceful-failure sweep.
+func (r *UngracefulResult) Table() Table {
+	t := Table{
+		Caption: fmt.Sprintf("Extension: silent (ungraceful) failures, %d lookups before recovery", r.Lookups),
+		Header:  []string{"p", "variant", "missed lookups", "timeouts/lookup", "mean path", "missed after stabilization"},
+	}
+	for _, variant := range []string{"cycloid-7", "cycloid-11"} {
+		for i, p := range r.Probs {
+			c := r.Cells[variant][i]
+			t.Rows = append(t.Rows, []string{
+				f2(p), variant,
+				fmt.Sprintf("%d", c.Failures),
+				f2(c.Timeouts.Mean),
+				f2(c.MeanPath),
+				fmt.Sprintf("%d", c.PostRepair),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestUngracefulShape exercises the extension experiment: silent failures
+// break some lookups (unlike graceful departures), wider leaf sets break
+// fewer, and one full stabilization round restores exactness.
+func TestUngracefulShape(t *testing.T) {
+	r, err := RunUngraceful(UngracefulOptions{
+		Nodes:   1024,
+		Probs:   []float64{0.2, 0.5},
+		Lookups: 2000,
+		Seed:    12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []string{"cycloid-7", "cycloid-11"} {
+		cells := r.Cells[variant]
+		if len(cells) != 2 {
+			t.Fatalf("%s: %d cells", variant, len(cells))
+		}
+		for _, c := range cells {
+			if c.PostRepair != 0 {
+				t.Errorf("%s p=%.1f: %d lookups still missing after full stabilization", variant, c.Prob, c.PostRepair)
+			}
+			if c.Timeouts.Mean <= 0 {
+				t.Errorf("%s p=%.1f: silent failures should cost timeouts", variant, c.Prob)
+			}
+		}
+		if cells[1].Failures <= cells[0].Failures {
+			t.Errorf("%s: misses should grow with p: %d -> %d", variant, cells[0].Failures, cells[1].Failures)
+		}
+	}
+	// Silent failures at p=0.5 must actually hurt — this is the contrast
+	// with the graceful experiment, where failures stay at zero.
+	if r.Cells["cycloid-7"][1].Failures == 0 {
+		t.Error("expected some missed lookups with half the network silently gone")
+	}
+	// The 11-entry variant's redundant leaf sets should miss fewer.
+	if h7, h11 := r.Cells["cycloid-7"][1].Failures, r.Cells["cycloid-11"][1].Failures; h11 >= h7 {
+		t.Errorf("11-entry (%d misses) should beat 7-entry (%d) under silent failures", h11, h7)
+	}
+}

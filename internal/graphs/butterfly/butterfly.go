@@ -1,0 +1,78 @@
+// Package butterfly models the wrapped butterfly network BF(m): m levels
+// of 2^m columns, the topology Viceroy approximates. Node (l, c) at level
+// l connects "down" to level l+1 nodes (straight edge: same column; cross
+// edge: column with bit l flipped). The CCC graph is a subgraph of the
+// butterfly and the de Bruijn graph is a coset graph of it, which is why
+// the three constant-degree DHTs resemble one another (paper Section 5).
+package butterfly
+
+import "fmt"
+
+// Graph is the wrapped butterfly BF(m).
+type Graph struct {
+	m int
+}
+
+// Node is a butterfly vertex: level in [0, m), column in [0, 2^m).
+type Node struct {
+	Level  int
+	Column uint64
+}
+
+// New returns BF(m). It panics for m outside [1, 30].
+func New(m int) Graph {
+	if m < 1 || m > 30 {
+		panic(fmt.Sprintf("butterfly: m %d out of range", m))
+	}
+	return Graph{m: m}
+}
+
+// Levels returns m.
+func (g Graph) Levels() int { return g.m }
+
+// Columns returns 2^m.
+func (g Graph) Columns() uint64 { return 1 << uint(g.m) }
+
+// Order returns m * 2^m.
+func (g Graph) Order() uint64 { return uint64(g.m) << uint(g.m) }
+
+// Contains reports whether n is a valid vertex.
+func (g Graph) Contains(n Node) bool {
+	return n.Level >= 0 && n.Level < g.m && n.Column < g.Columns()
+}
+
+// Down returns the two level-(l+1 mod m) neighbors of n: the straight
+// edge and the cross edge flipping bit l of the column.
+func (g Graph) Down(n Node) [2]Node {
+	nl := (n.Level + 1) % g.m
+	return [2]Node{
+		{Level: nl, Column: n.Column},
+		{Level: nl, Column: n.Column ^ (1 << uint(n.Level))},
+	}
+}
+
+// Up returns the two level-(l-1 mod m) neighbors of n.
+func (g Graph) Up(n Node) [2]Node {
+	pl := (n.Level + g.m - 1) % g.m
+	return [2]Node{
+		{Level: pl, Column: n.Column},
+		{Level: pl, Column: n.Column ^ (1 << uint(pl))},
+	}
+}
+
+// Neighbors returns all four neighbors of n in the wrapped butterfly.
+func (g Graph) Neighbors(n Node) []Node {
+	d := g.Down(n)
+	u := g.Up(n)
+	return []Node{d[0], d[1], u[0], u[1]}
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g Graph) HasEdge(u, v Node) bool {
+	for _, n := range g.Neighbors(u) {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+// Package ccc models the cube-connected cycles graph CCC(d): a
+// d-dimensional hypercube with every vertex replaced by a cycle of d
+// nodes. A complete Cycloid overlay must induce exactly this topology; the
+// test suite checks the overlay's links against this reference model.
+package ccc
+
+import (
+	"fmt"
+
+	"cycloid/internal/ids"
+)
+
+// Graph is the CCC(d) reference graph.
+type Graph struct {
+	space ids.Space
+}
+
+// New returns the CCC graph of dimension d.
+func New(d int) Graph {
+	return Graph{space: ids.NewSpace(d)}
+}
+
+// Dim returns d.
+func (g Graph) Dim() int { return g.space.Dim() }
+
+// Order returns the number of vertices, d*2^d.
+func (g Graph) Order() uint64 { return g.space.Size() }
+
+// Neighbors returns the three CCC neighbors of vertex (k, a): the two
+// cycle neighbors (k±1 mod d, a) and the cube neighbor (k, a XOR 2^k).
+func (g Graph) Neighbors(v ids.CycloidID) []ids.CycloidID {
+	d := uint8(g.space.Dim())
+	ns := []ids.CycloidID{
+		{K: (v.K + 1) % d, A: v.A},
+		{K: (v.K + d - 1) % d, A: v.A},
+		{K: v.K, A: v.A ^ (1 << v.K)},
+	}
+	if d == 1 {
+		// Degenerate CCC(1): the cycle neighbors collapse onto v itself.
+		ns = ns[2:]
+	}
+	return ns
+}
+
+// HasEdge reports whether u and v are adjacent in CCC(d).
+func (g Graph) HasEdge(u, v ids.CycloidID) bool {
+	for _, n := range g.Neighbors(u) {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of every vertex (3 for d >= 3; smaller
+// dimensions are degenerate).
+func (g Graph) Degree() int {
+	switch g.space.Dim() {
+	case 1:
+		return 1
+	case 2:
+		return 3 // +1 and -1 cycle steps coincide but cube edge is distinct
+	default:
+		return 3
+	}
+}
+
+// Vertices enumerates all d*2^d vertices in linear order.
+func (g Graph) Vertices() []ids.CycloidID {
+	vs := make([]ids.CycloidID, 0, g.Order())
+	for v := uint64(0); v < g.Order(); v++ {
+		vs = append(vs, g.space.FromLinear(v))
+	}
+	return vs
+}
+
+// Diameter returns the exact diameter of CCC(d), computed by BFS. The
+// known closed form is 2d + floor(d/2) - 2 for d >= 4 (Preparata &
+// Vuillemin); BFS keeps the model honest for all d.
+func (g Graph) Diameter() int {
+	// BFS from a single vertex suffices: CCC is vertex-transitive.
+	n := g.Order()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	start := ids.CycloidID{}
+	dist[g.space.Linear(start)] = 0
+	queue := []ids.CycloidID{start}
+	maxd := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[g.space.Linear(u)]
+		for _, v := range g.Neighbors(u) {
+			li := g.space.Linear(v)
+			if dist[li] < 0 {
+				dist[li] = du + 1
+				if du+1 > maxd {
+					maxd = du + 1
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i, d := range dist {
+		if d < 0 {
+			panic(fmt.Sprintf("ccc: graph disconnected at vertex %d", i))
+		}
+	}
+	return maxd
+}

@@ -1,0 +1,95 @@
+package ccc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cycloid/internal/ids"
+)
+
+func TestOrder(t *testing.T) {
+	if g := New(3); g.Order() != 24 {
+		t.Errorf("CCC(3) order = %d, want 24", g.Order())
+	}
+	if g := New(8); g.Order() != 2048 {
+		t.Errorf("CCC(8) order = %d, want 2048", g.Order())
+	}
+}
+
+func TestNeighborsExample(t *testing.T) {
+	// Figure 1 of the paper draws CCC(3); check vertex (0, 000).
+	g := New(3)
+	ns := g.Neighbors(ids.CycloidID{K: 0, A: 0})
+	want := map[ids.CycloidID]bool{
+		{K: 1, A: 0}: true, // cycle forward
+		{K: 2, A: 0}: true, // cycle backward
+		{K: 0, A: 1}: true, // cube edge flips bit 0
+	}
+	if len(ns) != 3 {
+		t.Fatalf("degree = %d, want 3", len(ns))
+	}
+	for _, n := range ns {
+		if !want[n] {
+			t.Errorf("unexpected neighbor %v", n)
+		}
+	}
+}
+
+func TestEdgesSymmetric(t *testing.T) {
+	g := New(4)
+	for _, u := range g.Vertices() {
+		for _, v := range g.Neighbors(u) {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("edge %v-%v not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestCubeEdgeFlipsBitK(t *testing.T) {
+	g := New(5)
+	f := func(kv uint8, av uint32) bool {
+		v := ids.CycloidID{K: kv % 5, A: av % 32}
+		cube := ids.CycloidID{K: v.K, A: v.A ^ (1 << v.K)}
+		return g.HasEdge(v, cube)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeCount(t *testing.T) {
+	// CCC(d) for d >= 3 is 3-regular: |E| = 3*d*2^d/2.
+	g := New(3)
+	edges := 0
+	for _, u := range g.Vertices() {
+		edges += len(g.Neighbors(u))
+	}
+	if edges != 3*24 {
+		t.Errorf("directed edge count = %d, want 72", edges)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	// Known values: CCC(3) has diameter 6. For d >= 4 the closed form is
+	// 2d + floor(d/2) - 2.
+	if got := New(3).Diameter(); got != 6 {
+		t.Errorf("CCC(3) diameter = %d, want 6", got)
+	}
+	for d := 4; d <= 6; d++ {
+		want := 2*d + d/2 - 2
+		if got := New(d).Diameter(); got != want {
+			t.Errorf("CCC(%d) diameter = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestDiameterIsOofD(t *testing.T) {
+	// The paper's O(d) lookup bound rests on the CCC diameter being O(d);
+	// check diameter <= 3d for the dimensions the evaluation uses.
+	for d := 3; d <= 8; d++ {
+		if got := New(d).Diameter(); got > 3*d {
+			t.Errorf("CCC(%d) diameter = %d exceeds 3d", d, got)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package debruijn models the binary de Bruijn graph B(2, m) on 2^m
+// vertices, the topology Koorde embeds on the Chord ring. Vertex v has
+// out-edges to 2v mod 2^m and 2v+1 mod 2^m.
+package debruijn
+
+import "cycloid/internal/ids"
+
+// Graph is the de Bruijn graph on 2^m vertices.
+type Graph struct {
+	ring ids.Ring
+}
+
+// New returns B(2, m).
+func New(m int) Graph { return Graph{ring: ids.NewRing(m)} }
+
+// Bits returns m.
+func (g Graph) Bits() int { return g.ring.Bits() }
+
+// Order returns 2^m.
+func (g Graph) Order() uint64 { return g.ring.Size() }
+
+// Succs returns the two out-neighbors of v: 2v and 2v+1 (mod 2^m).
+func (g Graph) Succs(v uint64) [2]uint64 {
+	return [2]uint64{g.ring.ShiftIn(v, 0), g.ring.ShiftIn(v, 1)}
+}
+
+// Preds returns the two in-neighbors of v: v>>1 and v>>1 | 2^(m-1).
+func (g Graph) Preds(v uint64) [2]uint64 {
+	half := v >> 1
+	return [2]uint64{half, half | 1<<uint(g.ring.Bits()-1)}
+}
+
+// Path returns the canonical m-hop de Bruijn route from src to dst,
+// shifting in dst's bits from the most significant end. The returned
+// slice starts at src and ends at dst with exactly m+1 entries.
+func (g Graph) Path(src, dst uint64) []uint64 {
+	m := g.ring.Bits()
+	path := make([]uint64, 0, m+1)
+	cur := g.ring.Mask(src)
+	kshift := g.ring.Mask(dst)
+	path = append(path, cur)
+	for i := 0; i < m; i++ {
+		cur = g.ring.ShiftIn(cur, g.ring.TopBit(kshift))
+		kshift = g.ring.Mask(kshift << 1)
+		path = append(path, cur)
+	}
+	return path
+}

@@ -1,0 +1,69 @@
+package debruijn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSuccsPreds(t *testing.T) {
+	g := New(4)
+	s := g.Succs(0b1011)
+	if s[0] != 0b0110 || s[1] != 0b0111 {
+		t.Errorf("Succs(1011) = %04b,%04b, want 0110,0111", s[0], s[1])
+	}
+	p := g.Preds(0b0110)
+	if p[0] != 0b0011 || p[1] != 0b1011 {
+		t.Errorf("Preds(0110) = %04b,%04b, want 0011,1011", p[0], p[1])
+	}
+}
+
+func TestSuccPredInverseProperty(t *testing.T) {
+	g := New(8)
+	f := func(raw uint8) bool {
+		v := uint64(raw)
+		for _, s := range g.Succs(v) {
+			found := false
+			for _, p := range g.Preds(s) {
+				if p == v {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathEndsAtDestination(t *testing.T) {
+	g := New(10)
+	f := func(a, b uint16) bool {
+		src, dst := uint64(a)%1024, uint64(b)%1024
+		p := g.Path(src, dst)
+		return len(p) == 11 && p[0] == src && p[10] == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathStepsAreEdges(t *testing.T) {
+	g := New(6)
+	p := g.Path(13, 49)
+	for i := 0; i+1 < len(p); i++ {
+		s := g.Succs(p[i])
+		if p[i+1] != s[0] && p[i+1] != s[1] {
+			t.Fatalf("step %d: %06b -> %06b is not a de Bruijn edge", i, p[i], p[i+1])
+		}
+	}
+}
+
+func TestOrder(t *testing.T) {
+	if g := New(11); g.Order() != 2048 {
+		t.Errorf("Order = %d, want 2048", g.Order())
+	}
+}

@@ -1,0 +1,44 @@
+// Package hashing provides the consistent-hashing layer every DHT in this
+// repository shares: stable SHA-1 based mapping from arbitrary byte keys
+// (file names, node addresses) to positions in an identifier space.
+package hashing
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// Hash64 maps data to a uniformly distributed 64-bit value using SHA-1,
+// the hash the original DHT papers assume.
+func Hash64(data []byte) uint64 {
+	sum := sha1.Sum(data)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// HashString is Hash64 for string keys.
+func HashString(s string) uint64 {
+	return Hash64([]byte(s))
+}
+
+// Fold maps a 64-bit hash onto an identifier space of the given size
+// with negligible modulo bias (size is at most 2^33 in this repository,
+// far below 2^64).
+func Fold(h, size uint64) uint64 {
+	if size == 0 {
+		panic("hashing: fold into empty space")
+	}
+	return h % size
+}
+
+// KeyString maps an application key onto a space of the given size.
+func KeyString(s string, size uint64) uint64 {
+	return Fold(HashString(s), size)
+}
+
+// NodeSeed derives a stable per-node hash from a logical address, e.g.
+// "10.0.0.7:4001" or "node-1723", the way deployed DHTs derive node IDs
+// from network addresses.
+func NodeSeed(addr string, index int) uint64 {
+	return Hash64([]byte(fmt.Sprintf("%s#%d", addr, index)))
+}

@@ -1,0 +1,73 @@
+package hashing
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	a := HashString("hello")
+	b := HashString("hello")
+	if a != b {
+		t.Fatalf("HashString not deterministic: %d != %d", a, b)
+	}
+	if a == HashString("hello!") {
+		t.Fatal("distinct keys hashed to the same value (astronomically unlikely)")
+	}
+}
+
+func TestHash64KnownValue(t *testing.T) {
+	// SHA-1("abc") = a9993e36 4706816a ...; the first 8 bytes big-endian.
+	want := uint64(0xa9993e364706816a)
+	if got := HashString("abc"); got != want {
+		t.Fatalf("HashString(abc) = %x, want %x", got, want)
+	}
+}
+
+func TestFoldRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		v := KeyString(fmt.Sprintf("key-%d", i), 2048)
+		if v >= 2048 {
+			t.Fatalf("KeyString out of range: %d", v)
+		}
+	}
+}
+
+func TestFoldPanicsOnEmptySpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fold(_, 0) did not panic")
+		}
+	}()
+	Fold(1, 0)
+}
+
+func TestFoldUniformity(t *testing.T) {
+	// Chi-squared style sanity check: 100k keys over 64 buckets should
+	// put roughly 1562 keys in each; allow generous +-20%.
+	const keys, buckets = 100000, 64
+	counts := make([]int, buckets)
+	for i := 0; i < keys; i++ {
+		counts[KeyString(fmt.Sprintf("uniform-%d", i), buckets)]++
+	}
+	want := keys / buckets
+	for b, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d keys, want within 20%% of %d", b, c, want)
+		}
+	}
+}
+
+func TestNodeSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		h := NodeSeed("10.0.0.1:4000", i)
+		if seen[h] {
+			t.Fatalf("duplicate node seed at index %d", i)
+		}
+		seen[h] = true
+	}
+	if NodeSeed("a", 1) == NodeSeed("b", 1) {
+		t.Error("different addresses produced the same seed")
+	}
+}

@@ -1,0 +1,213 @@
+// Package ids defines the identifier spaces used by the DHTs in this
+// repository and the distance arithmetic their routing and key-placement
+// rules are built on.
+//
+// Cycloid identifies a node by a pair (k, a) of a cyclic index k in [0, d)
+// and a cubical index a in [0, 2^d), giving an ID space of d*2^d positions.
+// Chord and Koorde use a flat 2^m ring. Viceroy uses real IDs in [0, 1),
+// which this repository represents as fixed-point fractions of 2^32.
+package ids
+
+import "fmt"
+
+// MaxDim is the largest supported Cycloid dimension. d*2^d must fit
+// comfortably in a uint64 and cubical indices in a uint32.
+const MaxDim = 30
+
+// CycloidID is a Cycloid node or key identifier: a cyclic index K in
+// [0, d) and a cubical index A in [0, 2^d). The dimension d is carried by
+// the Space the ID belongs to, not by the ID itself.
+type CycloidID struct {
+	K uint8  // cyclic index, position on the local cycle
+	A uint32 // cubical index, position of the local cycle on the large cycle
+}
+
+func (id CycloidID) String() string {
+	return fmt.Sprintf("(%d,%d)", id.K, id.A)
+}
+
+// Format renders the ID with the cubical index in binary, the notation the
+// paper uses, e.g. "(4,10110110)".
+func (id CycloidID) Format(d int) string {
+	return fmt.Sprintf("(%d,%0*b)", id.K, d, id.A)
+}
+
+// Space describes a d-dimensional Cycloid identifier space.
+type Space struct {
+	d int
+}
+
+// NewSpace returns the identifier space of dimension d.
+// It panics if d is outside [1, MaxDim]; dimensions are static
+// configuration, so a bad value is a programming error.
+func NewSpace(d int) Space {
+	if d < 1 || d > MaxDim {
+		panic(fmt.Sprintf("ids: dimension %d out of range [1,%d]", d, MaxDim))
+	}
+	return Space{d: d}
+}
+
+// Dim returns the dimension d.
+func (s Space) Dim() int { return s.d }
+
+// Cycles returns the number of local cycles, 2^d.
+func (s Space) Cycles() uint32 { return 1 << uint(s.d) }
+
+// Size returns the total number of ID positions, d*2^d.
+func (s Space) Size() uint64 { return uint64(s.d) << uint(s.d) }
+
+// Contains reports whether id is a valid position in this space.
+func (s Space) Contains(id CycloidID) bool {
+	return int(id.K) < s.d && id.A < s.Cycles()
+}
+
+// Linear maps id to its position in the total order the paper uses for
+// key placement and leaf sets: cubical index first, then cyclic index.
+// Linear(k, a) = a*d + k, matching the paper's key hashing rule
+// (cyclic = hash mod d, cubical = hash / d).
+func (s Space) Linear(id CycloidID) uint64 {
+	return uint64(id.A)*uint64(s.d) + uint64(id.K)
+}
+
+// FromLinear is the inverse of Linear. It panics if v is outside the space.
+func (s Space) FromLinear(v uint64) CycloidID {
+	if v >= s.Size() {
+		panic(fmt.Sprintf("ids: linear value %d outside %d-dimensional space of size %d", v, s.d, s.Size()))
+	}
+	return CycloidID{K: uint8(v % uint64(s.d)), A: uint32(v / uint64(s.d))}
+}
+
+// CycleDist returns the circular distance between cubical indices a and b
+// on the large cycle of 2^d positions.
+func (s Space) CycleDist(a, b uint32) uint32 {
+	return circDist32(a, b, s.Cycles())
+}
+
+// CyclicDist returns the circular distance between cyclic indices j and k
+// on a local cycle of d positions.
+func (s Space) CyclicDist(j, k uint8) uint8 {
+	return uint8(circDist32(uint32(j), uint32(k), uint32(s.d)))
+}
+
+// ClockwiseLinear returns the clockwise offset from 'from' to 'to' on the
+// linearized ring of d*2^d positions. A result of 0 means the positions
+// coincide.
+func (s Space) ClockwiseLinear(from, to uint64) uint64 {
+	n := s.Size()
+	if to >= from {
+		return to - from
+	}
+	return n - (from - to)
+}
+
+// MSDB returns the index of the most significant bit at which cubical
+// indices a and b differ, or -1 if they are equal. Bit d-1 is the most
+// significant position considered.
+func (s Space) MSDB(a, b uint32) int {
+	x := a ^ b
+	if x == 0 {
+		return -1
+	}
+	return bitLen32(x) - 1
+}
+
+// CommonPrefixLen returns the number of leading bits (from bit d-1
+// downward) on which a and b agree.
+func (s Space) CommonPrefixLen(a, b uint32) int {
+	m := s.MSDB(a, b)
+	if m < 0 {
+		return s.d
+	}
+	return s.d - 1 - m
+}
+
+// Dist is the lexicographic key-placement distance the paper specifies:
+// first the circular distance between cubical indices, then the circular
+// distance between cyclic indices. Dist values compare with Less.
+type Dist struct {
+	Cube   uint32
+	Cyclic uint8
+}
+
+// Less reports whether p is strictly closer than q.
+func (p Dist) Less(q Dist) bool {
+	if p.Cube != q.Cube {
+		return p.Cube < q.Cube
+	}
+	return p.Cyclic < q.Cyclic
+}
+
+// Distance returns the key-placement distance between two IDs: numerically
+// closest cubical index first, then numerically closest cyclic index, both
+// measured circularly.
+func (s Space) Distance(x, y CycloidID) Dist {
+	return Dist{Cube: s.CycleDist(x.A, y.A), Cyclic: s.CyclicDist(x.K, y.K)}
+}
+
+// Closer reports whether candidate x is a strictly better home for key
+// than candidate y, applying the paper's placement rule: the node whose ID
+// is first numerically closest to the key's cubical index and then
+// numerically closest to its cyclic index, with successor (clockwise-first)
+// tie-breaks. Ties are resolved hierarchically: first between equidistant
+// cycles (the cycle reached first clockwise from the key's cycle wins, the
+// "key's successor" rule lifted to cycle granularity), then between
+// equidistant cyclic indices within a cycle. The hierarchy makes the rule
+// decidable from IDs alone at every routing step, so greedy leaf-set
+// forwarding provably terminates at exactly the node this rule selects.
+func (s Space) Closer(key, x, y CycloidID) bool {
+	dxc, dyc := s.CycleDist(x.A, key.A), s.CycleDist(y.A, key.A)
+	if dxc != dyc {
+		return dxc < dyc
+	}
+	if x.A != y.A {
+		return s.ClockwiseCycle(key.A, x.A) < s.ClockwiseCycle(key.A, y.A)
+	}
+	dxk, dyk := s.CyclicDist(x.K, key.K), s.CyclicDist(y.K, key.K)
+	if dxk != dyk {
+		return dxk < dyk
+	}
+	return s.ClockwiseCyclic(key.K, x.K) < s.ClockwiseCyclic(key.K, y.K)
+}
+
+// ClockwiseCycle returns the clockwise offset from cubical index a to b on
+// the large cycle.
+func (s Space) ClockwiseCycle(a, b uint32) uint32 {
+	if b >= a {
+		return b - a
+	}
+	return s.Cycles() - (a - b)
+}
+
+// ClockwiseCyclic returns the clockwise offset from cyclic index j to k on
+// a local cycle.
+func (s Space) ClockwiseCyclic(j, k uint8) uint8 {
+	d := uint8(s.d)
+	if k >= j {
+		return k - j
+	}
+	return d - (j - k)
+}
+
+// circDist32 returns the circular distance between a and b on a ring of n
+// positions.
+func circDist32(a, b, n uint32) uint32 {
+	var fwd uint32
+	if a <= b {
+		fwd = b - a
+	} else {
+		fwd = n - (a - b)
+	}
+	if fwd > n-fwd {
+		return n - fwd
+	}
+	return fwd
+}
+
+func bitLen32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceBasics(t *testing.T) {
+	s := NewSpace(3)
+	if s.Dim() != 3 {
+		t.Fatalf("Dim() = %d, want 3", s.Dim())
+	}
+	if s.Cycles() != 8 {
+		t.Fatalf("Cycles() = %d, want 8", s.Cycles())
+	}
+	if s.Size() != 24 {
+		t.Fatalf("Size() = %d, want 24", s.Size())
+	}
+	if !s.Contains(CycloidID{K: 2, A: 7}) {
+		t.Error("Contains((2,7)) = false, want true")
+	}
+	if s.Contains(CycloidID{K: 3, A: 0}) {
+		t.Error("Contains((3,0)) = true, want false: cyclic index out of range")
+	}
+	if s.Contains(CycloidID{K: 0, A: 8}) {
+		t.Error("Contains((0,8)) = true, want false: cubical index out of range")
+	}
+}
+
+func TestNewSpacePanicsOutOfRange(t *testing.T) {
+	for _, d := range []int{0, -1, MaxDim + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", d)
+				}
+			}()
+			NewSpace(d)
+		}()
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 8} {
+		s := NewSpace(d)
+		for v := uint64(0); v < s.Size(); v++ {
+			id := s.FromLinear(v)
+			if !s.Contains(id) {
+				t.Fatalf("d=%d: FromLinear(%d) = %v outside space", d, v, id)
+			}
+			if got := s.Linear(id); got != v {
+				t.Fatalf("d=%d: Linear(FromLinear(%d)) = %d", d, v, got)
+			}
+		}
+	}
+}
+
+func TestLinearMatchesPaperHashRule(t *testing.T) {
+	// The paper maps a hash value h to cyclic index h mod d and cubical
+	// index h / d; Linear must be the exact inverse of that mapping.
+	s := NewSpace(8)
+	for _, h := range []uint64{0, 1, 7, 8, 9, 100, 2047} {
+		id := s.FromLinear(h)
+		if uint64(id.K) != h%8 || uint64(id.A) != h/8 {
+			t.Errorf("FromLinear(%d) = %v, want (%d,%d)", h, id, h%8, h/8)
+		}
+	}
+}
+
+func TestFromLinearPanicsOutside(t *testing.T) {
+	s := NewSpace(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("FromLinear(Size()) did not panic")
+		}
+	}()
+	s.FromLinear(s.Size())
+}
+
+func TestCycleDist(t *testing.T) {
+	s := NewSpace(3) // 8 cycles
+	cases := []struct {
+		a, b, want uint32
+	}{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {0, 4, 4}, {0, 5, 3}, {7, 0, 1}, {6, 1, 3},
+	}
+	for _, c := range cases {
+		if got := s.CycleDist(c.a, c.b); got != c.want {
+			t.Errorf("CycleDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCyclicDist(t *testing.T) {
+	s := NewSpace(8)
+	cases := []struct {
+		a, b, want uint8
+	}{
+		{0, 0, 0}, {0, 7, 1}, {0, 4, 4}, {2, 6, 4}, {1, 6, 3},
+	}
+	for _, c := range cases {
+		if got := s.CyclicDist(c.a, c.b); got != c.want {
+			t.Errorf("CyclicDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMSDB(t *testing.T) {
+	s := NewSpace(8)
+	cases := []struct {
+		a, b uint32
+		want int
+	}{
+		{0b10110110, 0b10110110, -1},
+		{0b10110110, 0b10110111, 0},
+		{0b10110110, 0b00110110, 7},
+		{0b10110110, 0b10100110, 4},
+		{0b0100, 0b1111, 3}, // the routing example in Fig. 4
+	}
+	for _, c := range cases {
+		if got := s.MSDB(c.a, c.b); got != c.want {
+			t.Errorf("MSDB(%b,%b) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	s := NewSpace(8)
+	if got := s.CommonPrefixLen(0b10110110, 0b10110110); got != 8 {
+		t.Errorf("CommonPrefixLen(equal) = %d, want 8", got)
+	}
+	if got := s.CommonPrefixLen(0b10110110, 0b10100110); got != 3 {
+		t.Errorf("CommonPrefixLen = %d, want 3", got)
+	}
+	if got := s.CommonPrefixLen(0b10110110, 0b00110110); got != 0 {
+		t.Errorf("CommonPrefixLen = %d, want 0", got)
+	}
+}
+
+func TestDistanceLexicographic(t *testing.T) {
+	// The paper's example: (1,1101) is closer to (2,1101) than (2,1001).
+	s := NewSpace(4)
+	key := CycloidID{K: 1, A: 0b1101}
+	x := CycloidID{K: 2, A: 0b1101}
+	y := CycloidID{K: 2, A: 0b1001}
+	if !s.Closer(key, x, y) {
+		t.Errorf("%v should be closer to %v than %v", x, key, y)
+	}
+	if s.Closer(key, y, x) {
+		t.Errorf("Closer must be asymmetric for a strict win")
+	}
+}
+
+func TestCloserSuccessorTieBreak(t *testing.T) {
+	// Two nodes at the same (cube, cyclic) distance from the key: the one
+	// reached first clockwise from the key on the linearized ring wins.
+	s := NewSpace(4)
+	key := CycloidID{K: 2, A: 5}
+	x := CycloidID{K: 3, A: 5} // clockwise offset 1
+	y := CycloidID{K: 1, A: 5} // clockwise offset 15 (counter-clockwise 1)
+	if s.Distance(x, key) != s.Distance(y, key) {
+		t.Fatalf("test setup: distances differ: %v vs %v", s.Distance(x, key), s.Distance(y, key))
+	}
+	if !s.Closer(key, x, y) {
+		t.Errorf("successor tie-break: %v should win over %v for key %v", x, y, key)
+	}
+}
+
+func TestCloserTotalOrderProperty(t *testing.T) {
+	// For any key, Closer must induce a strict total order over distinct
+	// IDs: exactly one of Closer(k,x,y) / Closer(k,y,x) holds.
+	s := NewSpace(5)
+	f := func(kv, xv, yv uint16) bool {
+		n := s.Size()
+		key := s.FromLinear(uint64(kv) % n)
+		x := s.FromLinear(uint64(xv) % n)
+		y := s.FromLinear(uint64(yv) % n)
+		if x == y {
+			return !s.Closer(key, x, y) && !s.Closer(key, y, x)
+		}
+		return s.Closer(key, x, y) != s.Closer(key, y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloserTransitivity(t *testing.T) {
+	s := NewSpace(4)
+	rng := rand.New(rand.NewSource(1))
+	n := int(s.Size())
+	for trial := 0; trial < 2000; trial++ {
+		key := s.FromLinear(uint64(rng.Intn(n)))
+		x := s.FromLinear(uint64(rng.Intn(n)))
+		y := s.FromLinear(uint64(rng.Intn(n)))
+		z := s.FromLinear(uint64(rng.Intn(n)))
+		if s.Closer(key, x, y) && s.Closer(key, y, z) && !s.Closer(key, x, z) {
+			t.Fatalf("transitivity violated: key=%v x=%v y=%v z=%v", key, x, y, z)
+		}
+	}
+}
+
+func TestClockwiseLinear(t *testing.T) {
+	s := NewSpace(3) // size 24
+	if got := s.ClockwiseLinear(0, 5); got != 5 {
+		t.Errorf("ClockwiseLinear(0,5) = %d, want 5", got)
+	}
+	if got := s.ClockwiseLinear(5, 0); got != 19 {
+		t.Errorf("ClockwiseLinear(5,0) = %d, want 19", got)
+	}
+	if got := s.ClockwiseLinear(7, 7); got != 0 {
+		t.Errorf("ClockwiseLinear(7,7) = %d, want 0", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	id := CycloidID{K: 4, A: 0b10110110}
+	if got := id.Format(8); got != "(4,10110110)" {
+		t.Errorf("Format = %q, want %q", got, "(4,10110110)")
+	}
+	if got := id.String(); got != "(4,182)" {
+		t.Errorf("String = %q, want %q", got, "(4,182)")
+	}
+}

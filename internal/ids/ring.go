@@ -1,0 +1,71 @@
+package ids
+
+import "fmt"
+
+// Ring describes a flat circular identifier space of 2^m positions, as
+// used by Chord and Koorde. Viceroy's real-valued [0,1) space is handled
+// as a Ring of 2^32 fixed-point positions.
+type Ring struct {
+	bits int
+}
+
+// NewRing returns a ring of 2^bits identifiers.
+// It panics for bits outside [1, 62].
+func NewRing(bits int) Ring {
+	if bits < 1 || bits > 62 {
+		panic(fmt.Sprintf("ids: ring bits %d out of range [1,62]", bits))
+	}
+	return Ring{bits: bits}
+}
+
+// Bits returns m, the number of identifier bits.
+func (r Ring) Bits() int { return r.bits }
+
+// Size returns the number of positions, 2^m.
+func (r Ring) Size() uint64 { return 1 << uint(r.bits) }
+
+// Mask truncates v to a valid identifier on the ring.
+func (r Ring) Mask(v uint64) uint64 { return v & (r.Size() - 1) }
+
+// Add returns (a + b) mod 2^m.
+func (r Ring) Add(a, b uint64) uint64 { return r.Mask(a + b) }
+
+// Clockwise returns the clockwise offset from a to b.
+func (r Ring) Clockwise(a, b uint64) uint64 {
+	return r.Mask(b - a)
+}
+
+// Between reports whether x lies in the half-open clockwise interval
+// (a, b]. When a == b the interval covers the whole ring except a itself,
+// the usual convention for a ring that has collapsed to one node.
+func (r Ring) Between(x, a, b uint64) bool {
+	if a == b {
+		return x != a
+	}
+	return r.Clockwise(a, x) <= r.Clockwise(a, b) && x != a
+}
+
+// BetweenOpen reports whether x lies in the open clockwise interval (a, b).
+func (r Ring) BetweenOpen(x, a, b uint64) bool {
+	return r.Between(x, a, b) && x != b
+}
+
+// Dist returns the circular (either-direction) distance between a and b.
+func (r Ring) Dist(a, b uint64) uint64 {
+	fwd := r.Clockwise(a, b)
+	if back := r.Size() - fwd; fwd > back {
+		return back
+	}
+	return fwd
+}
+
+// TopBit returns the most significant identifier bit of v (bit m-1).
+func (r Ring) TopBit(v uint64) uint64 {
+	return (v >> uint(r.bits-1)) & 1
+}
+
+// ShiftIn shifts v left by one position and appends bit b, the de Bruijn
+// step Koorde's imaginary-node walk uses.
+func (r Ring) ShiftIn(v, b uint64) uint64 {
+	return r.Mask(v<<1 | (b & 1))
+}

@@ -1,0 +1,136 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.Bits() != 4 || r.Size() != 16 {
+		t.Fatalf("Bits/Size = %d/%d, want 4/16", r.Bits(), r.Size())
+	}
+	if got := r.Mask(17); got != 1 {
+		t.Errorf("Mask(17) = %d, want 1", got)
+	}
+	if got := r.Add(15, 3); got != 2 {
+		t.Errorf("Add(15,3) = %d, want 2", got)
+	}
+}
+
+func TestNewRingPanics(t *testing.T) {
+	for _, b := range []int{0, 63, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d) did not panic", b)
+				}
+			}()
+			NewRing(b)
+		}()
+	}
+}
+
+func TestClockwise(t *testing.T) {
+	r := NewRing(4)
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 11}, {15, 1, 2},
+	}
+	for _, c := range cases {
+		if got := r.Clockwise(c.a, c.b); got != c.want {
+			t.Errorf("Clockwise(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	r := NewRing(4)
+	cases := []struct {
+		x, a, b uint64
+		want    bool
+	}{
+		{5, 3, 7, true},
+		{7, 3, 7, true},  // half-open: b included
+		{3, 3, 7, false}, // a excluded
+		{8, 3, 7, false},
+		{1, 14, 3, true}, // wrapping interval
+		{15, 14, 3, true},
+		{14, 14, 3, false},
+		{5, 14, 3, false},
+		{9, 9, 9, false}, // degenerate: whole ring, but a itself excluded
+		{2, 9, 9, true},  // degenerate interval covers everything else
+	}
+	for _, c := range cases {
+		if got := r.Between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("Between(%d in (%d,%d]) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	r := NewRing(4)
+	if r.BetweenOpen(7, 3, 7) {
+		t.Error("BetweenOpen(7 in (3,7)) = true, want false")
+	}
+	if !r.BetweenOpen(6, 3, 7) {
+		t.Error("BetweenOpen(6 in (3,7)) = false, want true")
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	r := NewRing(4)
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0}, {0, 8, 8}, {0, 9, 7}, {15, 0, 1}, {1, 14, 3},
+	}
+	for _, c := range cases {
+		if got := r.Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	r := NewRing(10)
+	f := func(a, b uint16) bool {
+		x, y := r.Mask(uint64(a)), r.Mask(uint64(b))
+		return r.Dist(x, y) == r.Dist(y, x) && r.Dist(x, y) <= r.Size()/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopBitShiftIn(t *testing.T) {
+	r := NewRing(4)
+	if got := r.TopBit(0b1000); got != 1 {
+		t.Errorf("TopBit(1000) = %d, want 1", got)
+	}
+	if got := r.TopBit(0b0111); got != 0 {
+		t.Errorf("TopBit(0111) = %d, want 0", got)
+	}
+	if got := r.ShiftIn(0b1011, 1); got != 0b0111 {
+		t.Errorf("ShiftIn(1011,1) = %04b, want 0111", got)
+	}
+	if got := r.ShiftIn(0b0011, 0); got != 0b0110 {
+		t.Errorf("ShiftIn(0011,0) = %04b, want 0110", got)
+	}
+}
+
+func TestShiftInRecoversKey(t *testing.T) {
+	// Shifting any start value m times while feeding in the key's bits
+	// from the top must yield exactly the key: the de Bruijn path property
+	// Koorde's lookup relies on.
+	r := NewRing(8)
+	f := func(start, key uint8) bool {
+		i := uint64(start)
+		kshift := uint64(key)
+		for step := 0; step < 8; step++ {
+			i = r.ShiftIn(i, r.TopBit(kshift))
+			kshift = r.Mask(kshift << 1)
+		}
+		return i == uint64(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

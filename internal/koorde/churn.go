@@ -1,0 +1,70 @@
+package koorde
+
+import "math/rand"
+
+// Join implements overlay.Churner: the new node builds its own state from
+// the ring and notifies its ring neighbors (successor lists and
+// predecessor pointers stay fresh); other nodes' de Bruijn pointers that
+// should now target the new node stay stale until stabilization.
+func (net *Network) Join(rng *rand.Rand) (uint64, error) {
+	size := net.ring.Size()
+	if uint64(len(net.nodes)) == size {
+		return 0, ErrFull
+	}
+	var v uint64
+	for {
+		v = uint64(rng.Int63n(int64(size)))
+		if _, taken := net.nodes[v]; !taken {
+			break
+		}
+	}
+	n := net.addMember(v)
+	net.buildNode(n)
+	net.repairRing(v)
+	return v, nil
+}
+
+// Leave implements overlay.Churner: graceful departure notifies the
+// successors and predecessor, repairing the ring; nodes holding the
+// departed node as their de Bruijn pointer (or backup) are not notified.
+func (net *Network) Leave(id uint64) error {
+	if _, ok := net.nodes[id]; !ok {
+		return ErrUnknownNode
+	}
+	net.removeMember(id)
+	if len(net.nodes) == 0 {
+		return nil
+	}
+	net.repairRing(id)
+	return nil
+}
+
+// repairRing rewrites the successor lists of the nodes immediately
+// preceding position v and the predecessor pointer of the node after it.
+func (net *Network) repairRing(v uint64) {
+	succ := net.nodes[net.successorOf(v)]
+	succ.pred = mkref(net.predecessorOf(succ.id))
+	net.buildSuccessors(succ)
+	cur := v
+	for i := 0; i < net.cfg.Successors; i++ {
+		p := net.predecessorOf(cur)
+		n := net.nodes[p]
+		net.buildSuccessors(n)
+		n.pred = mkref(net.predecessorOf(n.id))
+		cur = p
+		if p == v {
+			break
+		}
+	}
+}
+
+// Stabilize implements overlay.Churner: one node refreshes its successor
+// list, predecessor and de Bruijn pointer (plus backups) from the live
+// membership.
+func (net *Network) Stabilize(id uint64) {
+	n, ok := net.nodes[id]
+	if !ok {
+		return
+	}
+	net.buildNode(n)
+}

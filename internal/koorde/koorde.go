@@ -1,0 +1,218 @@
+// Package koorde implements the Koorde DHT (Kaashoek & Karger), the
+// degree-optimal baseline: a Chord ring with de Bruijn routing embedded on
+// it. Matching the paper's comparison setup, each node keeps seven
+// entries: one de Bruijn pointer (the predecessor of 2*id), the three
+// immediate predecessors of that de Bruijn node as backups, and three
+// successors. Lookups walk the de Bruijn path through imaginary nodes,
+// taking successor hops to reach each imaginary node's immediate real
+// predecessor.
+package koorde
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cycloid/internal/ids"
+)
+
+// Config parameterizes a Koorde network.
+type Config struct {
+	// Bits is m; identifiers live on a 2^m ring.
+	Bits int
+	// Successors is the successor-list length (3 in the paper's setup).
+	Successors int
+	// Backups is the number of de Bruijn-predecessor backups (3 in the
+	// paper's setup).
+	Backups int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Bits < 2 || c.Bits > 32 {
+		return fmt.Errorf("koorde: bits %d out of range [2,32]", c.Bits)
+	}
+	if c.Successors < 1 || c.Successors > 32 {
+		return fmt.Errorf("koorde: successor count %d out of range [1,32]", c.Successors)
+	}
+	if c.Backups < 0 || c.Backups > 32 {
+		return fmt.Errorf("koorde: backup count %d out of range [0,32]", c.Backups)
+	}
+	return nil
+}
+
+// ErrFull reports a fully occupied identifier space.
+var ErrFull = errors.New("koorde: identifier space is full")
+
+// ErrUnknownNode reports an operation on a non-live node.
+var ErrUnknownNode = errors.New("koorde: node not in network")
+
+type ref struct {
+	id uint64
+	ok bool
+}
+
+func mkref(id uint64) ref { return ref{id: id, ok: true} }
+
+// Node is one Koorde participant.
+type Node struct {
+	id       uint64
+	succs    []ref // successor list, nearest first
+	pred     ref
+	debruijn ref   // predecessor of 2*id
+	backups  []ref // immediate predecessors of the de Bruijn node
+}
+
+// Network is an in-memory Koorde overlay.
+type Network struct {
+	cfg   Config
+	ring  ids.Ring
+	nodes map[uint64]*Node
+
+	sorted      []uint64
+	sortedDirty bool
+}
+
+// New returns an empty network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:   cfg,
+		ring:  ids.NewRing(cfg.Bits),
+		nodes: make(map[uint64]*Node),
+	}, nil
+}
+
+// NewRandom builds a converged network of n nodes at distinct random IDs.
+func NewRandom(cfg Config, n int, rng *rand.Rand) (*Network, error) {
+	net, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > net.ring.Size() {
+		return nil, fmt.Errorf("koorde: %d nodes exceed ring of %d", n, net.ring.Size())
+	}
+	if uint64(n)*2 > net.ring.Size() {
+		perm := rng.Perm(int(net.ring.Size()))
+		for _, p := range perm[:n] {
+			net.addMember(uint64(p))
+		}
+	} else {
+		for len(net.nodes) < n {
+			v := uint64(rng.Int63n(int64(net.ring.Size())))
+			if _, taken := net.nodes[v]; !taken {
+				net.addMember(v)
+			}
+		}
+	}
+	net.BuildAll()
+	return net, nil
+}
+
+// Name implements overlay.Network.
+func (net *Network) Name() string { return "koorde" }
+
+// KeySpace implements overlay.Network.
+func (net *Network) KeySpace() uint64 { return net.ring.Size() }
+
+// Size returns the number of live nodes.
+func (net *Network) Size() int { return len(net.nodes) }
+
+// NodeIDs returns the sorted live node IDs.
+func (net *Network) NodeIDs() []uint64 {
+	if net.sortedDirty {
+		net.sorted = net.sorted[:0]
+		for v := range net.nodes {
+			net.sorted = append(net.sorted, v)
+		}
+		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
+		net.sortedDirty = false
+	}
+	return net.sorted
+}
+
+func (net *Network) addMember(id uint64) *Node {
+	n := &Node{id: id}
+	net.nodes[id] = n
+	net.sortedDirty = true
+	return n
+}
+
+func (net *Network) removeMember(id uint64) {
+	delete(net.nodes, id)
+	net.sortedDirty = true
+}
+
+func (net *Network) successorOf(v uint64) uint64 {
+	s := net.NodeIDs()
+	pos := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return s[pos%len(s)]
+}
+
+func (net *Network) predecessorOf(v uint64) uint64 {
+	s := net.NodeIDs()
+	pos := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return s[((pos-1)%len(s)+len(s))%len(s)]
+}
+
+// Responsible implements overlay.Network: keys live at their successor.
+func (net *Network) Responsible(key uint64) uint64 {
+	if len(net.nodes) == 0 {
+		panic("koorde: Responsible on empty network")
+	}
+	return net.successorOf(key)
+}
+
+// BuildAll recomputes every node's state from the membership.
+func (net *Network) BuildAll() {
+	for _, n := range net.nodes {
+		net.buildNode(n)
+	}
+}
+
+func (net *Network) buildNode(n *Node) {
+	net.buildSuccessors(n)
+	n.pred = mkref(net.predecessorOf(n.id))
+	net.buildDeBruijn(n)
+}
+
+func (net *Network) buildSuccessors(n *Node) {
+	n.succs = n.succs[:0]
+	cur := n.id
+	for i := 0; i < net.cfg.Successors; i++ {
+		cur = net.successorOf(net.ring.Add(cur, 1))
+		n.succs = append(n.succs, mkref(cur))
+		if cur == n.id {
+			break
+		}
+	}
+}
+
+// atOrBefore returns the live node at v, or the last live node before it.
+func (net *Network) atOrBefore(v uint64) uint64 {
+	if _, live := net.nodes[v]; live {
+		return v
+	}
+	return net.predecessorOf(v)
+}
+
+// buildDeBruijn sets the de Bruijn pointer to the node at or immediately
+// before 2*id (in a complete network that is node 2*id itself — note the
+// even identifier, the source of Koorde's query-load imbalance the paper
+// observes) and the backups to that node's own predecessors.
+func (net *Network) buildDeBruijn(n *Node) {
+	d := net.atOrBefore(net.ring.Mask(2 * n.id))
+	n.debruijn = mkref(d)
+	n.backups = n.backups[:0]
+	cur := d
+	for i := 0; i < net.cfg.Backups; i++ {
+		cur = net.predecessorOf(cur)
+		n.backups = append(n.backups, mkref(cur))
+		if cur == d {
+			break
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package koorde
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cycloid/internal/overlay"
+)
+
+func cfg() Config { return Config{Bits: 11, Successors: 3, Backups: 3} }
+
+func mustRandom(t testing.TB, c Config, n int, seed int64) *Network {
+	t.Helper()
+	net, err := NewRandom(c, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Bits: 1, Successors: 3, Backups: 3},
+		{Bits: 11, Successors: 0, Backups: 3},
+		{Bits: 11, Successors: 3, Backups: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+}
+
+func TestLookupExactDense(t *testing.T) {
+	// Complete ring: every position occupied.
+	c := Config{Bits: 8, Successors: 3, Backups: 3}
+	net := mustRandom(t, c, 256, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		src := overlay.RandomNode(net, rng)
+		key := overlay.RandomKey(net, rng)
+		res := net.Lookup(src, key)
+		if res.Failed || res.Terminal != key {
+			t.Fatalf("dense: src=%d key=%d: %+v", src, key, res)
+		}
+	}
+}
+
+func TestLookupExactSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 20, 200, 1024} {
+		net := mustRandom(t, cfg(), n, int64(n)*7)
+		for trial := 0; trial < 300; trial++ {
+			src := overlay.RandomNode(net, rng)
+			key := overlay.RandomKey(net, rng)
+			res := net.Lookup(src, key)
+			if res.Failed || res.Terminal != net.Responsible(key) {
+				t.Fatalf("n=%d src=%d key=%d: %+v want %d", n, src, key, res, net.Responsible(key))
+			}
+			if res.Timeouts != 0 {
+				t.Fatalf("timeouts in stable network: %+v", res)
+			}
+		}
+	}
+}
+
+func TestLookupQuickProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, keyRaw uint16) bool {
+		n := 1 + int(nRaw)%80
+		net, err := NewRandom(Config{Bits: 9, Successors: 3, Backups: 3}, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		src := overlay.RandomNode(net, rng)
+		key := uint64(keyRaw) % net.KeySpace()
+		res := net.Lookup(src, key)
+		return !res.Failed && res.Terminal == net.Responsible(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLengthOrderLogN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := mustRandom(t, cfg(), 2048, 5) // complete 2^11 ring
+	total := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatal("lookup failed")
+		}
+		total += res.PathLength()
+	}
+	mean := float64(total) / trials
+	// De Bruijn walk costs at most m=11 plus interleaved successor hops;
+	// the best-start optimization shortens it below m on average.
+	if mean < 2 || mean > 14 {
+		t.Errorf("mean path length %.2f outside plausible band for m=11", mean)
+	}
+}
+
+// TestSparsityLengthensSuccessorPhase reproduces the Section 4.5 effect:
+// as the ring gets sparser, successor hops take a growing share of the
+// path.
+func TestSparsityLengthensSuccessorPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shareAt := func(n int) float64 {
+		net := mustRandom(t, cfg(), n, int64(n))
+		deb, succ := 0, 0
+		for i := 0; i < 2000; i++ {
+			res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+			deb += res.PhaseHops(overlay.PhaseDeBruijn)
+			succ += res.PhaseHops(overlay.PhaseSuccessor)
+		}
+		return float64(succ) / float64(succ+deb)
+	}
+	dense := shareAt(2048)
+	sparse := shareAt(256)
+	if sparse <= dense {
+		t.Errorf("successor share should grow with sparsity: dense=%.2f sparse=%.2f", dense, sparse)
+	}
+}
+
+func TestGracefulDepartureFailureModes(t *testing.T) {
+	// With a large departed fraction, some nodes lose their de Bruijn
+	// pointer and all backups; their lookups fail. The ring itself stays
+	// intact, so failures stem only from the de Bruijn jumps.
+	rng := rand.New(rand.NewSource(6))
+	net := mustRandom(t, cfg(), 2048, 7)
+	for i := 0; i < 1024; i++ { // p = 0.5
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failures, timeouts := 0, 0
+	for i := 0; i < 3000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			failures++
+		}
+		timeouts += res.Timeouts
+	}
+	if failures == 0 {
+		t.Error("expected some lookup failures at departure probability 0.5")
+	}
+	if failures > 1500 {
+		t.Errorf("failure count %d implausibly high", failures)
+	}
+	if timeouts == 0 {
+		t.Error("expected stale de Bruijn pointers to cost timeouts")
+	}
+}
+
+func TestBackupPromotionLimitsTimeouts(t *testing.T) {
+	// Repair-on-timeout: the same stale pointer must not charge a timeout
+	// on every lookup that crosses it.
+	rng := rand.New(rand.NewSource(7))
+	net := mustRandom(t, cfg(), 1024, 8)
+	for i := 0; i < 200; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, second := 0, 0
+	for i := 0; i < 2000; i++ {
+		first += net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng)).Timeouts
+	}
+	for i := 0; i < 2000; i++ {
+		second += net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng)).Timeouts
+	}
+	// Nodes whose pointer and every backup died keep failing (and keep
+	// costing timeouts), so the counts shrink rather than vanish.
+	if second >= first {
+		t.Errorf("timeouts should shrink after promotion: first=%d second=%d", first, second)
+	}
+}
+
+func TestStabilizeRestoresDeBruijn(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := mustRandom(t, cfg(), 512, 9)
+	for i := 0; i < 200; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range append([]uint64(nil), net.NodeIDs()...) {
+		net.Stabilize(v)
+	}
+	for i := 0; i < 1000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Timeouts != 0 || res.Failed {
+			t.Fatalf("after stabilization: %+v", res)
+		}
+	}
+}
+
+func TestJoinThenLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := mustRandom(t, cfg(), 64, 10)
+	for i := 0; i < 100; i++ {
+		if _, err := net.Join(rng); err != nil {
+			t.Fatal(err)
+		}
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatalf("join %d: %+v", i, res)
+		}
+	}
+}
+
+func TestBestStartSkipsHops(t *testing.T) {
+	// In a complete ring the best start should rarely need all m shifts.
+	net := mustRandom(t, Config{Bits: 8, Successors: 3, Backups: 3}, 256, 11)
+	totalRemaining := 0
+	for _, v := range net.NodeIDs()[:64] {
+		_, _, rem := net.bestStart(net.nodes[v], uint64(v*7%256))
+		if rem < 0 || rem > 8 {
+			t.Fatalf("remaining %d out of range", rem)
+		}
+		totalRemaining += rem
+	}
+	if totalRemaining >= 8*64 {
+		t.Error("best-start never saved a hop in a complete ring")
+	}
+}

@@ -1,0 +1,149 @@
+package koorde
+
+import "cycloid/internal/overlay"
+
+// Lookup implements overlay.Network using Koorde's de Bruijn routing
+// (Figure 2 of the Koorde paper, iteratively): the request tracks an
+// imaginary node i and the remaining shifted key bits. Whenever i lies in
+// (cur, successor], cur is i's immediate real predecessor and the request
+// takes cur's de Bruijn pointer while i shifts in the next key bit;
+// otherwise it takes successor hops to catch the imaginary node up.
+//
+// The starting imaginary node is optimized as in the Koorde paper: the
+// origin picks i in (origin, successor] whose low bits already match the
+// key's high bits, skipping de Bruijn hops a full-length walk would waste.
+//
+// Failure semantics follow Section 4.3 of the Cycloid paper: when a node's
+// de Bruijn pointer is dead it costs a timeout and the node falls back to
+// the pointer's predecessor backups (promoting the first live backup to be
+// the new pointer); when the pointer and every backup are dead the lookup
+// fails.
+func (net *Network) Lookup(src, key uint64) overlay.Result {
+	res := overlay.Result{Key: key, Source: src}
+	cur, ok := net.nodes[src]
+	if !ok {
+		res.Failed = true
+		return res
+	}
+	budget := 16*net.cfg.Bits + 64
+
+	i, kshift, remaining := net.bestStart(cur, key)
+	for {
+		if cur.pred.ok && net.ring.Between(key, cur.pred.id, cur.id) {
+			break // cur owns the key
+		}
+		succ, timeouts := net.firstLiveSuccessor(cur)
+		res.Timeouts += timeouts
+		if succ == nil {
+			res.Failed = true
+			break
+		}
+		if succ.id == cur.id {
+			break // single live node
+		}
+		if net.ring.Between(key, cur.id, succ.id) {
+			res.Hops = append(res.Hops, overlay.Hop{From: cur.id, To: succ.id, Phase: overlay.PhaseSuccessor})
+			cur = succ
+			break
+		}
+		if remaining > 0 && (i == cur.id || net.ring.BetweenOpen(i, cur.id, succ.id)) {
+			next, timeouts, ok := net.liveDeBruijn(cur)
+			res.Timeouts += timeouts
+			if !ok {
+				// De Bruijn pointer and all backups departed: the paper's
+				// Koorde failure mode.
+				res.Failed = true
+				break
+			}
+			res.Hops = append(res.Hops, overlay.Hop{From: cur.id, To: next.id, Phase: overlay.PhaseDeBruijn})
+			cur = next
+			i = net.ring.ShiftIn(i, net.ring.TopBit(kshift))
+			kshift = net.ring.Mask(kshift << 1)
+			remaining--
+		} else {
+			res.Hops = append(res.Hops, overlay.Hop{From: cur.id, To: succ.id, Phase: overlay.PhaseSuccessor})
+			cur = succ
+		}
+		if len(res.Hops) >= budget {
+			res.Failed = true
+			break
+		}
+	}
+	res.Terminal = cur.id
+	if !res.Failed && len(net.nodes) > 0 {
+		res.Failed = res.Terminal != net.Responsible(key)
+	}
+	return res
+}
+
+// bestStart picks the imaginary starting node: the largest j such that
+// some value in [n, successor) has its low j bits equal to the key's high
+// j bits. It returns that imaginary node, the key shifted past the
+// already-matched bits, and the number of de Bruijn hops remaining.
+func (net *Network) bestStart(n *Node, key uint64) (i, kshift uint64, remaining int) {
+	m := net.cfg.Bits
+	succ := n.id
+	for _, r := range n.succs {
+		if r.ok {
+			succ = r.id
+			break
+		}
+	}
+	span := net.ring.Clockwise(n.id, succ)
+	if span == 0 {
+		span = net.ring.Size() // single node: whole ring
+	}
+	for j := m; j >= 1; j-- {
+		top := key >> uint(m-j)       // high j bits of the key
+		block := uint64(1) << uint(j) // low-bit period
+		// First value at or after n.id congruent to top mod 2^j.
+		offset := net.ring.Mask(top-n.id) & (block - 1)
+		x := net.ring.Add(n.id, offset)
+		if net.ring.Clockwise(n.id, x) < span {
+			return x, net.ring.Mask(key << uint(j)), m - j
+		}
+	}
+	// j = 0: any imaginary node in the interval works; start at n itself.
+	return n.id, key, m
+}
+
+// firstLiveSuccessor resolves the successor list, counting a timeout per
+// departed entry tried.
+func (net *Network) firstLiveSuccessor(n *Node) (*Node, int) {
+	timeouts := 0
+	for _, r := range n.succs {
+		if !r.ok {
+			continue
+		}
+		if s, live := net.nodes[r.id]; live {
+			return s, timeouts
+		}
+		timeouts++
+	}
+	return nil, timeouts
+}
+
+// liveDeBruijn resolves the de Bruijn pointer, falling back through the
+// backups. The first live backup found is promoted to be the node's new
+// pointer, so a given stale pointer costs its timeout only once.
+func (net *Network) liveDeBruijn(n *Node) (*Node, int, bool) {
+	timeouts := 0
+	if n.debruijn.ok {
+		if d, live := net.nodes[n.debruijn.id]; live {
+			return d, timeouts, true
+		}
+		timeouts++
+	}
+	for bi, r := range n.backups {
+		if !r.ok {
+			continue
+		}
+		if d, live := net.nodes[r.id]; live {
+			n.debruijn = r
+			n.backups = append([]ref(nil), n.backups[bi+1:]...)
+			return d, timeouts, true
+		}
+		timeouts++
+	}
+	return nil, timeouts, false
+}

@@ -1,0 +1,129 @@
+// Package overlay defines the transport-agnostic abstractions all four
+// DHT implementations share: hop-by-hop lookup traces with per-phase tags,
+// timeout accounting for stale routing entries, and the Network/Churner
+// interfaces the experiment harness drives.
+//
+// Lookups execute as synchronous walks over in-memory node structures.
+// Every hop is a message arrival at a node, so query-load and congestion
+// metrics fall directly out of the recorded traces.
+package overlay
+
+import "math/rand"
+
+// Phase labels one routing hop with the algorithmic phase that produced
+// it, the classification Figures 7 and 14 of the paper break lookup cost
+// down by.
+type Phase int
+
+const (
+	// PhaseAscending is Cycloid's and Viceroy's climb toward a routable
+	// level/cyclic index.
+	PhaseAscending Phase = iota
+	// PhaseDescending is prefix/level correction (Cycloid cubical+cyclic
+	// hops, Viceroy down links).
+	PhaseDescending
+	// PhaseTraverse is the final closing-in through leaf sets or rings.
+	PhaseTraverse
+	// PhaseDeBruijn is a Koorde imaginary-node de Bruijn hop.
+	PhaseDeBruijn
+	// PhaseSuccessor is a Koorde or Chord successor hop.
+	PhaseSuccessor
+	// PhaseFinger is a Chord finger hop.
+	PhaseFinger
+)
+
+var phaseNames = map[Phase]string{
+	PhaseAscending:  "ascending",
+	PhaseDescending: "descending",
+	PhaseTraverse:   "traverse",
+	PhaseDeBruijn:   "debruijn",
+	PhaseSuccessor:  "successor",
+	PhaseFinger:     "finger",
+}
+
+func (p Phase) String() string {
+	if s, ok := phaseNames[p]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Hop is one message forwarding step of a lookup.
+type Hop struct {
+	From  uint64 // linearized ID of the forwarding node
+	To    uint64 // linearized ID of the receiving node
+	Phase Phase
+}
+
+// Result is the outcome of one lookup request.
+type Result struct {
+	Key      uint64 // the looked-up key, in the network's key space
+	Source   uint64 // linearized ID of the originating node
+	Terminal uint64 // linearized ID of the node the lookup ended at
+	Hops     []Hop
+	Timeouts int  // departed nodes contacted along the way
+	Failed   bool // true if routing could not reach any responsible node
+}
+
+// PathLength returns the number of hops traversed.
+func (r Result) PathLength() int { return len(r.Hops) }
+
+// PhaseHops returns how many hops carry the given phase tag.
+func (r Result) PhaseHops(p Phase) int {
+	n := 0
+	for _, h := range r.Hops {
+		if h.Phase == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Network is the read/lookup surface every DHT implementation exposes to
+// the experiment harness. Node identifiers are linearized into uint64 so
+// the harness can stay agnostic of each DHT's native ID shape.
+type Network interface {
+	// Name identifies the DHT variant, e.g. "cycloid-7" or "koorde".
+	Name() string
+	// KeySpace returns the size of the key space; lookup keys are drawn
+	// uniformly from [0, KeySpace()).
+	KeySpace() uint64
+	// Size returns the number of live nodes.
+	Size() int
+	// NodeIDs returns the sorted linearized IDs of all live nodes. The
+	// returned slice must not be modified by the caller.
+	NodeIDs() []uint64
+	// Lookup routes a request for key from the live node src.
+	Lookup(src, key uint64) Result
+	// Responsible returns the linearized ID of the node that should store
+	// key under the DHT's placement rule, the ground truth lookups are
+	// checked against.
+	Responsible(key uint64) uint64
+}
+
+// Churner extends Network with the membership dynamics the failure and
+// churn experiments (Sections 4.3 and 4.4 of the paper) exercise.
+type Churner interface {
+	Network
+	// Join adds one node at a random unoccupied position, running the
+	// DHT's join protocol, and returns its linearized ID.
+	Join(rng *rand.Rand) (uint64, error)
+	// Leave performs a graceful departure of the given node: the DHT's
+	// notification protocol runs, but entries the protocol does not cover
+	// are left stale.
+	Leave(id uint64) error
+	// Stabilize runs one node's periodic stabilization, repairing its
+	// routing state from the current membership.
+	Stabilize(id uint64)
+}
+
+// RandomNode returns a uniformly random live node ID.
+func RandomNode(n Network, rng *rand.Rand) uint64 {
+	idsl := n.NodeIDs()
+	return idsl[rng.Intn(len(idsl))]
+}
+
+// RandomKey returns a uniformly random key in the network's key space.
+func RandomKey(n Network, rng *rand.Rand) uint64 {
+	return uint64(rng.Int63n(int64(n.KeySpace())))
+}

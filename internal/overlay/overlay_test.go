@@ -1,0 +1,74 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPhaseString(t *testing.T) {
+	cases := map[Phase]string{
+		PhaseAscending:  "ascending",
+		PhaseDescending: "descending",
+		PhaseTraverse:   "traverse",
+		PhaseDeBruijn:   "debruijn",
+		PhaseSuccessor:  "successor",
+		PhaseFinger:     "finger",
+		Phase(99):       "unknown",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	r := Result{
+		Hops: []Hop{
+			{From: 1, To: 2, Phase: PhaseAscending},
+			{From: 2, To: 3, Phase: PhaseDescending},
+			{From: 3, To: 4, Phase: PhaseDescending},
+			{From: 4, To: 5, Phase: PhaseTraverse},
+		},
+	}
+	if r.PathLength() != 4 {
+		t.Errorf("PathLength = %d, want 4", r.PathLength())
+	}
+	if r.PhaseHops(PhaseDescending) != 2 {
+		t.Errorf("descending hops = %d, want 2", r.PhaseHops(PhaseDescending))
+	}
+	if r.PhaseHops(PhaseFinger) != 0 {
+		t.Errorf("finger hops = %d, want 0", r.PhaseHops(PhaseFinger))
+	}
+}
+
+type fakeNet struct {
+	ids []uint64
+}
+
+func (f fakeNet) Name() string                { return "fake" }
+func (f fakeNet) KeySpace() uint64            { return 100 }
+func (f fakeNet) Size() int                   { return len(f.ids) }
+func (f fakeNet) NodeIDs() []uint64           { return f.ids }
+func (f fakeNet) Lookup(s, k uint64) Result   { return Result{} }
+func (f fakeNet) Responsible(k uint64) uint64 { return 0 }
+
+func TestRandomHelpers(t *testing.T) {
+	n := fakeNet{ids: []uint64{10, 20, 30}}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		id := RandomNode(n, rng)
+		if id != 10 && id != 20 && id != 30 {
+			t.Fatalf("RandomNode returned non-member %d", id)
+		}
+		seen[id] = true
+		k := RandomKey(n, rng)
+		if k >= 100 {
+			t.Fatalf("RandomKey out of range: %d", k)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("RandomNode never hit all members: %v", seen)
+	}
+}

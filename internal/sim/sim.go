@@ -1,0 +1,147 @@
+// Package sim is a discrete-event simulation kernel: a virtual clock, a
+// priority event queue, and Poisson arrival processes. The churn
+// experiment (Section 4.4 of the paper) runs joins, leaves, lookups and
+// per-node stabilization timers as events in virtual time.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Event is a scheduled action. Fire may schedule further events.
+type Event struct {
+	At   Time
+	Fire func(now Time)
+
+	seq int // tie-break so equal-time events fire in schedule order
+	idx int // heap index
+}
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine drives events in virtual-time order.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    int
+	halted bool
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fire to run at the absolute time at. Events scheduled
+// in the past run immediately at the current time (clamped).
+func (e *Engine) Schedule(at Time, fire func(now Time)) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fire: fire, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fire to run delay seconds from now.
+func (e *Engine) After(delay Time, fire func(now Time)) *Event {
+	return e.Schedule(e.now+delay, fire)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run fires events until the queue is empty, the horizon is passed, or
+// Halt is called. It returns the number of events fired.
+func (e *Engine) Run(horizon Time) int {
+	fired := 0
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := e.queue[0]
+		if ev.At > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.At
+		ev.Fire(e.now)
+		fired++
+	}
+	if e.now < horizon && len(e.queue) == 0 {
+		e.now = horizon
+	}
+	return fired
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Poisson generates exponentially distributed inter-arrival times for a
+// Poisson process with the given rate (events per second).
+type Poisson struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process driven by rng. A non-positive rate
+// yields a process that never fires (infinite inter-arrival times).
+func NewPoisson(rate float64, rng *rand.Rand) *Poisson {
+	return &Poisson{rate: rate, rng: rng}
+}
+
+// Next returns the next inter-arrival delay.
+func (p *Poisson) Next() Time {
+	if p.rate <= 0 {
+		return Time(math.Inf(1))
+	}
+	return Time(p.rng.ExpFloat64() / p.rate)
+}
+
+// Recur schedules fire at Poisson arrivals on the engine, starting one
+// inter-arrival from now, until the engine's horizon cuts it off.
+func (p *Poisson) Recur(e *Engine, fire func(now Time)) {
+	var tick func(now Time)
+	tick = func(now Time) {
+		fire(now)
+		d := p.Next()
+		if !math.IsInf(float64(d), 1) {
+			e.After(d, tick)
+		}
+	}
+	d := p.Next()
+	if !math.IsInf(float64(d), 1) {
+		e.After(d, tick)
+	}
+}

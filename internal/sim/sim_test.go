@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func(Time) { order = append(order, 3) })
+	e.Schedule(1, func(Time) { order = append(order, 1) })
+	e.Schedule(2, func(Time) { order = append(order, 2) })
+	if n := e.Run(10); n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Time) { order = append(order, i) })
+	}
+	e.Run(10)
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func(Time) { fired++ })
+	e.Schedule(100, func(Time) { fired++ })
+	if n := e.Run(50); n != 1 || fired != 1 {
+		t.Fatalf("fired %d/%d, want 1", n, fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// A second run with a later horizon picks up the rest.
+	if n := e.Run(200); n != 1 || fired != 2 {
+		t.Fatalf("second run fired %d", n)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(now Time)
+	tick = func(now Time) {
+		count++
+		if count < 5 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run(100)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want the horizon once idle", e.Now())
+	}
+}
+
+func TestPastEventsClamp(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(10, func(now Time) {
+		e.Schedule(3, func(now Time) { at = now }) // in the past
+	})
+	e.Run(20)
+	if at != 10 {
+		t.Fatalf("past-scheduled event fired at %v, want clamped to 10", at)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func(Time) { fired++; e.Halt() })
+	e.Schedule(2, func(Time) { fired++ })
+	e.Run(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (halted)", fired)
+	}
+}
+
+func TestClockAdvancesToHorizonWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %v, want 42", e.Now())
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPoisson(0.25, rng) // one event per 4s on average
+	var total Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += p.Next()
+	}
+	mean := float64(total) / n
+	if math.Abs(mean-4) > 0.2 {
+		t.Fatalf("mean inter-arrival %.3f, want ~4", mean)
+	}
+}
+
+func TestPoissonZeroRateNeverFires(t *testing.T) {
+	p := NewPoisson(0, rand.New(rand.NewSource(1)))
+	if !math.IsInf(float64(p.Next()), 1) {
+		t.Fatal("zero-rate process should never fire")
+	}
+	e := NewEngine()
+	fired := 0
+	p.Recur(e, func(Time) { fired++ })
+	e.Run(1000)
+	if fired != 0 {
+		t.Fatalf("fired %d, want 0", fired)
+	}
+}
+
+func TestPoissonRecurCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEngine()
+	fired := 0
+	NewPoisson(1, rng).Recur(e, func(Time) { fired++ }) // 1/s over 1000s
+	e.Run(1000)
+	if fired < 900 || fired > 1100 {
+		t.Fatalf("fired %d events, want ~1000", fired)
+	}
+}

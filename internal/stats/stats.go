@@ -1,0 +1,170 @@
+// Package stats implements the summary statistics the paper reports:
+// means, variances, and exact 1st/99th percentiles of hop counts, timeout
+// counts, key loads and query loads.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and produces summaries.
+// The zero value is an empty sample ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddInt appends one integer observation.
+func (s *Sample) AddInt(x int) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the population variance, or 0 for fewer than two
+// observations.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using the
+// nearest-rank method on the sorted sample, the convention the paper's
+// "1st and 99th percentiles" plots use. It returns 0 for an empty sample
+// and panics for p outside [0,100].
+func (s *Sample) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p == 0 {
+		return s.xs[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s.xs[rank-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Summary is the (mean, 1st percentile, 99th percentile) triple the paper
+// plots for key distribution, query load and timeout counts.
+type Summary struct {
+	N    int
+	Mean float64
+	P1   float64
+	P99  float64
+	Min  float64
+	Max  float64
+	Var  float64
+}
+
+// Summarize produces the paper-style summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P1:   s.Percentile(1),
+		P99:  s.Percentile(99),
+		Min:  s.Min(),
+		Max:  s.Max(),
+		Var:  s.Variance(),
+	}
+}
+
+func (sm Summary) String() string {
+	return fmt.Sprintf("mean=%.2f p1=%.0f p99=%.0f min=%.0f max=%.0f n=%d",
+		sm.Mean, sm.P1, sm.P99, sm.Min, sm.Max, sm.N)
+}
+
+// Counter tallies integer-keyed event counts, e.g. messages received per
+// node or hops per phase.
+type Counter struct {
+	m map[uint64]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{m: make(map[uint64]int)} }
+
+// Inc adds delta to the count for key.
+func (c *Counter) Inc(key uint64, delta int) { c.m[key] += delta }
+
+// Get returns the count for key.
+func (c *Counter) Get(key uint64) int { return c.m[key] }
+
+// Len returns the number of distinct keys observed.
+func (c *Counter) Len() int { return len(c.m) }
+
+// Sample converts the counts (including zeros for the provided universe of
+// keys, so unloaded nodes drag the 1st percentile down exactly as in the
+// paper) into a Sample.
+func (c *Counter) Sample(universe []uint64) *Sample {
+	var s Sample
+	for _, k := range universe {
+		s.AddInt(c.m[k])
+	}
+	return &s
+}

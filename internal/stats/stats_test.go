@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should summarize to zeros")
+	}
+	if s.Percentile(50) != 0 {
+		t.Error("Percentile on empty sample should be 0")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if !almost(s.Mean(), 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if !almost(s.Variance(), 4) {
+		t.Errorf("Variance = %v, want 4", s.Variance())
+	}
+	if !almost(s.StdDev(), 2) {
+		t.Errorf("StdDev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, -1, 7, 0} {
+		s.Add(x)
+	}
+	if s.Min() != -1 || s.Max() != 7 {
+		t.Errorf("Min/Max = %v/%v, want -1/7", s.Min(), s.Max())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddInt(i)
+	}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			s.Percentile(p)
+		}()
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		v := s.Percentile(float64(p % 101))
+		return v >= s.Min() && v <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Error("sample did not re-sort after Add following Percentile")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	rng := rand.New(rand.NewSource(7))
+	raw := make([]float64, 1000)
+	for i := range raw {
+		raw[i] = rng.Float64() * 100
+		s.Add(raw[i])
+	}
+	sum := s.Summarize()
+	sort.Float64s(raw)
+	if sum.N != 1000 {
+		t.Errorf("N = %d", sum.N)
+	}
+	if sum.P1 != raw[9] { // ceil(0.01*1000)=10 -> index 9
+		t.Errorf("P1 = %v, want %v", sum.P1, raw[9])
+	}
+	if sum.P99 != raw[989] {
+		t.Errorf("P99 = %v, want %v", sum.P99, raw[989])
+	}
+	if sum.Min != raw[0] || sum.Max != raw[999] {
+		t.Error("Min/Max mismatch")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc(3, 1)
+	c.Inc(3, 2)
+	c.Inc(9, 5)
+	if c.Get(3) != 3 || c.Get(9) != 5 || c.Get(1) != 0 {
+		t.Error("counter arithmetic wrong")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	s := c.Sample([]uint64{1, 3, 9})
+	if s.N() != 3 {
+		t.Fatalf("Sample N = %d, want 3", s.N())
+	}
+	if s.Min() != 0 {
+		t.Error("universe key with no events should contribute a zero")
+	}
+	if !almost(s.Mean(), 8.0/3.0) {
+		t.Errorf("Mean = %v, want 8/3", s.Mean())
+	}
+}

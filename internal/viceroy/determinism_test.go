@@ -1,0 +1,38 @@
+package viceroy
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+// TestReleveLDeterministic guards against map-order nondeterminism in the
+// level re-selection: two identical runs that shrink the network past a
+// log2 boundary must assign identical levels everywhere.
+func TestReleveLDeterministic(t *testing.T) {
+	build := func() map[uint64]int {
+		net := mustRandom(t, 2048, 99)
+		rng := rand.New(rand.NewSource(100))
+		for i := 0; i < 1200; i++ { // crosses the 2048 -> 1024 level boundary
+			if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make(map[uint64]int, net.Size())
+		for _, v := range net.NodeIDs() {
+			l, _ := net.NodeLevel(v)
+			out[v] = l
+		}
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("memberships differ: %d vs %d", len(a), len(b))
+	}
+	for id, la := range a {
+		if lb, ok := b[id]; !ok || lb != la {
+			t.Fatalf("node %d level differs across identical runs: %d vs %d", id, la, lb)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package viceroy
+
+import (
+	"math/rand"
+
+	"cycloid/internal/overlay"
+)
+
+// Lookup implements overlay.Network with Viceroy's three routing phases.
+// Links never dangle (graceful membership changes update all related
+// nodes), so no timeouts occur; the Result still carries the phase-tagged
+// hop trace for the breakdown analysis of Figure 7(b).
+func (net *Network) Lookup(src, key uint64) overlay.Result {
+	res := overlay.Result{Key: key, Source: src}
+	cur, ok := net.nodes[src]
+	if !ok {
+		res.Failed = true
+		return res
+	}
+	// Viceroy repairs all affected links eagerly on every membership
+	// change, so a node's links are always converged with the live
+	// membership. The simulator models that by resolving each visited
+	// node's links against the membership on arrival.
+	net.buildNode(cur)
+	hop := func(to ref, phase overlay.Phase) bool {
+		n, live := net.nodes[to.id]
+		if !to.ok || !live || to.id == cur.id {
+			return false
+		}
+		res.Hops = append(res.Hops, overlay.Hop{From: cur.id, To: n.id, Phase: phase})
+		cur = n
+		net.buildNode(cur)
+		return true
+	}
+	budget := 16*net.maxLevel + 256
+
+	// Phase 1 — ascending: climb to a level-1 node through up links.
+	for cur.level > 1 && len(res.Hops) < budget {
+		if net.owns(cur, key) {
+			break
+		}
+		if !hop(cur.up, overlay.PhaseAscending) {
+			break
+		}
+	}
+
+	// Phase 2 — descending: follow down links, choosing left when the
+	// clockwise distance to the target is below 2^-level, right otherwise.
+	for cur.level < net.maxLevel && len(res.Hops) < budget {
+		if net.owns(cur, key) {
+			break
+		}
+		ahead := net.ring.Clockwise(cur.id, key)
+		stride := net.ring.Size() >> uint(cur.level)
+		var next ref
+		if ahead < stride {
+			next = cur.downLeft
+		} else {
+			next = cur.downRight
+		}
+		if next.ok && net.ring.BetweenOpen(key, cur.id, next.id) {
+			break // the link would step past the key; traverse finishes
+		}
+		if !hop(next, overlay.PhaseDescending) {
+			break // no down link in range: descent ends
+		}
+	}
+
+	// Phase 3 — traverse: close in through level-ring and general-ring
+	// links. When the key lies ahead (clockwise), walk forward without
+	// stepping past it and finish with the successor hop to the owner;
+	// when the descending phase overshot and the key lies behind, walk
+	// backward through nodes between the key and the current position
+	// until the current node is the key's successor. Both directions make
+	// strict circular progress, so the phase terminates.
+	for len(res.Hops) < budget {
+		if net.owns(cur, key) {
+			break
+		}
+		succ := cur.ringSucc
+		if succ.ok && net.ring.Between(key, cur.id, succ.id) {
+			hop(succ, overlay.PhaseTraverse) // the successor owns the key
+			break
+		}
+		links := []ref{cur.levelNext, cur.levelPrev, cur.ringSucc, cur.ringPred}
+		var best ref
+		if net.ring.Clockwise(cur.id, key) <= net.ring.Clockwise(key, cur.id) {
+			// Forward: the candidate in (cur, key] with most progress.
+			var bestAdv uint64
+			for _, c := range links {
+				if !c.ok || c.id == cur.id || !net.ring.Between(c.id, cur.id, key) {
+					continue
+				}
+				if adv := net.ring.Clockwise(cur.id, c.id); adv > bestAdv {
+					best, bestAdv = c, adv
+				}
+			}
+		} else {
+			// Backward: the candidate in (key, cur) closest to the key.
+			bestOff := net.ring.Clockwise(key, cur.id)
+			for _, c := range links {
+				if !c.ok || c.id == cur.id || !net.ring.BetweenOpen(c.id, key, cur.id) {
+					continue
+				}
+				if off := net.ring.Clockwise(key, c.id); off < bestOff {
+					best, bestOff = c, off
+				}
+			}
+		}
+		if !best.ok || !hop(best, overlay.PhaseTraverse) {
+			break
+		}
+	}
+
+	res.Terminal = cur.id
+	res.Failed = len(net.nodes) > 0 && res.Terminal != net.Responsible(key)
+	return res
+}
+
+// owns reports whether node n is the key's successor, i.e. the key lies in
+// (pred, n].
+func (net *Network) owns(n *Node, key uint64) bool {
+	if !n.ringPred.ok || n.ringPred.id == n.id {
+		return true // single node owns everything
+	}
+	return net.ring.Between(key, n.ringPred.id, n.id)
+}
+
+// Join implements overlay.Churner: the new node picks a random identifier
+// and a random level in [1, log n0], and every node whose links are
+// affected is updated immediately (Viceroy nodes know their incoming
+// connections), at the connectivity-maintenance cost the paper criticizes.
+func (net *Network) Join(rng *rand.Rand) (uint64, error) {
+	var v uint64
+	for {
+		v = uint64(rng.Int63n(int64(net.ring.Size())))
+		if _, taken := net.nodes[v]; !taken {
+			break
+		}
+	}
+	net.addMember(v, 1+rng.Intn(net.maxLevel))
+	net.relevel()
+	// Constant-degree graph: a join updates an expected O(1) set of
+	// neighbors (its ring, level-ring, up and down referencers).
+	net.maint.LinkUpdates += eagerRepairEstimate
+	net.maint.Joins++
+	return v, nil
+}
+
+// Leave implements overlay.Churner: a graceful departure notifies both its
+// outgoing and incoming connections, so every affected node is repaired
+// before the node is gone — no stale links, no timeouts.
+func (net *Network) Leave(id uint64) error {
+	if _, ok := net.nodes[id]; !ok {
+		return ErrUnknownNode
+	}
+	net.removeMember(id)
+	if len(net.nodes) > 0 {
+		net.relevel()
+		net.maint.LinkUpdates += eagerRepairEstimate
+	}
+	net.maint.Leaves++
+	return nil
+}
+
+// Stabilize implements overlay.Churner. Viceroy repairs eagerly on
+// membership changes, so periodic stabilization has nothing stale to fix;
+// it refreshes the single node anyway.
+func (net *Network) Stabilize(id uint64) {
+	if n, ok := net.nodes[id]; ok {
+		net.buildNode(n)
+	}
+}

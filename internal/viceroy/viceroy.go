@@ -1,0 +1,299 @@
+// Package viceroy implements the Viceroy DHT (Malkhi, Naor & Ratajczak),
+// the butterfly-emulating constant-degree baseline. Node identifiers are
+// drawn uniformly from [0, 1) — represented here as 32-bit fixed-point
+// fractions — and each node additionally selects a butterfly level in
+// [1, log n0]. Every node keeps seven links: general-ring predecessor and
+// successor, level-ring previous and next, two down links to level l+1
+// (left: near its own position; right: near position + 2^-l) and one up
+// link to level l-1. Keys are stored at their successor.
+//
+// Routing follows the three phases the Cycloid paper describes: ascend to
+// a level-1 node through up links, descend through down links halving the
+// clockwise distance, then traverse to the target through the level ring
+// and general ring. Because nodes maintain both outgoing and incoming
+// connections, a graceful departure updates every node that referenced
+// the leaver — which is why Viceroy shows no timeouts under massive
+// departures, at a high connectivity-maintenance cost the Maintenance
+// counters expose.
+package viceroy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cycloid/internal/ids"
+)
+
+// IDBits is the fixed-point resolution of the [0,1) identifier space.
+const IDBits = 32
+
+// eagerRepairEstimate models the expected number of nodes a join or leave
+// notification updates: the seven link kinds have an expected O(1) set of
+// holders in a constant-degree graph.
+const eagerRepairEstimate = 7
+
+// Config parameterizes a Viceroy network.
+type Config struct {
+	// ExpectedNodes is n0, the network-size estimate nodes use to select
+	// their butterfly level from [1, log2(n0)].
+	ExpectedNodes int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ExpectedNodes < 1 {
+		return fmt.Errorf("viceroy: expected nodes %d must be positive", c.ExpectedNodes)
+	}
+	return nil
+}
+
+// ErrUnknownNode reports an operation on a non-live node.
+var ErrUnknownNode = errors.New("viceroy: node not in network")
+
+type ref struct {
+	id uint64
+	ok bool
+}
+
+func mkref(id uint64) ref { return ref{id: id, ok: true} }
+
+// Node is one Viceroy participant.
+type Node struct {
+	id    uint64
+	level int
+
+	ringPred  ref
+	ringSucc  ref
+	levelPrev ref
+	levelNext ref
+	downLeft  ref
+	downRight ref
+	up        ref
+}
+
+// Level returns the node's butterfly level.
+func (n *Node) Level() int { return n.level }
+
+// Network is an in-memory Viceroy overlay.
+type Network struct {
+	cfg      Config
+	ring     ids.Ring
+	maxLevel int
+	nodes    map[uint64]*Node
+	levels   map[int][]uint64 // sorted IDs per level
+
+	sorted      []uint64
+	sortedDirty bool
+
+	rng   *rand.Rand // drives level re-selection when the size estimate changes
+	maint Maintenance
+}
+
+// Maintenance counts the connectivity-maintenance work Viceroy performs:
+// every join or leave updates all related nodes immediately.
+type Maintenance struct {
+	Joins        int
+	Leaves       int
+	LinkUpdates  int // nodes whose link state was rewritten
+	LevelChanges int // nodes forced to re-select their butterfly level
+}
+
+// Maintenance returns the accumulated maintenance counters.
+func (net *Network) Maintenance() Maintenance { return net.maint }
+
+// New returns an empty network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ml := int(math.Max(1, math.Round(math.Log2(float64(cfg.ExpectedNodes)))))
+	return &Network{
+		cfg:      cfg,
+		ring:     ids.NewRing(IDBits),
+		maxLevel: ml,
+		nodes:    make(map[uint64]*Node),
+		levels:   make(map[int][]uint64),
+		rng:      rand.New(rand.NewSource(int64(cfg.ExpectedNodes)*2654435761 + 1)),
+	}, nil
+}
+
+// NewRandom builds a converged network of n nodes with uniformly random
+// identifiers and levels.
+func NewRandom(cfg Config, n int, rng *rand.Rand) (*Network, error) {
+	net, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for len(net.nodes) < n {
+		v := uint64(rng.Int63n(int64(net.ring.Size())))
+		if _, taken := net.nodes[v]; !taken {
+			net.addMember(v, 1+rng.Intn(net.maxLevel))
+		}
+	}
+	net.rebuildAll()
+	return net, nil
+}
+
+// MaxLevel returns the level range upper bound log2(n0).
+func (net *Network) MaxLevel() int { return net.maxLevel }
+
+// Name implements overlay.Network.
+func (net *Network) Name() string { return "viceroy" }
+
+// KeySpace implements overlay.Network: the fixed-point [0,1) space.
+func (net *Network) KeySpace() uint64 { return net.ring.Size() }
+
+// Size returns the number of live nodes.
+func (net *Network) Size() int { return len(net.nodes) }
+
+// NodeIDs returns the sorted live node IDs.
+func (net *Network) NodeIDs() []uint64 {
+	if net.sortedDirty {
+		net.sorted = net.sorted[:0]
+		for v := range net.nodes {
+			net.sorted = append(net.sorted, v)
+		}
+		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
+		net.sortedDirty = false
+	}
+	return net.sorted
+}
+
+// NodeLevel returns the level of a live node.
+func (net *Network) NodeLevel(id uint64) (int, bool) {
+	n, ok := net.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return n.level, true
+}
+
+func (net *Network) addMember(id uint64, level int) *Node {
+	n := &Node{id: id, level: level}
+	net.nodes[id] = n
+	ls := net.levels[level]
+	pos := sort.Search(len(ls), func(i int) bool { return ls[i] >= id })
+	ls = append(ls, 0)
+	copy(ls[pos+1:], ls[pos:])
+	ls[pos] = id
+	net.levels[level] = ls
+	net.sortedDirty = true
+	return n
+}
+
+func (net *Network) removeMember(id uint64) {
+	n := net.nodes[id]
+	delete(net.nodes, id)
+	ls := net.levels[n.level]
+	pos := sort.Search(len(ls), func(i int) bool { return ls[i] >= id })
+	net.levels[n.level] = append(ls[:pos], ls[pos+1:]...)
+	net.sortedDirty = true
+}
+
+// Responsible implements overlay.Network: keys live at their successor.
+func (net *Network) Responsible(key uint64) uint64 {
+	if len(net.nodes) == 0 {
+		panic("viceroy: Responsible on empty network")
+	}
+	return net.succOnRing(net.NodeIDs(), key, true)
+}
+
+// succOnRing returns the first entry of the sorted slice at (inclusive) or
+// after v, wrapping.
+func (net *Network) succOnRing(sorted []uint64, v uint64, inclusive bool) uint64 {
+	pos := sort.Search(len(sorted), func(i int) bool {
+		if inclusive {
+			return sorted[i] >= v
+		}
+		return sorted[i] > v
+	})
+	return sorted[pos%len(sorted)]
+}
+
+// predOnRing returns the last entry strictly before v, wrapping.
+func (net *Network) predOnRing(sorted []uint64, v uint64) uint64 {
+	pos := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return sorted[((pos-1)%len(sorted)+len(sorted))%len(sorted)]
+}
+
+// rebuildAll recomputes every node's links from the membership — the
+// converged state Viceroy's eager join/leave updates maintain.
+func (net *Network) rebuildAll() {
+	for _, n := range net.nodes {
+		net.buildNode(n)
+	}
+	net.maint.LinkUpdates += len(net.nodes)
+}
+
+func (net *Network) buildNode(n *Node) {
+	all := net.NodeIDs()
+	n.ringSucc = mkref(net.succOnRing(all, net.ring.Add(n.id, 1), true))
+	n.ringPred = mkref(net.predOnRing(all, n.id))
+
+	lvl := net.levels[n.level]
+	n.levelNext = mkref(net.succOnRing(lvl, net.ring.Add(n.id, 1), true))
+	n.levelPrev = mkref(net.predOnRing(lvl, n.id))
+
+	n.downLeft, n.downRight, n.up = ref{}, ref{}, ref{}
+	if down := net.levels[n.level+1]; len(down) > 0 {
+		// Down links are range-constrained as in the butterfly they
+		// emulate: the left link covers [x, x+2^-l), the right link
+		// [x+2^-l, x+2*2^-l). When the next level has no node in range the
+		// link is absent and the descending phase ends there — "until a
+		// node is reached with no down links".
+		stride := net.ring.Size() >> uint(n.level) // 2^-level of the [0,1) space
+		if left := net.succOnRing(down, n.id, true); net.ring.Clockwise(n.id, left) < stride || left == n.id {
+			n.downLeft = mkref(left)
+		}
+		rightStart := net.ring.Add(n.id, stride)
+		if right := net.succOnRing(down, rightStart, true); net.ring.Clockwise(rightStart, right) < stride {
+			n.downRight = mkref(right)
+		}
+	}
+	if up := net.levels[n.level-1]; len(up) > 0 {
+		n.up = mkref(net.succOnRing(up, n.id, true))
+	}
+}
+
+// relevel adapts the butterfly depth to the current network size: when
+// log2(n) changes, nodes whose level fell out of range re-select a level —
+// the level adjustment whose cost the paper highlights as Viceroy's main
+// weakness under churn.
+func (net *Network) relevel() {
+	n := len(net.nodes)
+	if n == 0 {
+		return
+	}
+	ml := int(math.Max(1, math.Round(math.Log2(float64(n)))))
+	if ml == net.maxLevel {
+		return
+	}
+	net.maxLevel = ml
+	// Iterate in sorted ID order: the replacement levels come from the
+	// network's RNG, so map-order iteration would make runs irreproducible.
+	for _, id := range net.NodeIDs() {
+		nd := net.nodes[id]
+		if nd.level > ml {
+			net.setLevel(nd, 1+net.rng.Intn(ml))
+			net.maint.LevelChanges++
+			net.maint.LinkUpdates += eagerRepairEstimate // relinking at the new level
+		}
+	}
+}
+
+// setLevel moves a node between level rings.
+func (net *Network) setLevel(n *Node, level int) {
+	ls := net.levels[n.level]
+	pos := sort.Search(len(ls), func(i int) bool { return ls[i] >= n.id })
+	net.levels[n.level] = append(ls[:pos], ls[pos+1:]...)
+	n.level = level
+	ls = net.levels[level]
+	pos = sort.Search(len(ls), func(i int) bool { return ls[i] >= n.id })
+	ls = append(ls, 0)
+	copy(ls[pos+1:], ls[pos:])
+	ls[pos] = n.id
+	net.levels[level] = ls
+}

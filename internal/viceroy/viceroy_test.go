@@ -1,0 +1,252 @@
+package viceroy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cycloid/internal/overlay"
+)
+
+func mustRandom(t testing.TB, n int, seed int64) *Network {
+	t.Helper()
+	net, err := NewRandom(Config{ExpectedNodes: n}, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{ExpectedNodes: 0}).Validate(); err == nil {
+		t.Error("zero expected nodes should fail validation")
+	}
+	if _, err := New(Config{ExpectedNodes: -3}); err == nil {
+		t.Error("New with bad config should fail")
+	}
+}
+
+func TestMaxLevel(t *testing.T) {
+	net, err := New(Config{ExpectedNodes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.MaxLevel() != 11 {
+		t.Errorf("MaxLevel = %d, want 11 for n0=2048", net.MaxLevel())
+	}
+	one, err := New(Config{ExpectedNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.MaxLevel() != 1 {
+		t.Errorf("MaxLevel = %d, want 1 for n0=1", one.MaxLevel())
+	}
+}
+
+func TestLevelsInRange(t *testing.T) {
+	net := mustRandom(t, 500, 1)
+	for _, v := range net.NodeIDs() {
+		l, ok := net.NodeLevel(v)
+		if !ok || l < 1 || l > net.MaxLevel() {
+			t.Fatalf("node %d has level %d outside [1,%d]", v, l, net.MaxLevel())
+		}
+	}
+}
+
+func TestLookupExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 25, 200, 1000} {
+		net := mustRandom(t, n, int64(n)*13)
+		for trial := 0; trial < 300; trial++ {
+			src := overlay.RandomNode(net, rng)
+			key := overlay.RandomKey(net, rng)
+			res := net.Lookup(src, key)
+			if res.Failed || res.Terminal != net.Responsible(key) {
+				t.Fatalf("n=%d src=%d key=%d: %+v want %d", n, src, key, res, net.Responsible(key))
+			}
+			if res.Timeouts != 0 {
+				t.Fatalf("Viceroy should never time out: %+v", res)
+			}
+		}
+	}
+}
+
+func TestLookupQuickProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, keyRaw uint32) bool {
+		n := 1 + int(nRaw)%120
+		net, err := NewRandom(Config{ExpectedNodes: n}, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x77))
+		src := overlay.RandomNode(net, rng)
+		key := uint64(keyRaw)
+		res := net.Lookup(src, key)
+		return !res.Failed && res.Terminal == net.Responsible(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLengthLogarithmicButLong(t *testing.T) {
+	// The Cycloid paper's central comparison: Viceroy paths are roughly
+	// twice Cycloid's. At n=2048 Cycloid sits near 9; Viceroy should land
+	// in the mid-to-high teens.
+	rng := rand.New(rand.NewSource(3))
+	net := mustRandom(t, 2048, 4)
+	total := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatal("lookup failed")
+		}
+		total += res.PathLength()
+	}
+	mean := float64(total) / trials
+	if mean < 10 || mean > 30 {
+		t.Errorf("mean path length %.2f outside the expected band for n=2048", mean)
+	}
+}
+
+func TestPhaseBreakdownShape(t *testing.T) {
+	// Figure 7(b): ascending is roughly 30% of Viceroy's path and the
+	// traverse phase more than the descending phase.
+	rng := rand.New(rand.NewSource(4))
+	net := mustRandom(t, 1024, 5)
+	var asc, desc, trav int
+	for i := 0; i < 3000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		asc += res.PhaseHops(overlay.PhaseAscending)
+		desc += res.PhaseHops(overlay.PhaseDescending)
+		trav += res.PhaseHops(overlay.PhaseTraverse)
+	}
+	total := asc + desc + trav
+	if total == 0 {
+		t.Fatal("no hops recorded")
+	}
+	ascShare := float64(asc) / float64(total)
+	if ascShare < 0.10 || ascShare > 0.50 {
+		t.Errorf("ascending share %.2f outside the expected band", ascShare)
+	}
+	if trav <= desc {
+		t.Errorf("traverse (%d) should outweigh descending (%d)", trav, desc)
+	}
+}
+
+func TestGracefulDepartureNoTimeoutsNoFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := mustRandom(t, 1024, 6)
+	for i := 0; i < 512; i++ { // p = 0.5
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed || res.Timeouts != 0 {
+			t.Fatalf("after departures: %+v", res)
+		}
+	}
+	if net.Maintenance().Leaves != 512 {
+		t.Errorf("maintenance leaves = %d", net.Maintenance().Leaves)
+	}
+	if net.Maintenance().LinkUpdates < 512*eagerRepairEstimate {
+		t.Errorf("Viceroy's eager repair should touch nodes on every leave, got %d updates", net.Maintenance().LinkUpdates)
+	}
+}
+
+func TestPathShrinksWithDepartures(t *testing.T) {
+	// Figure 11: Viceroy's path length decreases as nodes depart, because
+	// the network is simply smaller and never stale.
+	rng := rand.New(rand.NewSource(6))
+	net := mustRandom(t, 2048, 7)
+	mean := func() float64 {
+		total := 0
+		for i := 0; i < 1500; i++ {
+			total += net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng)).PathLength()
+		}
+		return float64(total) / 1500
+	}
+	before := mean()
+	for i := 0; i < 1024; i++ {
+		if err := net.Leave(overlay.RandomNode(net, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := mean()
+	if after >= before {
+		t.Errorf("path length should shrink with the network: before=%.2f after=%.2f", before, after)
+	}
+}
+
+func TestJoinThenLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := mustRandom(t, 100, 8)
+	for i := 0; i < 50; i++ {
+		if _, err := net.Join(rng); err != nil {
+			t.Fatal(err)
+		}
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		if res.Failed {
+			t.Fatalf("join %d: %+v", i, res)
+		}
+	}
+	if net.Size() != 150 {
+		t.Fatalf("size = %d", net.Size())
+	}
+}
+
+func TestLevelOneNodesAreHot(t *testing.T) {
+	// The ascending phase funnels through level-1 nodes, making them the
+	// hot spots the paper's Figure 10 discussion describes.
+	rng := rand.New(rand.NewSource(8))
+	net := mustRandom(t, 512, 9)
+	load := make(map[uint64]int)
+	for i := 0; i < 4000; i++ {
+		res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		for _, h := range res.Hops {
+			load[h.To]++
+		}
+	}
+	byLevel := make(map[int][]int)
+	for _, v := range net.NodeIDs() {
+		l, _ := net.NodeLevel(v)
+		byLevel[l] = append(byLevel[l], load[v])
+	}
+	avg := func(xs []int) float64 {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		if len(xs) == 0 {
+			return 0
+		}
+		return float64(s) / float64(len(xs))
+	}
+	top := avg(byLevel[1])
+	bottom := avg(byLevel[net.MaxLevel()])
+	if top <= bottom {
+		t.Errorf("level-1 nodes (avg load %.1f) should carry more than bottom-level nodes (%.1f)", top, bottom)
+	}
+}
+
+func TestLeaveUnknown(t *testing.T) {
+	net := mustRandom(t, 10, 10)
+	if err := net.Leave(12345678901); err != ErrUnknownNode {
+		t.Fatalf("Leave(absent) = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestStabilizeIsHarmless(t *testing.T) {
+	net := mustRandom(t, 50, 11)
+	rng := rand.New(rand.NewSource(12))
+	for _, v := range net.NodeIDs() {
+		net.Stabilize(v)
+	}
+	res := net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+	if res.Failed {
+		t.Fatalf("lookup after stabilize: %+v", res)
+	}
+}

@@ -1,0 +1,64 @@
+// Package workload generates the driving inputs of the paper's
+// experiments: hashed application keys, per-node lookup streams, random
+// lookup pairs and failure samples.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cycloid/internal/hashing"
+	"cycloid/internal/overlay"
+)
+
+// Keys returns n application keys ("file-0", "file-1", ...) consistently
+// hashed into an identifier space of the given size. The same n and size
+// always produce the same keys, so key-distribution experiments are
+// reproducible across DHTs.
+func Keys(n int, space uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = hashing.KeyString(fmt.Sprintf("file-%d", i), space)
+	}
+	return out
+}
+
+// Lookup is one lookup request: a source node and a target key.
+type Lookup struct {
+	Src uint64
+	Key uint64
+}
+
+// PerNode streams the paper's standard workload — every node issues
+// perNode lookups to uniformly random keys — invoking fn for each request.
+// Requests are interleaved across nodes (node order randomized per round)
+// so time-varying state, if any, is exercised fairly.
+func PerNode(net overlay.Network, perNode int, rng *rand.Rand, fn func(Lookup)) {
+	nodes := append([]uint64(nil), net.NodeIDs()...)
+	for round := 0; round < perNode; round++ {
+		rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+		for _, src := range nodes {
+			fn(Lookup{Src: src, Key: overlay.RandomKey(net, rng)})
+		}
+	}
+}
+
+// RandomPairs streams count lookups with uniformly random live sources and
+// random keys — the 10,000-lookup workload of Sections 4.3 and 4.5.
+func RandomPairs(net overlay.Network, count int, rng *rand.Rand, fn func(Lookup)) {
+	for i := 0; i < count; i++ {
+		fn(Lookup{Src: overlay.RandomNode(net, rng), Key: overlay.RandomKey(net, rng)})
+	}
+}
+
+// FailureSample marks each node for departure independently with
+// probability p, the Section 4.3 failure model.
+func FailureSample(ids []uint64, p float64, rng *rand.Rand) []uint64 {
+	var out []uint64
+	for _, v := range ids {
+		if rng.Float64() < p {
+			out = append(out, v)
+		}
+	}
+	return out
+}

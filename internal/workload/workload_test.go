@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+type fakeNet struct{ ids []uint64 }
+
+func (f fakeNet) Name() string                      { return "fake" }
+func (f fakeNet) KeySpace() uint64                  { return 2048 }
+func (f fakeNet) Size() int                         { return len(f.ids) }
+func (f fakeNet) NodeIDs() []uint64                 { return f.ids }
+func (f fakeNet) Lookup(s, k uint64) overlay.Result { return overlay.Result{Source: s, Key: k} }
+func (f fakeNet) Responsible(k uint64) uint64       { return f.ids[0] }
+
+func TestKeysDeterministicAndInRange(t *testing.T) {
+	a := Keys(1000, 2048)
+	b := Keys(1000, 2048)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Keys not deterministic")
+		}
+		if a[i] >= 2048 {
+			t.Fatalf("key %d out of range", a[i])
+		}
+	}
+}
+
+func TestKeysRoughlyUniform(t *testing.T) {
+	keys := Keys(100000, 16)
+	counts := make([]int, 16)
+	for _, k := range keys {
+		counts[k]++
+	}
+	for b, c := range counts {
+		if c < 5000 || c > 7500 {
+			t.Errorf("bucket %d has %d keys, want ~6250", b, c)
+		}
+	}
+}
+
+func TestPerNodeCountsAndSources(t *testing.T) {
+	net := fakeNet{ids: []uint64{5, 9, 13}}
+	rng := rand.New(rand.NewSource(1))
+	perSrc := map[uint64]int{}
+	total := 0
+	PerNode(net, 4, rng, func(l Lookup) {
+		perSrc[l.Src]++
+		total++
+		if l.Key >= net.KeySpace() {
+			t.Fatalf("key %d out of range", l.Key)
+		}
+	})
+	if total != 12 {
+		t.Fatalf("total = %d, want 12", total)
+	}
+	for _, id := range net.ids {
+		if perSrc[id] != 4 {
+			t.Fatalf("node %d issued %d lookups, want 4", id, perSrc[id])
+		}
+	}
+}
+
+func TestRandomPairs(t *testing.T) {
+	net := fakeNet{ids: []uint64{1, 2, 3, 4}}
+	rng := rand.New(rand.NewSource(2))
+	count := 0
+	RandomPairs(net, 500, rng, func(l Lookup) {
+		count++
+		found := false
+		for _, id := range net.ids {
+			if l.Src == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("source %d is not a member", l.Src)
+		}
+	})
+	if count != 500 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestFailureSampleProbability(t *testing.T) {
+	ids := make([]uint64, 10000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	got := FailureSample(ids, 0.3, rng)
+	if len(got) < 2800 || len(got) > 3200 {
+		t.Fatalf("sampled %d of 10000 at p=0.3", len(got))
+	}
+	if len(FailureSample(ids, 0, rng)) != 0 {
+		t.Error("p=0 should sample nothing")
+	}
+	if len(FailureSample(ids, 1, rng)) != len(ids) {
+		t.Error("p=1 should sample everything")
+	}
+}

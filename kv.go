@@ -1,0 +1,90 @@
+package cycloid
+
+// Put stores a value under an application key on the node the placement
+// rule selects (the node whose ID is first numerically closest to the
+// key's cubical index, then to its cyclic index).
+func (d *DHT) Put(key string, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.net.Size() == 0 {
+		return ErrEmpty
+	}
+	d.storeLocked(key, value)
+	return nil
+}
+
+func (d *DHT) storeLocked(key string, value []byte) {
+	owner := d.net.Responsible(d.keyPoint(key))
+	bucket := d.data[owner]
+	if bucket == nil {
+		bucket = make(map[string][]byte)
+		d.data[owner] = bucket
+	}
+	bucket[key] = append([]byte(nil), value...)
+}
+
+// Get routes a lookup for the key from the given node and returns the
+// stored value together with the route taken.
+func (d *DHT) Get(from NodeID, key string) ([]byte, Route, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	route, err := d.lookupLocked(from, key)
+	if err != nil {
+		return nil, Route{}, err
+	}
+	owner := d.net.Space().Linear(route.Terminal)
+	val, ok := d.data[owner][key]
+	if !ok {
+		return nil, route, ErrNotFound
+	}
+	return append([]byte(nil), val...), route, nil
+}
+
+// Delete removes a key from its owner.
+func (d *DHT) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.net.Size() == 0 {
+		return ErrEmpty
+	}
+	owner := d.net.Responsible(d.keyPoint(key))
+	if _, ok := d.data[owner][key]; !ok {
+		return ErrNotFound
+	}
+	delete(d.data[owner], key)
+	return nil
+}
+
+// Keys returns the number of keys stored on each node, keyed by NodeID —
+// the key-distribution view of Figures 8 and 9.
+func (d *DHT) Keys() map[NodeID]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	space := d.net.Space()
+	out := make(map[NodeID]int, d.net.Size())
+	for _, v := range d.net.NodeIDs() {
+		out[space.FromLinear(v)] = len(d.data[v])
+	}
+	return out
+}
+
+// rebalanceAfterJoin hands over the keys a new node is now responsible
+// for, as the join protocol's key migration does.
+func (d *DHT) rebalanceAfterJoin(newNode uint64) {
+	for owner, bucket := range d.data {
+		if owner == newNode {
+			continue
+		}
+		for key, val := range bucket {
+			if want := d.net.Responsible(d.keyPoint(key)); want != owner {
+				delete(bucket, key)
+				nb := d.data[want]
+				if nb == nil {
+					nb = make(map[string][]byte)
+					d.data[want] = nb
+				}
+				nb[key] = val
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package p2p
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cycloid/internal/cycloid"
+	"cycloid/internal/ids"
+)
+
+// Route describes one resolved lookup.
+type Route struct {
+	Target   ids.CycloidID
+	Terminal ids.CycloidID
+	Addr     string // terminal's transport address
+	Hops     int
+	Timeouts int            // unreachable candidates skipped
+	Phases   map[string]int // hops per routing phase
+}
+
+// Lookup routes a request for an application key from this node and
+// returns the route to the responsible node.
+func (n *Node) Lookup(key string) (Route, error) {
+	return n.route(n.keyPoint(key))
+}
+
+// Put stores a value on the node responsible for the key.
+func (n *Node) Put(key string, value []byte) error {
+	r, err := n.route(n.keyPoint(key))
+	if err != nil {
+		return err
+	}
+	if r.Terminal == n.id {
+		n.mu.Lock()
+		n.store[key] = append([]byte(nil), value...)
+		n.mu.Unlock()
+		return nil
+	}
+	_, err = n.call(r.Addr, request{Op: "store", Key: key, Value: value})
+	return err
+}
+
+// Get fetches the value stored under key, routing from this node.
+func (n *Node) Get(key string) ([]byte, Route, error) {
+	r, err := n.route(n.keyPoint(key))
+	if err != nil {
+		return nil, r, err
+	}
+	if r.Terminal == n.id {
+		n.mu.RLock()
+		v, ok := n.store[key]
+		n.mu.RUnlock()
+		if !ok {
+			return nil, r, ErrNotFound
+		}
+		return append([]byte(nil), v...), r, nil
+	}
+	resp, err := n.call(r.Addr, request{Op: "fetch", Key: key})
+	if err != nil {
+		return nil, r, err
+	}
+	if !resp.Found {
+		return nil, r, ErrNotFound
+	}
+	return resp.Value, r, nil
+}
+
+// route drives an iterative lookup starting at this node.
+func (n *Node) route(t ids.CycloidID) (Route, error) {
+	if n.isStopped() {
+		return Route{}, ErrStopped
+	}
+	return n.routeFrom(*n.selfEntry(), t)
+}
+
+// routeFrom drives an iterative lookup starting at an arbitrary live node
+// (used by Join before this node is part of the overlay). At each step the
+// current node's local decision yields candidates in preference order; a
+// candidate that cannot be dialed costs a timeout and the next is tried,
+// the live-network equivalent of the paper's timeout accounting.
+func (n *Node) routeFrom(start entry, t ids.CycloidID) (Route, error) {
+	r := Route{Target: t, Phases: make(map[string]int)}
+	d := n.space.Dim()
+	window := 4*d + 16
+	budget := 64*d + 128
+	greedyOnly := false
+	dead := make(map[string]bool) // addresses that failed during this route
+
+	cur := start
+	best := start.ID
+	sinceImprove := 0
+	step, err := n.stepAt(cur, t, greedyOnly)
+	if err != nil {
+		return r, fmt.Errorf("p2p: route: first hop: %w", err)
+	}
+	for !step.Done {
+		moved := false
+		for _, w := range step.Candidates {
+			cand := w.entry()
+			if dead[cand.Addr] {
+				continue // already found unreachable during this route
+			}
+			next, err := n.stepAt(cand, t, greedyOnly)
+			if err != nil {
+				r.Timeouts++
+				dead[cand.Addr] = true
+				continue
+			}
+			r.Hops++
+			r.Phases[step.Phase]++
+			cur, step = cand, next
+			moved = true
+			break
+		}
+		if !moved {
+			break // every candidate unreachable: cur keeps the request
+		}
+		if n.space.Closer(t, cur.ID, best) {
+			best = cur.ID
+			sinceImprove = 0
+		} else if sinceImprove++; sinceImprove >= window && !greedyOnly {
+			greedyOnly = true
+			if step, err = n.stepAt(cur, t, true); err != nil {
+				return r, err
+			}
+		}
+		if r.Hops >= budget && !greedyOnly {
+			greedyOnly = true
+			if step, err = n.stepAt(cur, t, true); err != nil {
+				return r, err
+			}
+		}
+		if r.Hops >= 2*budget {
+			return r, fmt.Errorf("p2p: route to %v did not converge", t)
+		}
+	}
+	r.Terminal = cur.ID
+	r.Addr = cur.Addr
+	return r, nil
+}
+
+// stepResult is a hop decision with resolved addresses.
+type stepResult struct {
+	Phase      string
+	Candidates []WireEntry
+	Done       bool
+}
+
+// stepAt obtains the routing decision of the given node — locally when it
+// is this node, over the wire otherwise. A wire failure means the node is
+// unreachable (dead), which the caller accounts as a timeout.
+func (n *Node) stepAt(at entry, t ids.CycloidID, greedyOnly bool) (stepResult, error) {
+	if at.ID == n.id && !n.isStopped() {
+		s := cycloid.DecideStep(n.space, n.snapshot(), t, greedyOnly)
+		out := stepResult{Phase: s.Phase.String(), Done: len(s.Candidates) == 0}
+		for _, id := range s.Candidates {
+			if addr, ok := n.addrOf(id); ok {
+				out.Candidates = append(out.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
+			}
+		}
+		return out, nil
+	}
+	tw := WireEntry{K: t.K, A: t.A}
+	resp, err := n.call(at.Addr, request{Op: "step", Target: &tw, GreedyOnly: greedyOnly})
+	if err != nil {
+		return stepResult{}, err
+	}
+	return stepResult{Phase: resp.Phase, Candidates: resp.Candidates, Done: resp.Done}, nil
+}
+
+// decodeReclaim unpacks a reclaim response batch.
+func decodeReclaim(v []byte) (map[string][]byte, error) {
+	if len(v) == 0 {
+		return nil, nil
+	}
+	items := make(map[string][]byte)
+	if err := json.Unmarshal(v, &items); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

@@ -1,0 +1,237 @@
+// Package p2p deploys Cycloid over real sockets: each Node is one overlay
+// participant listening on TCP, exchanging newline-delimited JSON messages
+// with its seven neighbors. The routing algorithm is the exact code the
+// simulator runs (cycloid.DecideStep); this package adds what a deployed
+// system needs around it — a wire protocol, the join procedure of
+// Section 3.3.1 (route to the numerically closest node, derive leaf sets
+// from its neighborhood, local-remote search for the routing table,
+// notification fan-out), graceful departure with key hand-off, periodic
+// stabilization, and a replicated-nothing key/value store.
+//
+// Lookups are iterative: the querying node asks each hop for its local
+// next-hop decision and dials onward, so a crashed neighbor surfaces as a
+// dial timeout exactly like the paper's timeout metric.
+//
+// As in the paper (Section 4.4), concurrent lookups/puts/gets are fully
+// supported, while membership changes are assumed not to overlap
+// ("we assume that multiple join and leave operations do not overlap");
+// overlapping joins converge after stabilization.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"cycloid/internal/cycloid"
+	"cycloid/internal/hashing"
+	"cycloid/internal/ids"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Dim is the Cycloid dimension d; every node of an overlay must use
+	// the same value. Default 8.
+	Dim int
+	// ListenAddr is the TCP address to listen on; ":0" (default) picks an
+	// ephemeral port.
+	ListenAddr string
+	// ID optionally pins the node's overlay ID. When nil the ID is
+	// derived by hashing the listen address, the paper's consistent-
+	// hashing rule for node identity.
+	ID *ids.CycloidID
+	// DialTimeout bounds each neighbor contact; a timeout is the live
+	// equivalent of the paper's timeout metric. Default 2s.
+	DialTimeout time.Duration
+	// StabilizeEvery is the periodic stabilization interval; 0 disables
+	// the background loop (Stabilize can still be called manually).
+	StabilizeEvery time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Dim == 0 {
+		c.Dim = 8
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+}
+
+// entry is a routing-state slot: an overlay ID plus the transport address
+// it was last seen at.
+type entry struct {
+	ID   ids.CycloidID
+	Addr string
+}
+
+// routingState is the live node's seven-entry state (LeafHalf = 1).
+type routingState struct {
+	cubical  *entry
+	cyclicL  *entry
+	cyclicS  *entry
+	insideL  *entry
+	insideR  *entry
+	outsideL *entry
+	outsideR *entry
+}
+
+// Node is one live Cycloid participant.
+type Node struct {
+	cfg   Config
+	space ids.Space
+	id    ids.CycloidID
+
+	mu    sync.RWMutex
+	rs    routingState
+	store map[string][]byte
+
+	ln       net.Listener
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+	rng      *rand.Rand
+}
+
+// ErrStopped reports an operation on a closed node.
+var ErrStopped = errors.New("p2p: node is stopped")
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("p2p: key not found")
+
+// Start creates a node, binds its listener and begins serving. The node
+// initially forms a one-node overlay (all leaf entries self-referencing);
+// call Join to enter an existing overlay through any live member.
+func Start(cfg Config) (*Node, error) {
+	cfg.defaults()
+	if cfg.Dim < 2 || cfg.Dim > ids.MaxDim {
+		return nil, fmt.Errorf("p2p: dimension %d out of range", cfg.Dim)
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen: %w", err)
+	}
+	space := ids.NewSpace(cfg.Dim)
+	var id ids.CycloidID
+	if cfg.ID != nil {
+		id = *cfg.ID
+		if !space.Contains(id) {
+			ln.Close()
+			return nil, fmt.Errorf("p2p: ID %v outside the %d-dimensional space", id, cfg.Dim)
+		}
+	} else {
+		id = space.FromLinear(hashing.Fold(hashing.HashString(ln.Addr().String()), space.Size()))
+	}
+	n := &Node{
+		cfg:     cfg,
+		space:   space,
+		id:      id,
+		store:   make(map[string][]byte),
+		ln:      ln,
+		stopped: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(int64(space.Linear(id)) + 1)),
+	}
+	self := entry{ID: id, Addr: n.Addr()}
+	n.rs = routingState{insideL: &self, insideR: &self, outsideL: &self, outsideR: &self}
+
+	n.wg.Add(1)
+	go n.serve()
+	if cfg.StabilizeEvery > 0 {
+		n.wg.Add(1)
+		go n.stabilizeLoop()
+	}
+	return n, nil
+}
+
+// ID returns the node's overlay identifier.
+func (n *Node) ID() ids.CycloidID { return n.id }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Dim returns the overlay dimension.
+func (n *Node) Dim() int { return n.space.Dim() }
+
+// Close stops serving without running the departure protocol (an
+// ungraceful exit); use Leave for a graceful departure.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() {
+		close(n.stopped)
+		n.ln.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// isStopped reports whether Close or Leave ran.
+func (n *Node) isStopped() bool {
+	select {
+	case <-n.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
+// snapshot converts the live state to the routing algorithm's input.
+func (n *Node) snapshot() cycloid.NodeState {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.snapshotLocked()
+}
+
+func (n *Node) snapshotLocked() cycloid.NodeState {
+	s := cycloid.NodeState{ID: n.id}
+	if n.rs.cubical != nil {
+		c := n.rs.cubical.ID
+		s.Cubical = &c
+	}
+	if n.rs.cyclicL != nil {
+		c := n.rs.cyclicL.ID
+		s.CyclicL = &c
+	}
+	if n.rs.cyclicS != nil {
+		c := n.rs.cyclicS.ID
+		s.CyclicS = &c
+	}
+	add := func(dst *[]ids.CycloidID, e *entry) {
+		if e != nil {
+			*dst = append(*dst, e.ID)
+		}
+	}
+	add(&s.InsideL, n.rs.insideL)
+	add(&s.InsideR, n.rs.insideR)
+	add(&s.OutsideL, n.rs.outsideL)
+	add(&s.OutsideR, n.rs.outsideR)
+	return s
+}
+
+// addrOf resolves a candidate ID to the address this node knows for it.
+func (n *Node) addrOf(id ids.CycloidID) (string, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, e := range n.entriesLocked() {
+		if e != nil && e.ID == id {
+			return e.Addr, true
+		}
+	}
+	return "", false
+}
+
+// entriesLocked lists all routing-state slots.
+func (n *Node) entriesLocked() []*entry {
+	return []*entry{
+		n.rs.insideL, n.rs.insideR, n.rs.outsideL, n.rs.outsideR,
+		n.rs.cubical, n.rs.cyclicL, n.rs.cyclicS,
+	}
+}
+
+// keyPoint maps an application key onto the overlay's ID space.
+func (n *Node) keyPoint(key string) ids.CycloidID {
+	return n.space.FromLinear(hashing.KeyString(key, n.space.Size()))
+}

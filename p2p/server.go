@@ -1,0 +1,136 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"time"
+
+	"cycloid/internal/cycloid"
+)
+
+func deadline(d time.Duration) time.Time { return time.Now().Add(d) }
+
+// serve accepts connections until the node stops.
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			if n.isStopped() {
+				return
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handle(conn)
+		}()
+	}
+}
+
+// handle serves one request/response exchange.
+func (n *Node) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline(n.cfg.DialTimeout))
+	var req request
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+		return
+	}
+	resp := n.dispatch(req)
+	resp.OK = resp.Err == ""
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+func (n *Node) dispatch(req request) response {
+	switch req.Op {
+	case "ping":
+		return response{}
+	case "state":
+		return response{State: n.wireState()}
+	case "step":
+		return n.handleStep(req)
+	case "store":
+		n.mu.Lock()
+		n.store[req.Key] = append([]byte(nil), req.Value...)
+		n.mu.Unlock()
+		return response{}
+	case "fetch":
+		n.mu.RLock()
+		v, ok := n.store[req.Key]
+		n.mu.RUnlock()
+		return response{Value: v, Found: ok}
+	case "handoff":
+		n.mu.Lock()
+		for k, v := range req.Items {
+			n.store[k] = v
+		}
+		n.mu.Unlock()
+		return response{}
+	case "reclaim":
+		return n.handleReclaim(req)
+	case "update":
+		n.handleUpdate(req)
+		return response{}
+	default:
+		return response{Err: "unknown op " + req.Op}
+	}
+}
+
+// wireState snapshots the node's routing state for the wire.
+func (n *Node) wireState() *WireState {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return &WireState{
+		Self:     WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()},
+		Cubical:  wirePtr(n.rs.cubical),
+		CyclicL:  wirePtr(n.rs.cyclicL),
+		CyclicS:  wirePtr(n.rs.cyclicS),
+		InsideL:  wirePtr(n.rs.insideL),
+		InsideR:  wirePtr(n.rs.insideR),
+		OutsideL: wirePtr(n.rs.outsideL),
+		OutsideR: wirePtr(n.rs.outsideR),
+	}
+}
+
+// handleStep runs the shared routing decision on the node's local state
+// and resolves each candidate ID to the address this node knows for it.
+func (n *Node) handleStep(req request) response {
+	if req.Target == nil {
+		return response{Err: "step without target"}
+	}
+	t := req.Target.entry().ID
+	if !n.space.Contains(t) {
+		return response{Err: "target outside ID space"}
+	}
+	step := cycloid.DecideStep(n.space, n.snapshot(), t, req.GreedyOnly)
+	resp := response{Phase: step.Phase.String(), Done: len(step.Candidates) == 0}
+	for _, id := range step.Candidates {
+		if addr, ok := n.addrOf(id); ok {
+			resp.Candidates = append(resp.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
+		}
+	}
+	return resp
+}
+
+// handleReclaim hands over the stored items the requesting (new) node is
+// now responsible for — the key migration of the join protocol.
+func (n *Node) handleReclaim(req request) response {
+	newcomer := req.From.entry().ID
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	items := make(map[string][]byte)
+	for k, v := range n.store {
+		if n.space.Closer(n.keyPoint(k), newcomer, n.id) {
+			items[k] = v
+			delete(n.store, k)
+		}
+	}
+	if len(items) == 0 {
+		return response{}
+	}
+	out := response{}
+	out.Value, _ = json.Marshal(items) // piggyback the batch on Value
+	return out
+}

@@ -1,0 +1,124 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"cycloid/internal/ids"
+)
+
+// Wire protocol: one request per TCP connection, newline-delimited JSON.
+// Every message carries the sender's overlay identity so receivers can
+// learn addresses opportunistically.
+
+// WireEntry is an overlay node reference on the wire.
+type WireEntry struct {
+	K    uint8  `json:"k"`
+	A    uint32 `json:"a"`
+	Addr string `json:"addr"`
+}
+
+func wireEntry(e entry) WireEntry { return WireEntry{K: e.ID.K, A: e.ID.A, Addr: e.Addr} }
+
+func (w WireEntry) entry() entry {
+	return entry{ID: ids.CycloidID{K: w.K, A: w.A}, Addr: w.Addr}
+}
+
+func wirePtr(e *entry) *WireEntry {
+	if e == nil {
+		return nil
+	}
+	w := wireEntry(*e)
+	return &w
+}
+
+func entryPtr(w *WireEntry) *entry {
+	if w == nil {
+		return nil
+	}
+	e := w.entry()
+	return &e
+}
+
+// WireState is a node's full routing state on the wire, the payload the
+// join procedure derives the newcomer's leaf sets from.
+type WireState struct {
+	Self     WireEntry  `json:"self"`
+	Cubical  *WireEntry `json:"cubical,omitempty"`
+	CyclicL  *WireEntry `json:"cyclicL,omitempty"`
+	CyclicS  *WireEntry `json:"cyclicS,omitempty"`
+	InsideL  *WireEntry `json:"insideL,omitempty"`
+	InsideR  *WireEntry `json:"insideR,omitempty"`
+	OutsideL *WireEntry `json:"outsideL,omitempty"`
+	OutsideR *WireEntry `json:"outsideR,omitempty"`
+}
+
+// request is the single message type; Op selects the operation.
+type request struct {
+	Op   string    `json:"op"`
+	From WireEntry `json:"from"`
+
+	// step
+	Target     *WireEntry `json:"target,omitempty"`
+	GreedyOnly bool       `json:"greedyOnly,omitempty"`
+
+	// store / fetch
+	Key   string `json:"key,omitempty"`
+	Value []byte `json:"value,omitempty"`
+
+	// handoff
+	Items map[string][]byte `json:"items,omitempty"`
+
+	// update (membership notification)
+	Event     string     `json:"event,omitempty"` // "join" or "leave"
+	Subject   *WireEntry `json:"subject,omitempty"`
+	Departed  *WireState `json:"departed,omitempty"` // leaver's state, for splicing
+	Propagate bool       `json:"propagate,omitempty"`
+	Origin    *WireEntry `json:"origin,omitempty"`
+	TTL       int        `json:"ttl,omitempty"`
+}
+
+// response is the single reply type.
+type response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	// step
+	Phase      string      `json:"phase,omitempty"`
+	Candidates []WireEntry `json:"candidates,omitempty"`
+	Done       bool        `json:"done,omitempty"`
+
+	// state
+	State *WireState `json:"state,omitempty"`
+
+	// fetch
+	Value []byte `json:"value,omitempty"`
+	Found bool   `json:"found,omitempty"`
+}
+
+// call performs one request/response exchange with a peer. A connection
+// or protocol failure is the live-network analogue of the paper's timeout.
+func (n *Node) call(addr string, req request) (response, error) {
+	req.From = WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline(n.cfg.DialTimeout)); err != nil {
+		return response{}, err
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return response{}, fmt.Errorf("p2p: send to %s: %w", addr, err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}

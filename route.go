@@ -1,0 +1,79 @@
+package cycloid
+
+import (
+	"fmt"
+	"strings"
+
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+// Phase labels a routing hop with the algorithm phase that produced it.
+type Phase string
+
+// The three phases of the Cycloid lookup algorithm (Section 3.2).
+const (
+	Ascending  Phase = "ascending"
+	Descending Phase = "descending"
+	Traverse   Phase = "traverse"
+)
+
+// Hop is one forwarding step of a lookup.
+type Hop struct {
+	From  NodeID
+	To    NodeID
+	Phase Phase
+}
+
+// Route is the path a lookup took through the overlay.
+type Route struct {
+	Key      string
+	Source   NodeID
+	Terminal NodeID // the node responsible for the key
+	Hops     []Hop
+	Timeouts int // departed nodes contacted along the way
+}
+
+func newRoute(space ids.Space, key string, res overlay.Result) Route {
+	r := Route{
+		Key:      key,
+		Source:   space.FromLinear(res.Source),
+		Terminal: space.FromLinear(res.Terminal),
+		Timeouts: res.Timeouts,
+	}
+	for _, h := range res.Hops {
+		r.Hops = append(r.Hops, Hop{
+			From:  space.FromLinear(h.From),
+			To:    space.FromLinear(h.To),
+			Phase: Phase(h.Phase.String()),
+		})
+	}
+	return r
+}
+
+// PathLength returns the number of hops traversed.
+func (r Route) PathLength() int { return len(r.Hops) }
+
+// PhaseHops returns how many hops belong to the given phase.
+func (r Route) PhaseHops(p Phase) int {
+	n := 0
+	for _, h := range r.Hops {
+		if h.Phase == p {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the route as "src -[phase]-> ... -> terminal".
+func (r Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", r.Source)
+	for _, h := range r.Hops {
+		fmt.Fprintf(&b, " -[%s]-> %v", h.Phase, h.To)
+	}
+	if len(r.Hops) == 0 {
+		fmt.Fprintf(&b, " (holds the key)")
+	}
+	return b.String()
+}

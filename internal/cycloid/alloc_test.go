@@ -1,0 +1,85 @@
+package cycloid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+// These tests pin the zero-allocation property of the lookup hot path so
+// it cannot silently rot: the per-hop decision must not touch the heap at
+// all, and a full lookup may allocate only its hop trace.
+
+func TestDecideStepScratchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, half := range []int{1, 2, 4} {
+		net, err := NewRandom(Config{Dim: 8, LeafHalf: half}, 800, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A spread of sources and targets exercises all three phases.
+		type pair struct {
+			n *Node
+			t uint64
+		}
+		var pairs []pair
+		for i := 0; i < 64; i++ {
+			pairs = append(pairs, pair{
+				n: net.nodes[overlay.RandomNode(net, rng)],
+				t: overlay.RandomKey(net, rng),
+			})
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(500, func() {
+			p := pairs[i%len(pairs)]
+			net.decideStep(p.n, net.space.FromLinear(p.t), i%7 == 0)
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("LeafHalf=%d: decideStep allocates %.1f/op, want 0", half, allocs)
+		}
+	}
+}
+
+func TestLookupAllocsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := NewRandom(Config{Dim: 8, LeafHalf: 1}, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs, keys []uint64
+	for i := 0; i < 64; i++ {
+		srcs = append(srcs, overlay.RandomNode(net, rng))
+		keys = append(keys, overlay.RandomKey(net, rng))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		net.Lookup(srcs[i%len(srcs)], keys[i%len(keys)])
+		i++
+	})
+	// One sized allocation for the hop trace; nothing else.
+	if allocs > 1 {
+		t.Errorf("converged Lookup allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+func TestResponsibleZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net, err := NewRandom(Config{Dim: 8, LeafHalf: 1}, 700, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []uint64
+	for i := 0; i < 64; i++ {
+		keys = append(keys, overlay.RandomKey(net, rng))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		net.Responsible(keys[i%len(keys)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Responsible allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,9 +1,8 @@
 package cycloid
 
 import (
-	"sort"
-
 	"cycloid/internal/ids"
+	"cycloid/internal/sortedset"
 )
 
 // computeLeafSets derives a node's inside and outside leaf sets from the
@@ -21,7 +20,7 @@ func (net *Network) computeLeafSets(n *Node) {
 	a := n.ID.A
 	ks := net.membersOf(a)
 	m := len(ks)
-	pos := sort.Search(m, func(i int) bool { return ks[i] >= n.ID.K })
+	pos := sortedset.Search(ks, n.ID.K)
 
 	n.insideL = n.insideL[:0]
 	n.insideR = n.insideR[:0]
@@ -137,7 +136,7 @@ func (net *Network) nearestWithK(k uint8, target uint32) (uint32, bool) {
 	if m == 0 {
 		return 0, false
 	}
-	pos := sort.Search(m, func(i int) bool { return bk[i] >= target })
+	pos := sortedset.Search(bk, target)
 	cw := bk[pos%m]
 	ccw := bk[((pos-1)%m+m)%m]
 	if net.space.CycleDist(ccw, target) < net.space.CycleDist(cw, target) {
@@ -155,7 +154,7 @@ func (net *Network) firstWithKFrom(k uint8, a uint32, dir int) (uint32, bool) {
 	if m == 0 {
 		return 0, false
 	}
-	pos := sort.Search(m, func(i int) bool { return bk[i] >= a })
+	pos := sortedset.Search(bk, a)
 	if dir > 0 {
 		return bk[pos%m], true
 	}
@@ -168,7 +167,7 @@ func (net *Network) firstWithKFrom(k uint8, a uint32, dir int) (uint32, bool) {
 // eachCycleInRange calls fn for every nonempty cycle index in [lo, hi].
 func (net *Network) eachCycleInRange(lo, hi uint32, fn func(uint32)) {
 	m := len(net.cycleIdx)
-	start := sort.Search(m, func(i int) bool { return net.cycleIdx[i] >= lo })
+	start := sortedset.Search(net.cycleIdx, lo)
 	for i := start; i < m && net.cycleIdx[i] <= hi; i++ {
 		fn(net.cycleIdx[i])
 	}
@@ -177,9 +176,7 @@ func (net *Network) eachCycleInRange(lo, hi uint32, fn func(uint32)) {
 // hasMember reports whether cycle a contains a live node with cyclic
 // index k.
 func (net *Network) hasMember(a uint32, k uint8) bool {
-	ks := net.cycles[a]
-	pos := sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
-	return pos < len(ks) && ks[pos] == k
+	return sortedset.Contains(net.cycles[a], k)
 }
 
 func absDiff32(a, b uint32) uint32 {

@@ -3,9 +3,9 @@ package cycloid
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"cycloid/internal/ids"
+	"cycloid/internal/sortedset"
 )
 
 // Network is an in-memory Cycloid overlay: the full set of live nodes
@@ -20,8 +20,12 @@ type Network struct {
 	cycleIdx []uint32           // sorted cubical indices of nonempty cycles
 	byK      [][]uint32         // for each cyclic index, sorted cubical indices of nodes carrying it
 
-	sorted      []uint64 // sorted linearized IDs of live nodes
-	sortedDirty bool
+	sorted []uint64 // sorted linearized IDs of live nodes, maintained incrementally
+
+	// sc holds the per-lookup scratch buffers the hot path routes
+	// through; Lookup and the other read methods are not safe for
+	// concurrent use on the same Network.
+	sc scratch
 
 	maint Maintenance
 }
@@ -101,18 +105,9 @@ func (net *Network) KeySpace() uint64 { return net.space.Size() }
 // Size returns the number of live nodes.
 func (net *Network) Size() int { return len(net.nodes) }
 
-// NodeIDs returns the sorted linearized IDs of live nodes.
-func (net *Network) NodeIDs() []uint64 {
-	if net.sortedDirty {
-		net.sorted = net.sorted[:0]
-		for v := range net.nodes {
-			net.sorted = append(net.sorted, v)
-		}
-		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
-		net.sortedDirty = false
-	}
-	return net.sorted
-}
+// NodeIDs returns the sorted linearized IDs of live nodes. The slice is
+// maintained incrementally by addMember/removeMember, so this is O(1).
+func (net *Network) NodeIDs() []uint64 { return net.sorted }
 
 // Node returns the live node with the given ID, if present.
 func (net *Network) Node(id ids.CycloidID) (*Node, bool) {
@@ -135,25 +130,13 @@ func (net *Network) addMember(id ids.CycloidID) *Node {
 	}
 	n := &Node{ID: id}
 	net.nodes[v] = n
-	ks := net.cycles[id.A]
-	pos := sort.Search(len(ks), func(i int) bool { return ks[i] >= id.K })
-	ks = append(ks, 0)
-	copy(ks[pos+1:], ks[pos:])
-	ks[pos] = id.K
+	ks := sortedset.Insert(net.cycles[id.A], id.K)
 	net.cycles[id.A] = ks
 	if len(ks) == 1 {
-		cpos := sort.Search(len(net.cycleIdx), func(i int) bool { return net.cycleIdx[i] >= id.A })
-		net.cycleIdx = append(net.cycleIdx, 0)
-		copy(net.cycleIdx[cpos+1:], net.cycleIdx[cpos:])
-		net.cycleIdx[cpos] = id.A
+		net.cycleIdx = sortedset.Insert(net.cycleIdx, id.A)
 	}
-	bk := net.byK[id.K]
-	bpos := sort.Search(len(bk), func(i int) bool { return bk[i] >= id.A })
-	bk = append(bk, 0)
-	copy(bk[bpos+1:], bk[bpos:])
-	bk[bpos] = id.A
-	net.byK[id.K] = bk
-	net.sortedDirty = true
+	net.byK[id.K] = sortedset.Insert(net.byK[id.K], id.A)
+	net.sorted = sortedset.Insert(net.sorted, v)
 	return n
 }
 
@@ -165,20 +148,15 @@ func (net *Network) removeMember(id ids.CycloidID) {
 		panic(fmt.Sprintf("cycloid: removing absent node %v", id))
 	}
 	delete(net.nodes, v)
-	ks := net.cycles[id.A]
-	pos := sort.Search(len(ks), func(i int) bool { return ks[i] >= id.K })
-	ks = append(ks[:pos], ks[pos+1:]...)
+	ks := sortedset.Delete(net.cycles[id.A], id.K)
 	if len(ks) == 0 {
 		delete(net.cycles, id.A)
-		cpos := sort.Search(len(net.cycleIdx), func(i int) bool { return net.cycleIdx[i] >= id.A })
-		net.cycleIdx = append(net.cycleIdx[:cpos], net.cycleIdx[cpos+1:]...)
+		net.cycleIdx = sortedset.Delete(net.cycleIdx, id.A)
 	} else {
 		net.cycles[id.A] = ks
 	}
-	bk := net.byK[id.K]
-	bpos := sort.Search(len(bk), func(i int) bool { return bk[i] >= id.A })
-	net.byK[id.K] = append(bk[:bpos], bk[bpos+1:]...)
-	net.sortedDirty = true
+	net.byK[id.K] = sortedset.Delete(net.byK[id.K], id.A)
+	net.sorted = sortedset.Delete(net.sorted, v)
 }
 
 // BuildAll recomputes every node's routing state from the membership,
@@ -217,7 +195,7 @@ func (net *Network) adjCycle(a uint32, dir int, step int) (uint32, bool) {
 		return 0, false
 	}
 	// Position of the first cycle >= a.
-	pos := sort.Search(m, func(i int) bool { return net.cycleIdx[i] >= a })
+	pos := sortedset.Search(net.cycleIdx, a)
 	var idx int
 	if dir > 0 {
 		// First strictly-after position.
@@ -263,8 +241,10 @@ func (net *Network) responsibleID(t ids.CycloidID) (ids.CycloidID, bool) {
 			have = true
 		}
 	}
-	for _, a := range net.nearestCycles(t.A) {
-		for _, k := range net.nearestMembers(a, t.K) {
+	cycles, nc := net.nearestCycles(t.A)
+	for _, a := range cycles[:nc] {
+		members, nm := net.nearestMembers(a, t.K)
+		for _, k := range members[:nm] {
 			consider(ids.CycloidID{K: k, A: a})
 		}
 	}
@@ -274,37 +254,38 @@ func (net *Network) responsibleID(t ids.CycloidID) (ids.CycloidID, bool) {
 // nearestCycles returns the nonempty cycle(s) at minimal circular distance
 // from cubical index b: the first nonempty cycle clockwise from b
 // (inclusive) and the first counter-clockwise (inclusive), deduplicated.
-func (net *Network) nearestCycles(b uint32) []uint32 {
+// The result is returned by value so key placement stays allocation-free.
+func (net *Network) nearestCycles(b uint32) ([2]uint32, int) {
 	m := len(net.cycleIdx)
-	pos := sort.Search(m, func(i int) bool { return net.cycleIdx[i] >= b })
+	pos := sortedset.Search(net.cycleIdx, b)
 	cw := net.cycleIdx[pos%m]
 	ccw := net.cycleIdx[((pos-1)%m+m)%m]
 	if pos < m && net.cycleIdx[pos] == b {
 		ccw = b
 	}
 	if cw == ccw {
-		return []uint32{cw}
+		return [2]uint32{cw}, 1
 	}
-	return []uint32{cw, ccw}
+	return [2]uint32{cw, ccw}, 2
 }
 
 // nearestMembers returns the member(s) of cycle a at minimal circular
 // distance from cyclic index l: the first member clockwise from l
 // (inclusive) and the first counter-clockwise (inclusive), deduplicated.
-func (net *Network) nearestMembers(a uint32, l uint8) []uint8 {
+func (net *Network) nearestMembers(a uint32, l uint8) ([2]uint8, int) {
 	ks := net.cycles[a]
 	m := len(ks)
 	if m == 0 {
-		return nil
+		return [2]uint8{}, 0
 	}
-	pos := sort.Search(m, func(i int) bool { return ks[i] >= l })
+	pos := sortedset.Search(ks, l)
 	cw := ks[pos%m]
 	ccw := ks[((pos-1)%m+m)%m]
 	if pos < m && ks[pos] == l {
 		ccw = l
 	}
 	if cw == ccw {
-		return []uint8{cw}
+		return [2]uint8{cw}, 1
 	}
-	return []uint8{cw, ccw}
+	return [2]uint8{cw, ccw}, 2
 }

@@ -1,0 +1,265 @@
+package cycloid
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+// This file carries a reference copy of the pre-scratch DecideStep — the
+// straightforward allocate-per-hop implementation the experiment tables in
+// results_full.txt were generated with. The differential test below pins
+// the scratch-based hot path to it decision-for-decision, so the
+// zero-allocation rework provably changes no routing outcome.
+
+func referenceDecideStep(space ids.Space, s NodeState, t ids.CycloidID, greedyOnly bool) Step {
+	greedy := refGreedyCandidates(space, s, t)
+	step := Step{Phase: overlay.PhaseTraverse}
+	var prefs []ids.CycloidID
+	if !greedyOnly && s.ID.A != t.A && !refWithinLeafSpan(space, s, t.A) {
+		msdb := space.MSDB(s.ID.A, t.A)
+		switch {
+		case int(s.ID.K) < msdb:
+			step.Phase = overlay.PhaseAscending
+			prefs = refAscendCandidates(space, s, t)
+		case int(s.ID.K) == msdb:
+			step.Phase = overlay.PhaseDescending
+			if s.Cubical != nil {
+				prefs = refConvergent(space, s, t, []ids.CycloidID{*s.Cubical})
+			}
+		default:
+			step.Phase = overlay.PhaseDescending
+			prefs = refConvergent(space, s, t, refDescendCandidates(space, s, t))
+		}
+	}
+	step.Candidates = refDedupe(s.ID, append(prefs, greedy...))
+	if len(greedy) == 0 {
+		step.Candidates = nil
+	}
+	return step
+}
+
+func refGreedyCandidates(space ids.Space, s NodeState, t ids.CycloidID) []ids.CycloidID {
+	var seen [16]ids.CycloidID
+	nSeen := 0
+	out := make([]ids.CycloidID, 0, 8)
+	for _, id := range s.LeafSet() {
+		if id == s.ID {
+			continue
+		}
+		dup := false
+		for i := 0; i < nSeen; i++ {
+			if seen[i] == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if nSeen < len(seen) {
+			seen[nSeen] = id
+			nSeen++
+		}
+		if space.Closer(t, id, s.ID) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return space.Closer(t, out[i], out[j]) })
+	return out
+}
+
+func refAscendCandidates(space ids.Space, s NodeState, t ids.CycloidID) []ids.CycloidID {
+	out := make([]ids.CycloidID, 0, len(s.OutsideL)+len(s.OutsideR))
+	for _, id := range s.OutsideL {
+		if id != s.ID {
+			out = append(out, id)
+		}
+	}
+	for _, id := range s.OutsideR {
+		if id != s.ID {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := space.CycleDist(out[i].A, t.A), space.CycleDist(out[j].A, t.A)
+		if di != dj {
+			return di < dj
+		}
+		return space.Closer(t, out[i], out[j])
+	})
+	return out
+}
+
+func refDescendCandidates(space ids.Space, s NodeState, t ids.CycloidID) []ids.CycloidID {
+	var cands []ids.CycloidID
+	clockwise := space.ClockwiseCycle(s.ID.A, t.A) <= space.Cycles()/2
+	first, second := s.CyclicL, s.CyclicS
+	if !clockwise {
+		first, second = s.CyclicS, s.CyclicL
+	}
+	if first != nil {
+		cands = append(cands, *first)
+	}
+	if second != nil {
+		cands = append(cands, *second)
+	}
+	for _, id := range s.InsideL {
+		if id.K < s.ID.K {
+			cands = append(cands, id)
+		}
+	}
+	curPrefix := space.CommonPrefixLen(s.ID.A, t.A)
+	var keep, rest []ids.CycloidID
+	for _, id := range cands {
+		if id == s.ID {
+			continue
+		}
+		if space.CommonPrefixLen(id.A, t.A) >= curPrefix {
+			keep = append(keep, id)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	return append(keep, rest...)
+}
+
+func refConvergent(space ids.Space, s NodeState, t ids.CycloidID, cands []ids.CycloidID) []ids.CycloidID {
+	curPrefix := space.CommonPrefixLen(s.ID.A, t.A)
+	curDist := space.CycleDist(s.ID.A, t.A)
+	out := cands[:0]
+	for _, id := range cands {
+		if id == s.ID {
+			continue
+		}
+		p := space.CommonPrefixLen(id.A, t.A)
+		if p > curPrefix || (p == curPrefix && space.CycleDist(id.A, t.A) <= curDist) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func refWithinLeafSpan(space ids.Space, s NodeState, b uint32) bool {
+	if len(s.OutsideL) == 0 || len(s.OutsideR) == 0 {
+		return true
+	}
+	left := s.OutsideL[len(s.OutsideL)-1].A
+	right := s.OutsideR[len(s.OutsideR)-1].A
+	if left == s.ID.A && right == s.ID.A {
+		return true
+	}
+	return space.ClockwiseCycle(left, b) <= space.ClockwiseCycle(left, right)
+}
+
+func refDedupe(self ids.CycloidID, cands []ids.CycloidID) []ids.CycloidID {
+	out := cands[:0]
+	for _, id := range cands {
+		if id == self {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// stepsEqual treats nil and empty candidate lists as equal and otherwise
+// requires identical order.
+func stepsEqual(a, b Step) bool {
+	if a.Phase != b.Phase {
+		return false
+	}
+	if len(a.Candidates) != len(b.Candidates) {
+		return false
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecideStepMatchesReference fuzzes the scratch-based decision (both
+// through the exported DecideStep and the simulator's internal path)
+// against the reference implementation over converged, churned and
+// LeafHalf-widened networks.
+func TestDecideStepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		dim, leafHalf, nodes int
+		churn                int
+	}{
+		{8, 1, 600, 0},
+		{8, 2, 600, 0},
+		{7, 4, 300, 0},
+		{8, 1, 500, 200},
+		{6, 2, 150, 120},
+	} {
+		net, err := NewRandom(Config{Dim: tc.dim, LeafHalf: tc.leafHalf}, tc.nodes, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.churn; i++ {
+			// Joins and leaves without stabilization leave exactly the
+			// stale state real lookups route around.
+			if rng.Intn(2) == 0 {
+				_, _ = net.Join(rng)
+			} else if net.Size() > 2 {
+				_ = net.Leave(overlay.RandomNode(net, rng))
+			}
+		}
+		for trial := 0; trial < 4000; trial++ {
+			src := overlay.RandomNode(net, rng)
+			target := net.space.FromLinear(overlay.RandomKey(net, rng))
+			greedyOnly := trial%3 == 0
+			n := net.nodes[src]
+			want := referenceDecideStep(net.space, n.state(), target, greedyOnly)
+			got := DecideStep(net.space, n.state(), target, greedyOnly)
+			if !stepsEqual(got, want) {
+				t.Fatalf("dim=%d half=%d churn=%d: DecideStep(%v -> %v, greedy=%v)\n got %+v\nwant %+v",
+					tc.dim, tc.leafHalf, tc.churn, n.ID, target, greedyOnly, got, want)
+			}
+			internal := net.decideStep(n, target, greedyOnly)
+			if !stepsEqual(internal, want) {
+				t.Fatalf("dim=%d half=%d churn=%d: decideStep(%v -> %v, greedy=%v)\n got %+v\nwant %+v",
+					tc.dim, tc.leafHalf, tc.churn, n.ID, target, greedyOnly, internal, want)
+			}
+		}
+	}
+}
+
+// TestDecideStepIndependentOfScratchReuse verifies the exported
+// DecideStep's result survives later decisions on the same network (the
+// value semantics package p2p relies on).
+func TestDecideStepIndependentOfScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net, err := NewRandom(Config{Dim: 8, LeafHalf: 1}, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := overlay.RandomNode(net, rng)
+	target := net.space.FromLinear(overlay.RandomKey(net, rng))
+	n := net.nodes[src]
+	step := DecideStep(net.space, n.state(), target, false)
+	saved := append([]ids.CycloidID(nil), step.Candidates...)
+	for i := 0; i < 50; i++ {
+		net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+	}
+	if !reflect.DeepEqual(saved, step.Candidates) {
+		t.Fatal("DecideStep candidates were clobbered by later lookups")
+	}
+}

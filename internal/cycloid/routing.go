@@ -26,6 +26,11 @@ import (
 // prescribes. A safety valve switches to pure greedy leaf-set forwarding
 // if phased routing stops making progress (possible only with heavily
 // stale state), which guarantees termination.
+//
+// The per-hop decisions run through the network's reusable scratch
+// buffers (see scratch.go), so a converged-network lookup performs no
+// heap allocation beyond the hop trace itself. Lookup is consequently
+// not safe for concurrent use on the same Network.
 func (net *Network) Lookup(src, key uint64) overlay.Result {
 	res := overlay.Result{Key: key, Source: src}
 	cur, ok := net.nodes[src]
@@ -37,12 +42,15 @@ func (net *Network) Lookup(src, key uint64) overlay.Result {
 	d := net.space.Dim()
 	window := 4*d + 16
 	budget := 64*d + 128
+	// One sized allocation for the common case instead of doubling
+	// appends; long stale-state detours may still grow it.
+	res.Hops = make([]overlay.Hop, 0, 2*d+8)
 
 	greedyOnly := false
 	best := cur.ID
 	sinceImprove := 0
 	for {
-		step := DecideStep(net.space, cur.state(), t, greedyOnly)
+		step := net.decideStep(cur, t, greedyOnly)
 		next, timeouts := net.resolve(step.Candidates)
 		res.Timeouts += timeouts
 		if next == nil {

@@ -1,0 +1,282 @@
+package cycloid
+
+import (
+	"cycloid/internal/ids"
+	"cycloid/internal/overlay"
+)
+
+// scratch holds the working buffers one routing decision writes its
+// candidate lists into. Network.Lookup threads a single scratch through
+// every hop, so a converged-network lookup performs zero heap allocations
+// per hop; the exported DecideStep allocates a fresh scratch per call to
+// keep its value semantics. Buffer sizes cover the widest configuration
+// Config.Validate admits (LeafHalf 4: sixteen leaf entries); arbitrarily
+// large NodeStates handed to DecideStep spill to the heap via append,
+// trading speed for correctness.
+type scratch struct {
+	leaf    [16]ids.CycloidID // leaf-set view of the deciding node
+	greedy  [16]ids.CycloidID // greedy candidates, best first
+	descend [16]ids.CycloidID // raw descending candidates, pre-partition
+	prefs   [16]ids.CycloidID // phased candidates after filtering
+	cands   [32]ids.CycloidID // final deduplicated preference list
+}
+
+// stateView is the routing algorithm's internal view of a node's state:
+// the shape of NodeState with ref-valued neighbors (no pointer chasing)
+// and leaf-set slices that may alias scratch buffers or a NodeState.
+type stateView struct {
+	id      ids.CycloidID
+	cubical ref
+	cyclicL ref
+	cyclicS ref
+
+	insideL  []ids.CycloidID
+	insideR  []ids.CycloidID
+	outsideL []ids.CycloidID
+	outsideR []ids.CycloidID
+}
+
+// nodeView snapshots a simulator node into a view whose leaf-set slices
+// alias sc.leaf — no heap allocation.
+func (sc *scratch) nodeView(n *Node) stateView {
+	v := stateView{id: n.ID, cubical: n.cubical, cyclicL: n.cyclicL, cyclicS: n.cyclicS}
+	buf := sc.leaf[:0]
+	buf, v.insideL = appendLiveRefs(buf, n.insideL)
+	buf, v.insideR = appendLiveRefs(buf, n.insideR)
+	buf, v.outsideL = appendLiveRefs(buf, n.outsideL)
+	_, v.outsideR = appendLiveRefs(buf, n.outsideR)
+	return v
+}
+
+// appendLiveRefs appends the ok entries of rs to buf and returns the
+// extended buffer plus the capacity-clamped subslice just written.
+func appendLiveRefs(buf []ids.CycloidID, rs []ref) ([]ids.CycloidID, []ids.CycloidID) {
+	start := len(buf)
+	for _, r := range rs {
+		if r.ok {
+			buf = append(buf, r.id)
+		}
+	}
+	return buf, buf[start:len(buf):len(buf)]
+}
+
+// stateViewOf adapts an exported NodeState; the leaf-set slices alias the
+// NodeState's own.
+func stateViewOf(s *NodeState) stateView {
+	v := stateView{
+		id:       s.ID,
+		insideL:  s.InsideL,
+		insideR:  s.InsideR,
+		outsideL: s.OutsideL,
+		outsideR: s.OutsideR,
+	}
+	if s.Cubical != nil {
+		v.cubical = mkref(*s.Cubical)
+	}
+	if s.CyclicL != nil {
+		v.cyclicL = mkref(*s.CyclicL)
+	}
+	if s.CyclicS != nil {
+		v.cyclicS = mkref(*s.CyclicS)
+	}
+	return v
+}
+
+// decide is the routing decision of DecideStep over the internal view.
+// The returned candidate slice aliases sc.cands and is valid until the
+// next decision using the same scratch.
+func decide(space ids.Space, v *stateView, t ids.CycloidID, greedyOnly bool, sc *scratch) Step {
+	greedy := greedyInto(space, v, t, sc.greedy[:0])
+	step := Step{Phase: overlay.PhaseTraverse}
+	var prefs []ids.CycloidID
+	if !greedyOnly && v.id.A != t.A && !withinLeafSpan(space, v, t.A) {
+		msdb := space.MSDB(v.id.A, t.A)
+		switch {
+		case int(v.id.K) < msdb:
+			step.Phase = overlay.PhaseAscending
+			prefs = ascendInto(space, v, t, sc.prefs[:0])
+		case int(v.id.K) == msdb:
+			step.Phase = overlay.PhaseDescending
+			if v.cubical.ok {
+				prefs = convergent(space, v.id, t, append(sc.prefs[:0], v.cubical.id))
+			}
+		default:
+			step.Phase = overlay.PhaseDescending
+			prefs = convergent(space, v.id, t, descendInto(space, v, t, sc.prefs[:0], sc))
+		}
+	}
+	if len(greedy) == 0 {
+		// No leaf entry improves on this node: it keeps the request.
+		// (Phased candidates alone cannot make it the non-owner, because
+		// the placement rule's winner is always reachable via leaf sets.)
+		return step
+	}
+	cands := appendDedup(v.id, sc.cands[:0], prefs)
+	step.Candidates = appendDedup(v.id, cands, greedy)
+	return step
+}
+
+// greedyInto appends the leaf-set entries strictly closer to t than the
+// deciding node into out, kept best-first by insertion sort — the
+// traverse-cycle preference order and the universal fallback. Only leaf
+// sets qualify: the paper's fallback rule is "the node that is numerically
+// closer to the destination among the leaf sets", and leaf sets are
+// exactly the state graceful-departure notifications keep fresh.
+func greedyInto(space ids.Space, v *stateView, t ids.CycloidID, out []ids.CycloidID) []ids.CycloidID {
+	// Leaf sets hold at most a handful of entries, so duplicate tracking
+	// is a linear scan over the seen prefix — no map allocation per hop.
+	var seen [16]ids.CycloidID
+	nSeen := 0
+	for _, set := range [4][]ids.CycloidID{v.insideL, v.insideR, v.outsideL, v.outsideR} {
+		for _, id := range set {
+			if id == v.id {
+				continue
+			}
+			dup := false
+			for i := 0; i < nSeen; i++ {
+				if seen[i] == id {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if nSeen < len(seen) {
+				seen[nSeen] = id
+				nSeen++
+			}
+			if !space.Closer(t, id, v.id) {
+				continue
+			}
+			out = append(out, id)
+			for i := len(out) - 1; i > 0 && space.Closer(t, out[i], out[i-1]); i-- {
+				out[i], out[i-1] = out[i-1], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// ascendInto appends the outside leaf set into out ordered by cubical
+// closeness to the target, the paper's "node whose cubical index is
+// numerically closest to the destination out of the outside leaf set".
+func ascendInto(space ids.Space, v *stateView, t ids.CycloidID, out []ids.CycloidID) []ids.CycloidID {
+	for _, set := range [2][]ids.CycloidID{v.outsideL, v.outsideR} {
+		for _, id := range set {
+			if id == v.id {
+				continue
+			}
+			out = append(out, id)
+			for i := len(out) - 1; i > 0 && ascendLess(space, t, out[i], out[i-1]); i-- {
+				out[i], out[i-1] = out[i-1], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func ascendLess(space ids.Space, t, x, y ids.CycloidID) bool {
+	dx, dy := space.CycleDist(x.A, t.A), space.CycleDist(y.A, t.A)
+	if dx != dy {
+		return dx < dy
+	}
+	return space.Closer(t, x, y)
+}
+
+// descendInto appends candidates for a cyclic-index-lowering hop into
+// out: the direction-matched cyclic neighbor first (larger if the
+// target's cubical index lies clockwise, smaller otherwise), then the
+// other cyclic neighbor, then inside-leaf predecessors;
+// prefix-preserving candidates come first (a stable partition).
+func descendInto(space ids.Space, v *stateView, t ids.CycloidID, out []ids.CycloidID, sc *scratch) []ids.CycloidID {
+	raw := sc.descend[:0]
+	clockwise := space.ClockwiseCycle(v.id.A, t.A) <= space.Cycles()/2
+	first, second := v.cyclicL, v.cyclicS
+	if !clockwise {
+		first, second = v.cyclicS, v.cyclicL
+	}
+	if first.ok {
+		raw = append(raw, first.id)
+	}
+	if second.ok {
+		raw = append(raw, second.id)
+	}
+	for _, id := range v.insideL {
+		if id.K < v.id.K {
+			raw = append(raw, id)
+		}
+	}
+	curPrefix := space.CommonPrefixLen(v.id.A, t.A)
+	for _, id := range raw {
+		if id != v.id && space.CommonPrefixLen(id.A, t.A) >= curPrefix {
+			out = append(out, id)
+		}
+	}
+	for _, id := range raw {
+		if id != v.id && space.CommonPrefixLen(id.A, t.A) < curPrefix {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// convergent filters candidates by the paper's convergence criterion on
+// the cubical dimension: each descending step must share a longer cubical
+// prefix with the target, or share as long a prefix without moving
+// cubically farther (staircase hops within the same cycle keep the
+// cubical index fixed while lowering the cyclic index). Relaxed
+// out-of-block neighbors that would regress cubically are dropped; the
+// greedy fallback then picks the best strictly-closer entry instead.
+func convergent(space ids.Space, self, t ids.CycloidID, cands []ids.CycloidID) []ids.CycloidID {
+	curPrefix := space.CommonPrefixLen(self.A, t.A)
+	curDist := space.CycleDist(self.A, t.A)
+	out := cands[:0]
+	for _, id := range cands {
+		if id == self {
+			continue
+		}
+		p := space.CommonPrefixLen(id.A, t.A)
+		if p > curPrefix || (p == curPrefix && space.CycleDist(id.A, t.A) <= curDist) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// withinLeafSpan reports whether target cycle b falls inside the arc of
+// the large cycle covered by the outside leaf set, in which case the
+// responsible node is reachable by pure leaf-set forwarding.
+func withinLeafSpan(space ids.Space, v *stateView, b uint32) bool {
+	if len(v.outsideL) == 0 || len(v.outsideR) == 0 {
+		return true
+	}
+	left := v.outsideL[len(v.outsideL)-1].A
+	right := v.outsideR[len(v.outsideR)-1].A
+	if left == v.id.A && right == v.id.A {
+		return true // only cycle in the network
+	}
+	return space.ClockwiseCycle(left, b) <= space.ClockwiseCycle(left, right)
+}
+
+// appendDedup appends the entries of src to dst, dropping self and
+// entries already present, preserving order. Candidate lists are tiny (at
+// most a dozen entries), so the duplicate check is a linear scan.
+func appendDedup(self ids.CycloidID, dst, src []ids.CycloidID) []ids.CycloidID {
+	for _, id := range src {
+		if id == self {
+			continue
+		}
+		dup := false
+		for _, o := range dst {
+			if o == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

@@ -1,8 +1,6 @@
 package cycloid
 
 import (
-	"sort"
-
 	"cycloid/internal/ids"
 	"cycloid/internal/overlay"
 )
@@ -61,196 +59,28 @@ type Step struct {
 // greedyOnly set the phased logic is skipped (the safety valve the lookup
 // driver engages if phased routing stops converging on heavily stale
 // state).
+//
+// DecideStep is a thin layer over the scratch-based internals the
+// simulator's Lookup drives directly (see scratch.go); it allocates a
+// private scratch and copies the candidates out, so the returned Step is
+// independent of any shared buffer — the value semantics package p2p
+// relies on.
 func DecideStep(space ids.Space, s NodeState, t ids.CycloidID, greedyOnly bool) Step {
-	greedy := greedyCandidates(space, s, t)
-	step := Step{Phase: overlay.PhaseTraverse}
-	var prefs []ids.CycloidID
-	if !greedyOnly && s.ID.A != t.A && !withinLeafSpan(space, s, t.A) {
-		msdb := space.MSDB(s.ID.A, t.A)
-		switch {
-		case int(s.ID.K) < msdb:
-			step.Phase = overlay.PhaseAscending
-			prefs = ascendCandidates(space, s, t)
-		case int(s.ID.K) == msdb:
-			step.Phase = overlay.PhaseDescending
-			if s.Cubical != nil {
-				prefs = convergent(space, s, t, []ids.CycloidID{*s.Cubical})
-			}
-		default:
-			step.Phase = overlay.PhaseDescending
-			prefs = convergent(space, s, t, descendCandidates(space, s, t))
-		}
-	}
-	step.Candidates = dedupe(s.ID, append(prefs, greedy...))
-	if len(greedy) == 0 {
-		// No leaf entry improves on this node: it keeps the request.
-		// (Phased candidates alone cannot make it the non-owner, because
-		// the placement rule's winner is always reachable via leaf sets.)
-		step.Candidates = nil
+	var sc scratch
+	v := stateViewOf(&s)
+	step := decide(space, &v, t, greedyOnly, &sc)
+	if step.Candidates != nil {
+		step.Candidates = append([]ids.CycloidID(nil), step.Candidates...)
 	}
 	return step
 }
 
-// greedyCandidates returns the leaf-set entries strictly closer to t than
-// the deciding node, best first — the traverse-cycle preference order and
-// the universal fallback. Only leaf sets qualify: the paper's fallback
-// rule is "the node that is numerically closer to the destination among
-// the leaf sets", and leaf sets are exactly the state graceful-departure
-// notifications keep fresh.
-func greedyCandidates(space ids.Space, s NodeState, t ids.CycloidID) []ids.CycloidID {
-	// Leaf sets hold at most a handful of entries, so duplicate tracking
-	// is a linear scan over the seen prefix — no map allocation per hop.
-	var seen [16]ids.CycloidID
-	nSeen := 0
-	out := make([]ids.CycloidID, 0, 8)
-	for _, id := range s.LeafSet() {
-		if id == s.ID {
-			continue
-		}
-		dup := false
-		for i := 0; i < nSeen; i++ {
-			if seen[i] == id {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		if nSeen < len(seen) {
-			seen[nSeen] = id
-			nSeen++
-		}
-		if space.Closer(t, id, s.ID) {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return space.Closer(t, out[i], out[j]) })
-	return out
-}
-
-// ascendCandidates orders the outside leaf set by cubical closeness to
-// the target, the paper's "node whose cubical index is numerically
-// closest to the destination out of the outside leaf set".
-func ascendCandidates(space ids.Space, s NodeState, t ids.CycloidID) []ids.CycloidID {
-	out := make([]ids.CycloidID, 0, len(s.OutsideL)+len(s.OutsideR))
-	for _, id := range s.OutsideL {
-		if id != s.ID {
-			out = append(out, id)
-		}
-	}
-	for _, id := range s.OutsideR {
-		if id != s.ID {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		di, dj := space.CycleDist(out[i].A, t.A), space.CycleDist(out[j].A, t.A)
-		if di != dj {
-			return di < dj
-		}
-		return space.Closer(t, out[i], out[j])
-	})
-	return out
-}
-
-// descendCandidates orders candidates for a cyclic-index-lowering hop:
-// the direction-matched cyclic neighbor first (larger if the target's
-// cubical index lies clockwise, smaller otherwise), then the other cyclic
-// neighbor, then inside-leaf predecessors; prefix-preserving candidates
-// come first.
-func descendCandidates(space ids.Space, s NodeState, t ids.CycloidID) []ids.CycloidID {
-	var cands []ids.CycloidID
-	clockwise := space.ClockwiseCycle(s.ID.A, t.A) <= space.Cycles()/2
-	first, second := s.CyclicL, s.CyclicS
-	if !clockwise {
-		first, second = s.CyclicS, s.CyclicL
-	}
-	if first != nil {
-		cands = append(cands, *first)
-	}
-	if second != nil {
-		cands = append(cands, *second)
-	}
-	for _, id := range s.InsideL {
-		if id.K < s.ID.K {
-			cands = append(cands, id)
-		}
-	}
-	curPrefix := space.CommonPrefixLen(s.ID.A, t.A)
-	var keep, rest []ids.CycloidID
-	for _, id := range cands {
-		if id == s.ID {
-			continue
-		}
-		if space.CommonPrefixLen(id.A, t.A) >= curPrefix {
-			keep = append(keep, id)
-		} else {
-			rest = append(rest, id)
-		}
-	}
-	return append(keep, rest...)
-}
-
-// convergent filters candidates by the paper's convergence criterion on
-// the cubical dimension: each descending step must share a longer cubical
-// prefix with the target, or share as long a prefix without moving
-// cubically farther (staircase hops within the same cycle keep the
-// cubical index fixed while lowering the cyclic index). Relaxed
-// out-of-block neighbors that would regress cubically are dropped; the
-// greedy fallback then picks the best strictly-closer entry instead.
-func convergent(space ids.Space, s NodeState, t ids.CycloidID, cands []ids.CycloidID) []ids.CycloidID {
-	curPrefix := space.CommonPrefixLen(s.ID.A, t.A)
-	curDist := space.CycleDist(s.ID.A, t.A)
-	out := cands[:0]
-	for _, id := range cands {
-		if id == s.ID {
-			continue
-		}
-		p := space.CommonPrefixLen(id.A, t.A)
-		if p > curPrefix || (p == curPrefix && space.CycleDist(id.A, t.A) <= curDist) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// withinLeafSpan reports whether target cycle b falls inside the arc of
-// the large cycle covered by the outside leaf set, in which case the
-// responsible node is reachable by pure leaf-set forwarding.
-func withinLeafSpan(space ids.Space, s NodeState, b uint32) bool {
-	if len(s.OutsideL) == 0 || len(s.OutsideR) == 0 {
-		return true
-	}
-	left := s.OutsideL[len(s.OutsideL)-1].A
-	right := s.OutsideR[len(s.OutsideR)-1].A
-	if left == s.ID.A && right == s.ID.A {
-		return true // only cycle in the network
-	}
-	return space.ClockwiseCycle(left, b) <= space.ClockwiseCycle(left, right)
-}
-
-// dedupe removes duplicates and the deciding node itself, preserving
-// order. Candidate lists are tiny (at most a dozen entries), so the
-// duplicate check is a linear scan over the output prefix.
-func dedupe(self ids.CycloidID, cands []ids.CycloidID) []ids.CycloidID {
-	out := cands[:0]
-	for _, id := range cands {
-		if id == self {
-			continue
-		}
-		dup := false
-		for _, o := range out {
-			if o == id {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, id)
-		}
-	}
-	return out
+// decideStep makes one routing decision at live node n through the
+// network's scratch buffers. The returned candidates alias the scratch
+// and are only valid until the next decision on this network.
+func (net *Network) decideStep(n *Node, t ids.CycloidID, greedyOnly bool) Step {
+	v := net.sc.nodeView(n)
+	return decide(net.space, &v, t, greedyOnly, &net.sc)
 }
 
 // state snapshots a simulator node's routing state.

@@ -125,7 +125,7 @@ func runChurnOne(name string, rate float64, o ChurnOptions) (ChurnCell, error) {
 		}
 		eng.After(delay, func(sim.Time) {
 			// A departed node's timer dies silently.
-			if !contains(net.NodeIDs(), id) {
+			if !net.Contains(id) {
 				return
 			}
 			net.Stabilize(id)
@@ -175,20 +175,6 @@ func runChurnOne(name string, rate float64, o ChurnOptions) (ChurnCell, error) {
 	cell.MeanPath = paths.Mean()
 	cell.Timeouts = touts.Summarize()
 	return cell, nil
-}
-
-// contains reports whether sorted ids contain id.
-func contains(ids []uint64, id uint64) bool {
-	lo, hi := 0, len(ids)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if ids[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(ids) && ids[lo] == id
 }
 
 // Fig12Table renders mean path length versus churn rate.

@@ -9,6 +9,10 @@ import (
 // and returns the first error. Experiment cells (one DHT at one parameter
 // point) are mutually independent — each builds its own network and owns
 // its own RNG — so the sweeps parallelize without changing any result.
+//
+// The first error stops the dispatch of queued jobs: in-flight cells run
+// to completion, but the rest of the sweep is abandoned instead of
+// burning minutes of work whose results would be discarded.
 func parallelDo(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -25,8 +29,18 @@ func parallelDo(n int, fn func(i int) error) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
+		once     sync.Once
 		firstErr error
 	)
+	done := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		once.Do(func() { close(done) })
+	}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -34,17 +48,18 @@ func parallelDo(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for i := range jobs {
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -12,9 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"cycloid/internal/ids"
+	"cycloid/internal/sortedset"
 )
 
 // Config parameterizes a Koorde network.
@@ -70,8 +70,7 @@ type Network struct {
 	ring  ids.Ring
 	nodes map[uint64]*Node
 
-	sorted      []uint64
-	sortedDirty bool
+	sorted []uint64 // sorted live node IDs, maintained incrementally
 }
 
 // New returns an empty network.
@@ -121,40 +120,37 @@ func (net *Network) KeySpace() uint64 { return net.ring.Size() }
 // Size returns the number of live nodes.
 func (net *Network) Size() int { return len(net.nodes) }
 
-// NodeIDs returns the sorted live node IDs.
-func (net *Network) NodeIDs() []uint64 {
-	if net.sortedDirty {
-		net.sorted = net.sorted[:0]
-		for v := range net.nodes {
-			net.sorted = append(net.sorted, v)
-		}
-		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
-		net.sortedDirty = false
-	}
-	return net.sorted
+// NodeIDs returns the sorted live node IDs, maintained incrementally by
+// addMember/removeMember.
+func (net *Network) NodeIDs() []uint64 { return net.sorted }
+
+// Contains implements overlay.Network: O(1) liveness check.
+func (net *Network) Contains(id uint64) bool {
+	_, ok := net.nodes[id]
+	return ok
 }
 
 func (net *Network) addMember(id uint64) *Node {
 	n := &Node{id: id}
 	net.nodes[id] = n
-	net.sortedDirty = true
+	net.sorted = sortedset.Insert(net.sorted, id)
 	return n
 }
 
 func (net *Network) removeMember(id uint64) {
 	delete(net.nodes, id)
-	net.sortedDirty = true
+	net.sorted = sortedset.Delete(net.sorted, id)
 }
 
 func (net *Network) successorOf(v uint64) uint64 {
 	s := net.NodeIDs()
-	pos := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	pos := sortedset.Search(s, v)
 	return s[pos%len(s)]
 }
 
 func (net *Network) predecessorOf(v uint64) uint64 {
 	s := net.NodeIDs()
-	pos := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	pos := sortedset.Search(s, v)
 	return s[((pos-1)%len(s)+len(s))%len(s)]
 }
 

@@ -1,0 +1,57 @@
+package koorde
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+// TestNodeIDsIncremental asserts the incrementally-maintained sorted
+// membership index matches a from-scratch sort before and after a churn
+// batch, with a fixed lookup workload driven in between.
+func TestNodeIDsIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := NewRandom(Config{Bits: 14, Successors: 3, Backups: 3}, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		want := make([]uint64, 0, len(net.nodes))
+		for v := range net.nodes {
+			want = append(want, v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := net.NodeIDs()
+		if len(got) != len(want) {
+			t.Fatalf("%s: NodeIDs has %d entries, want %d", stage, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: NodeIDs[%d] = %d, want %d", stage, i, got[i], want[i])
+			}
+			if !net.Contains(want[i]) {
+				t.Fatalf("%s: Contains(%d) = false for live node", stage, want[i])
+			}
+		}
+	}
+	workload := func() {
+		for i := 0; i < 300; i++ {
+			net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		}
+	}
+
+	check("initial")
+	workload()
+	for i := 0; i < 400; i++ {
+		if rng.Intn(2) == 0 {
+			_, _ = net.Join(rng)
+		} else if net.Size() > 2 {
+			_ = net.Leave(overlay.RandomNode(net, rng))
+		}
+	}
+	check("after churn")
+	workload()
+	check("after post-churn lookups")
+}

@@ -93,6 +93,10 @@ type Network interface {
 	// NodeIDs returns the sorted linearized IDs of all live nodes. The
 	// returned slice must not be modified by the caller.
 	NodeIDs() []uint64
+	// Contains reports whether id is a live node, in O(1). Liveness
+	// checks (e.g. churn-timer guards) must use this instead of scanning
+	// NodeIDs.
+	Contains(id uint64) bool
 	// Lookup routes a request for key from the live node src.
 	Lookup(src, key uint64) Result
 	// Responsible returns the linearized ID of the node that should store

@@ -46,10 +46,18 @@ type fakeNet struct {
 	ids []uint64
 }
 
-func (f fakeNet) Name() string                { return "fake" }
-func (f fakeNet) KeySpace() uint64            { return 100 }
-func (f fakeNet) Size() int                   { return len(f.ids) }
-func (f fakeNet) NodeIDs() []uint64           { return f.ids }
+func (f fakeNet) Name() string      { return "fake" }
+func (f fakeNet) KeySpace() uint64  { return 100 }
+func (f fakeNet) Size() int         { return len(f.ids) }
+func (f fakeNet) NodeIDs() []uint64 { return f.ids }
+func (f fakeNet) Contains(id uint64) bool {
+	for _, v := range f.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
 func (f fakeNet) Lookup(s, k uint64) Result   { return Result{} }
 func (f fakeNet) Responsible(k uint64) uint64 { return 0 }
 

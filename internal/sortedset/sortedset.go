@@ -1,0 +1,52 @@
+// Package sortedset provides binary-search insert/delete/lookup helpers
+// for slices kept in ascending order. The membership indexes of every DHT
+// in this repository (sorted node IDs, cycle members, per-level rings) are
+// maintained incrementally with these helpers instead of re-sorting from
+// scratch, so the churn-heavy experiments pay O(n) per membership event
+// rather than O(n log n) at the next read.
+package sortedset
+
+// Ordered covers the element types the membership indexes use.
+type Ordered interface {
+	~uint8 | ~uint16 | ~uint32 | ~uint64 | ~int
+}
+
+// Search returns the smallest index i with s[i] >= v, or len(s).
+func Search[T Ordered](s []T, v T) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert places v at its sorted position, shifting later elements right.
+// The slice must already be sorted ascending.
+func Insert[T Ordered](s []T, v T) []T {
+	pos := Search(s, v)
+	s = append(s, v)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	return s
+}
+
+// Delete removes one occurrence of v, shifting later elements left. The
+// slice is returned unchanged if v is absent.
+func Delete[T Ordered](s []T, v T) []T {
+	pos := Search(s, v)
+	if pos < len(s) && s[pos] == v {
+		s = append(s[:pos], s[pos+1:]...)
+	}
+	return s
+}
+
+// Contains reports whether v is present.
+func Contains[T Ordered](s []T, v T) bool {
+	pos := Search(s, v)
+	return pos < len(s) && s[pos] == v
+}

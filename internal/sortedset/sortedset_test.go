@@ -1,0 +1,54 @@
+package sortedset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestInsertDeleteRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s []uint64
+	present := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(200))
+		if rng.Intn(2) == 0 {
+			s = Insert(s, v)
+			present[v]++
+		} else {
+			had := present[v] > 0
+			n := len(s)
+			s = Delete(s, v)
+			if had {
+				present[v]--
+				if len(s) != n-1 {
+					t.Fatalf("Delete(%d) removed %d elements, want 1", v, n-len(s))
+				}
+			} else if len(s) != n {
+				t.Fatalf("Delete(%d) of absent value changed length", v)
+			}
+		}
+		if !sort.SliceIsSorted(s, func(a, b int) bool { return s[a] < s[b] }) {
+			t.Fatalf("slice unsorted after step %d", i)
+		}
+	}
+	for v, c := range present {
+		if got := Contains(s, v); got != (c > 0) {
+			t.Errorf("Contains(%d) = %v, want %v", v, got, c > 0)
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := []uint32{2, 4, 4, 8}
+	for _, tc := range []struct {
+		v    uint32
+		want int
+	}{
+		{0, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 3}, {8, 3}, {9, 4},
+	} {
+		if got := Search(s, tc.v); got != tc.want {
+			t.Errorf("Search(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

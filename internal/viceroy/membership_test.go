@@ -1,0 +1,69 @@
+package viceroy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cycloid/internal/overlay"
+)
+
+// TestNodeIDsIncremental asserts the incrementally-maintained sorted
+// membership index (and the per-level rings) match a from-scratch sort
+// before and after a churn batch, with a fixed lookup workload driven in
+// between.
+func TestNodeIDsIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := NewRandom(Config{ExpectedNodes: 500}, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		want := make([]uint64, 0, len(net.nodes))
+		for v := range net.nodes {
+			want = append(want, v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := net.NodeIDs()
+		if len(got) != len(want) {
+			t.Fatalf("%s: NodeIDs has %d entries, want %d", stage, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: NodeIDs[%d] = %d, want %d", stage, i, got[i], want[i])
+			}
+			if !net.Contains(want[i]) {
+				t.Fatalf("%s: Contains(%d) = false for live node", stage, want[i])
+			}
+		}
+		// Per-level rings must partition the membership.
+		total := 0
+		for level, ls := range net.levels {
+			total += len(ls)
+			if !sort.SliceIsSorted(ls, func(i, j int) bool { return ls[i] < ls[j] }) {
+				t.Fatalf("%s: level %d ring unsorted", stage, level)
+			}
+		}
+		if total != len(net.nodes) {
+			t.Fatalf("%s: level rings hold %d nodes, want %d", stage, total, len(net.nodes))
+		}
+	}
+	workload := func() {
+		for i := 0; i < 300; i++ {
+			net.Lookup(overlay.RandomNode(net, rng), overlay.RandomKey(net, rng))
+		}
+	}
+
+	check("initial")
+	workload()
+	for i := 0; i < 400; i++ {
+		if rng.Intn(2) == 0 {
+			_, _ = net.Join(rng)
+		} else if net.Size() > 2 {
+			_ = net.Leave(overlay.RandomNode(net, rng))
+		}
+	}
+	check("after churn")
+	workload()
+	check("after post-churn lookups")
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"cycloid/internal/ids"
+	"cycloid/internal/sortedset"
 )
 
 // IDBits is the fixed-point resolution of the [0,1) identifier space.
@@ -85,8 +86,7 @@ type Network struct {
 	nodes    map[uint64]*Node
 	levels   map[int][]uint64 // sorted IDs per level
 
-	sorted      []uint64
-	sortedDirty bool
+	sorted []uint64 // sorted live node IDs, maintained incrementally
 
 	rng   *rand.Rand // drives level re-selection when the size estimate changes
 	maint Maintenance
@@ -149,17 +149,14 @@ func (net *Network) KeySpace() uint64 { return net.ring.Size() }
 // Size returns the number of live nodes.
 func (net *Network) Size() int { return len(net.nodes) }
 
-// NodeIDs returns the sorted live node IDs.
-func (net *Network) NodeIDs() []uint64 {
-	if net.sortedDirty {
-		net.sorted = net.sorted[:0]
-		for v := range net.nodes {
-			net.sorted = append(net.sorted, v)
-		}
-		sort.Slice(net.sorted, func(i, j int) bool { return net.sorted[i] < net.sorted[j] })
-		net.sortedDirty = false
-	}
-	return net.sorted
+// NodeIDs returns the sorted live node IDs, maintained incrementally by
+// addMember/removeMember.
+func (net *Network) NodeIDs() []uint64 { return net.sorted }
+
+// Contains implements overlay.Network: O(1) liveness check.
+func (net *Network) Contains(id uint64) bool {
+	_, ok := net.nodes[id]
+	return ok
 }
 
 // NodeLevel returns the level of a live node.
@@ -174,23 +171,16 @@ func (net *Network) NodeLevel(id uint64) (int, bool) {
 func (net *Network) addMember(id uint64, level int) *Node {
 	n := &Node{id: id, level: level}
 	net.nodes[id] = n
-	ls := net.levels[level]
-	pos := sort.Search(len(ls), func(i int) bool { return ls[i] >= id })
-	ls = append(ls, 0)
-	copy(ls[pos+1:], ls[pos:])
-	ls[pos] = id
-	net.levels[level] = ls
-	net.sortedDirty = true
+	net.levels[level] = sortedset.Insert(net.levels[level], id)
+	net.sorted = sortedset.Insert(net.sorted, id)
 	return n
 }
 
 func (net *Network) removeMember(id uint64) {
 	n := net.nodes[id]
 	delete(net.nodes, id)
-	ls := net.levels[n.level]
-	pos := sort.Search(len(ls), func(i int) bool { return ls[i] >= id })
-	net.levels[n.level] = append(ls[:pos], ls[pos+1:]...)
-	net.sortedDirty = true
+	net.levels[n.level] = sortedset.Delete(net.levels[n.level], id)
+	net.sorted = sortedset.Delete(net.sorted, id)
 }
 
 // Responsible implements overlay.Network: keys live at their successor.
@@ -286,14 +276,7 @@ func (net *Network) relevel() {
 
 // setLevel moves a node between level rings.
 func (net *Network) setLevel(n *Node, level int) {
-	ls := net.levels[n.level]
-	pos := sort.Search(len(ls), func(i int) bool { return ls[i] >= n.id })
-	net.levels[n.level] = append(ls[:pos], ls[pos+1:]...)
+	net.levels[n.level] = sortedset.Delete(net.levels[n.level], n.id)
 	n.level = level
-	ls = net.levels[level]
-	pos = sort.Search(len(ls), func(i int) bool { return ls[i] >= n.id })
-	ls = append(ls, 0)
-	copy(ls[pos+1:], ls[pos:])
-	ls[pos] = n.id
-	net.levels[level] = ls
+	net.levels[level] = sortedset.Insert(net.levels[level], n.id)
 }

@@ -9,10 +9,18 @@ import (
 
 type fakeNet struct{ ids []uint64 }
 
-func (f fakeNet) Name() string                      { return "fake" }
-func (f fakeNet) KeySpace() uint64                  { return 2048 }
-func (f fakeNet) Size() int                         { return len(f.ids) }
-func (f fakeNet) NodeIDs() []uint64                 { return f.ids }
+func (f fakeNet) Name() string      { return "fake" }
+func (f fakeNet) KeySpace() uint64  { return 2048 }
+func (f fakeNet) Size() int         { return len(f.ids) }
+func (f fakeNet) NodeIDs() []uint64 { return f.ids }
+func (f fakeNet) Contains(id uint64) bool {
+	for _, v := range f.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
 func (f fakeNet) Lookup(s, k uint64) overlay.Result { return overlay.Result{Source: s, Key: k} }
 func (f fakeNet) Responsible(k uint64) uint64       { return f.ids[0] }
 

@@ -41,6 +41,9 @@ func newRoute(space ids.Space, key string, res overlay.Result) Route {
 		Terminal: space.FromLinear(res.Terminal),
 		Timeouts: res.Timeouts,
 	}
+	if len(res.Hops) > 0 {
+		r.Hops = make([]Hop, 0, len(res.Hops))
+	}
 	for _, h := range res.Hops {
 		r.Hops = append(r.Hops, Hop{
 			From:  space.FromLinear(h.From),

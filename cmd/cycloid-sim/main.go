@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"cycloid"
+	"cycloid/internal/chaosrunner"
 )
 
 func usage() {
@@ -27,6 +28,9 @@ commands:
   table <(k,a)>    print a node's routing table, e.g. "(4,10110110)"
   nodes            list the live nodes
   churn <rounds>   run <rounds> of one join + one leave, then verify lookups
+  chaos <rounds>   run live p2p nodes on the in-memory transport through
+                   <rounds> of seeded faults and membership churn
+                   (-nodes, -dim, -seed apply; -chaos-trace dumps state)
 
 flags:
 `)
@@ -39,12 +43,18 @@ func main() {
 		dim   = flag.Int("dim", 8, "Cycloid dimension d (ID space d*2^d)")
 		leaf  = flag.Int("leaf", 1, "leaf-set half width (1 = 7-entry, 2 = 11-entry)")
 		seed  = flag.Int64("seed", 1, "random seed")
+		trace = flag.Bool("chaos-trace", false, "chaos: dump per-round routing state")
 	)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	if flag.Arg(0) == "chaos" {
+		runChaos(*nodes, *dim, *seed, *trace)
+		return
 	}
 
 	d, err := cycloid.Bootstrap(*nodes, cycloid.Options{Dim: *dim, LeafSetHalf: *leaf, Seed: *seed})
@@ -136,6 +146,51 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+}
+
+// runChaos drives live p2p nodes on the deterministic in-memory
+// transport through a seeded schedule of faults and membership churn,
+// then reports the per-round timeout counts and invariant violations.
+// The defaults for -nodes (500) and -dim (8) suit the simulator; chaos
+// runs live nodes, so clamp to the harness's scale when unchanged.
+func runChaos(nodes, dim int, seed int64, trace bool) {
+	rounds := 8
+	if flag.NArg() >= 2 {
+		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
+			fail(fmt.Errorf("cannot parse round count %q: %w", flag.Arg(1), err))
+		}
+	}
+	if nodes == 500 {
+		nodes = 12
+	}
+	if dim == 8 {
+		dim = 6
+	}
+	cfg := chaosrunner.Config{Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds}
+	if trace {
+		cfg.Trace = os.Stderr
+	}
+	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds\n", seed, nodes, dim, rounds)
+	for _, ev := range chaosrunner.GenerateSchedule(cfg) {
+		fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
+	}
+	res, err := chaosrunner.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range res.Rounds {
+		fmt.Printf("round %2d: live=%2d fault-timeouts=%3d clean-timeouts=%d violations=%d\n",
+			r.Round, r.Live, r.FaultTimeouts, r.CleanTimeouts, len(r.Violations))
+	}
+	fmt.Printf("final: %d live nodes, %d keys tracked\n", res.FinalLive, res.FinalKeys)
+	if len(res.Violations) > 0 {
+		fmt.Printf("%d invariant violations:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all invariants held")
 }
 
 func fmtID(d *cycloid.DHT, id cycloid.NodeID) string {

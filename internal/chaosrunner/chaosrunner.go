@@ -1,0 +1,610 @@
+// Package chaosrunner drives seeded chaos schedules against a live p2p
+// overlay running on the deterministic in-memory transport (p2p/memnet)
+// and checks the paper-level invariants after every stabilization
+// window: stored keys stay retrievable from every live node, lookups
+// from every live node converge to the responsible node, routing tables
+// hold no dead entries, and timeouts appear only while faults are
+// active. The schedule — which faults fire, which nodes join, leave,
+// crash — is a pure function of the seed, so a failing run replays
+// exactly.
+//
+// Each round has four phases:
+//
+//  1. Fault: inject one network fault (loss, latency, partition,
+//     blackhole) and probe the overlay with lookups, accumulating the
+//     paper's timeout metric.
+//  2. Heal + membership: clear network faults, then apply one
+//     membership event (join, graceful leave, leave on a lossy fabric,
+//     or an ungraceful crash).
+//  3. Stabilize: a quiescent window of synchronous stabilization
+//     sweeps.
+//  4. Verify: concurrent puts/gets/lookups followed by the invariant
+//     checks.
+package chaosrunner
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cycloid/internal/hashing"
+	"cycloid/internal/ids"
+	"cycloid/p2p"
+	"cycloid/p2p/memnet"
+)
+
+// Config parameterizes one chaos run. The zero value of any field
+// selects a default suitable for a fast test.
+type Config struct {
+	Seed            int64
+	Dim             int           // Cycloid dimension (default 6)
+	Nodes           int           // initial overlay size (default 12)
+	Rounds          int           // chaos rounds (default 8)
+	Keys            int           // keys seeded before round 1 (default 16)
+	StabilizeRounds int           // sweeps per quiescent window (default 3)
+	DialTimeout     time.Duration // per-contact budget (default 250ms)
+	Probes          int           // fault-phase lookups per round (default 8)
+	Clients         int           // concurrent clean-phase workers (default 4)
+	OpsPerClient    int           // put+get pairs per worker (default 3)
+	Trace           io.Writer     // optional: per-round routing-state dump
+}
+
+func (c *Config) defaults() {
+	if c.Dim == 0 {
+		c.Dim = 6
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 12
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	if c.Keys == 0 {
+		c.Keys = 16
+	}
+	if c.StabilizeRounds == 0 {
+		c.StabilizeRounds = 3
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 250 * time.Millisecond
+	}
+	if c.Probes == 0 {
+		c.Probes = 8
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 3
+	}
+}
+
+// Event kinds. Fault events run in phase 1, membership events in
+// phase 2; "none" kinds record a quiet phase.
+const (
+	EvNone      = "none"
+	EvDrop      = "drop"        // default drop probability P on all links
+	EvLatency   = "latency"     // links toward Node exceed the dial timeout
+	EvPartition = "partition"   // bisect the live membership
+	EvBlackhole = "blackhole"   // Node unreachable both ways, healed same round
+	EvJoin      = "join"        // Node (a fresh ordinal) joins
+	EvLeave     = "leave"       // Node departs gracefully
+	EvLossy     = "lossy-leave" // Node departs gracefully on a lossy fabric
+	EvCrash     = "crash"       // Node closes without notifications
+)
+
+// Event is one scheduled action. Node is a member ordinal (the i-th
+// node ever created), -1 when not applicable.
+type Event struct {
+	Round int
+	Kind  string
+	Node  int
+	P     float64 // drop probability for EvDrop / EvLossy
+}
+
+// RoundReport is the per-round outcome.
+type RoundReport struct {
+	Round         int
+	Live          int
+	FaultTimeouts int      // timeouts observed while faults were active
+	CleanTimeouts int      // timeouts observed after heal+stabilize (must be 0)
+	Violations    []string // invariant violations detected this round
+}
+
+// Result is a full run's outcome. Two runs with the same Config are
+// identical, including every report field.
+type Result struct {
+	Schedule   []Event
+	Rounds     []RoundReport
+	Violations []string // all rounds' violations, flattened
+	FinalLive  int
+	FinalKeys  int // expected keys tracked at the end
+}
+
+// GenerateSchedule derives the run's event schedule from the seed
+// alone. It is pure: same Config, same schedule, byte for byte.
+func GenerateSchedule(cfg Config) []Event {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	live := make([]int, cfg.Nodes)
+	for i := range live {
+		live[i] = i
+	}
+	next := cfg.Nodes
+	var sched []Event
+
+	pickLive := func() int { return live[rng.Intn(len(live))] }
+	remove := func(ord int) {
+		for i, v := range live {
+			if v == ord {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+
+	for r := 0; r < cfg.Rounds; r++ {
+		// Phase-1 fault.
+		switch f := rng.Float64(); {
+		case f < 0.20:
+			sched = append(sched, Event{Round: r, Kind: EvNone, Node: -1})
+		case f < 0.45:
+			sched = append(sched, Event{Round: r, Kind: EvDrop, Node: -1, P: 0.2 + 0.3*rng.Float64()})
+		case f < 0.60:
+			sched = append(sched, Event{Round: r, Kind: EvLatency, Node: pickLive()})
+		case f < 0.80:
+			sched = append(sched, Event{Round: r, Kind: EvPartition, Node: -1})
+		default:
+			sched = append(sched, Event{Round: r, Kind: EvBlackhole, Node: pickLive()})
+		}
+		// Phase-2 membership. Shrinking events require headroom so the
+		// overlay never degenerates below four nodes.
+		m := rng.Float64()
+		shrinkOK := len(live) > 4
+		switch {
+		case m < 0.20:
+			sched = append(sched, Event{Round: r, Kind: EvNone, Node: -1})
+		case m < 0.50:
+			sched = append(sched, Event{Round: r, Kind: EvJoin, Node: next})
+			live = append(live, next)
+			next++
+		case m < 0.70 && shrinkOK:
+			ord := pickLive()
+			sched = append(sched, Event{Round: r, Kind: EvLeave, Node: ord})
+			remove(ord)
+		case m < 0.85 && shrinkOK:
+			ord := pickLive()
+			sched = append(sched, Event{Round: r, Kind: EvLossy, Node: ord, P: 0.25})
+			remove(ord)
+		case shrinkOK:
+			ord := pickLive()
+			sched = append(sched, Event{Round: r, Kind: EvCrash, Node: ord})
+			remove(ord)
+		default:
+			sched = append(sched, Event{Round: r, Kind: EvJoin, Node: next})
+			live = append(live, next)
+			next++
+		}
+	}
+	return sched
+}
+
+// member is one overlay participant across its lifetime.
+type member struct {
+	ord  int
+	name string
+	id   ids.CycloidID
+	node *p2p.Node
+	live bool
+}
+
+type runner struct {
+	cfg      Config
+	space    ids.Space
+	nw       *memnet.Network
+	members  []*member
+	expected map[string][]byte // keys the invariants assert retrievable
+	idFor    map[int]ids.CycloidID
+}
+
+// Run executes the seeded schedule and returns the full report. An
+// error is returned only for harness-level failures (the initial
+// overlay could not even be built); invariant violations are data, not
+// errors.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	sched := GenerateSchedule(cfg)
+	r := &runner{
+		cfg:      cfg,
+		space:    ids.NewSpace(cfg.Dim),
+		nw:       memnet.New(cfg.Seed),
+		expected: make(map[string][]byte),
+	}
+	defer func() {
+		for _, m := range r.members {
+			if m.live {
+				m.node.Close()
+			}
+		}
+	}()
+
+	// Pre-assign distinct IDs for every ordinal the schedule can touch,
+	// from a seed-derived stream independent of the event stream.
+	joins := 0
+	for _, e := range sched {
+		if e.Kind == EvJoin {
+			joins++
+		}
+	}
+	r.idFor = assignIDs(cfg.Seed, r.space, cfg.Nodes+joins)
+
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := r.startMember(i); err != nil {
+			return nil, err
+		}
+	}
+	r.stabilizeAll(2)
+	for i := 0; i < cfg.Keys; i++ {
+		k := fmt.Sprintf("seed-k%d", i)
+		v := []byte(k)
+		if err := r.liveAt(i).node.Put(k, v); err != nil {
+			return nil, fmt.Errorf("chaosrunner: seeding key %q: %w", k, err)
+		}
+		r.expected[k] = v
+	}
+
+	res := &Result{Schedule: sched}
+	for round := 0; round < cfg.Rounds; round++ {
+		rep := r.runRound(round, sched)
+		res.Rounds = append(res.Rounds, rep)
+		res.Violations = append(res.Violations, rep.Violations...)
+	}
+	res.FinalLive = len(r.liveMembers())
+	res.FinalKeys = len(r.expected)
+	return res, nil
+}
+
+// assignIDs deterministically draws n distinct overlay IDs.
+func assignIDs(seed int64, space ids.Space, n int) map[int]ids.CycloidID {
+	rng := rand.New(rand.NewSource(seed ^ 0x1dfa_cafe))
+	taken := make(map[uint64]bool)
+	out := make(map[int]ids.CycloidID, n)
+	for i := 0; i < n; i++ {
+		for {
+			v := uint64(rng.Int63n(int64(space.Size())))
+			if !taken[v] {
+				taken[v] = true
+				out[i] = space.FromLinear(v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (r *runner) startMember(ord int) error {
+	name := fmt.Sprintf("n%03d", ord)
+	id := r.idFor[ord]
+	nd, err := p2p.Start(p2p.Config{
+		Dim:         r.cfg.Dim,
+		ID:          &id,
+		DialTimeout: r.cfg.DialTimeout,
+		Transport:   r.nw.Host(name),
+	})
+	if err != nil {
+		return fmt.Errorf("chaosrunner: start %s: %w", name, err)
+	}
+	m := &member{ord: ord, name: name, id: id, node: nd, live: true}
+	if len(r.liveMembers()) > 0 {
+		boots := r.liveMembers()
+		joined := false
+		for attempt := 0; attempt < len(boots) && !joined; attempt++ {
+			boot := boots[(ord+attempt)%len(boots)]
+			joined = nd.Join(boot.node.Addr()) == nil
+		}
+		if !joined {
+			nd.Close()
+			return fmt.Errorf("chaosrunner: %s failed to join through any live node", name)
+		}
+	}
+	r.members = append(r.members, m)
+	return nil
+}
+
+func (r *runner) liveMembers() []*member {
+	var out []*member
+	for _, m := range r.members {
+		if m.live {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (r *runner) liveAt(i int) *member {
+	live := r.liveMembers()
+	return live[i%len(live)]
+}
+
+func (r *runner) byOrd(ord int) *member {
+	for _, m := range r.members {
+		if m.ord == ord {
+			return m
+		}
+	}
+	return nil
+}
+
+func (r *runner) stabilizeAll(rounds int) {
+	for i := 0; i < rounds; i++ {
+		for _, m := range r.liveMembers() {
+			m.node.Stabilize()
+		}
+	}
+}
+
+// bruteOwner is the ground-truth responsible node among live members.
+func (r *runner) bruteOwner(t ids.CycloidID) ids.CycloidID {
+	live := r.liveMembers()
+	best := live[0].id
+	for _, m := range live[1:] {
+		if r.space.Closer(t, m.id, best) {
+			best = m.id
+		}
+	}
+	return best
+}
+
+func (r *runner) runRound(round int, sched []Event) RoundReport {
+	rep := RoundReport{Round: round}
+	var events []Event
+	for _, e := range sched {
+		if e.Round == round {
+			events = append(events, e)
+		}
+	}
+
+	// Phase 1: inject the round's network fault and probe through it.
+	excluded := map[int]bool{} // members that cannot originate probes
+	for _, e := range events {
+		switch e.Kind {
+		case EvDrop:
+			r.nw.SetDefaultDrop(e.P)
+		case EvLatency:
+			if m := r.byOrd(e.Node); m != nil && m.live {
+				for _, other := range r.liveMembers() {
+					if other != m {
+						r.nw.SetLatency(other.name, m.name, 4*r.cfg.DialTimeout)
+					}
+				}
+			}
+		case EvPartition:
+			live := r.liveMembers()
+			var a, b []string
+			for i, m := range live {
+				if i < len(live)/2 {
+					a = append(a, m.name)
+				} else {
+					b = append(b, m.name)
+				}
+			}
+			r.nw.Partition(a, b)
+		case EvBlackhole:
+			if m := r.byOrd(e.Node); m != nil && m.live {
+				r.nw.Blackhole(m.name)
+				excluded[e.Node] = true
+			}
+		}
+	}
+	var origins []*member
+	for _, m := range r.liveMembers() {
+		if !excluded[m.ord] {
+			origins = append(origins, m)
+		}
+	}
+	for i := 0; i < r.cfg.Probes; i++ {
+		from := origins[(i*7+round)%len(origins)]
+		route, err := from.node.Lookup(fmt.Sprintf("probe-%d-%d", round, i))
+		if err == nil || route.Timeouts > 0 {
+			rep.FaultTimeouts += route.Timeouts
+		}
+	}
+
+	// Phase 2: heal the fabric, then apply the membership event.
+	r.nw.HealAll()
+	for _, e := range events {
+		switch e.Kind {
+		case EvJoin:
+			if err := r.startMember(e.Node); err != nil {
+				rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: %v", round, err))
+			}
+		case EvLeave, EvLossy:
+			m := r.byOrd(e.Node)
+			if m == nil || !m.live {
+				break
+			}
+			if e.Kind == EvLossy {
+				r.nw.SetDefaultDrop(e.P)
+			}
+			if err := m.node.Leave(); err != nil {
+				rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: leave %s: %v", round, m.name, err))
+			}
+			m.live = false
+			r.nw.HealAll()
+		case EvCrash:
+			m := r.byOrd(e.Node)
+			if m == nil || !m.live {
+				break
+			}
+			// Keys whose responsible node crashes die with it: there is
+			// no replication, exactly as in the paper's store.
+			for k := range r.expected {
+				kp := r.keyPoint(k)
+				if r.bruteOwner(kp) == m.id {
+					delete(r.expected, k)
+				}
+			}
+			m.node.Close()
+			m.live = false
+		}
+	}
+
+	// Phase 3: quiescent stabilization window.
+	r.stabilizeAll(r.cfg.StabilizeRounds)
+
+	// Phase 4a: concurrent clean traffic — puts, gets, lookups.
+	var cleanTimeouts atomic.Int64
+	var vmu sync.Mutex
+	violation := func(format string, args ...any) {
+		vmu.Lock()
+		rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: ", round)+fmt.Sprintf(format, args...))
+		vmu.Unlock()
+	}
+	var wg sync.WaitGroup
+	type putKV struct {
+		k string
+		v []byte
+	}
+	puts := make(chan putKV, r.cfg.Clients*r.cfg.OpsPerClient)
+	for g := 0; g < r.cfg.Clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < r.cfg.OpsPerClient; i++ {
+				k := fmt.Sprintf("r%dc%dk%d", round, g, i)
+				v := []byte(k)
+				nd := r.liveAt(g*31 + i).node
+				if err := nd.Put(k, v); err != nil {
+					violation("concurrent put %q: %v", k, err)
+					continue
+				}
+				puts <- putKV{k, v}
+				got, route, err := r.liveAt(g*17 + i + 1).node.Get(k)
+				cleanTimeouts.Add(int64(route.Timeouts))
+				if err != nil {
+					violation("concurrent get %q: %v", k, err)
+				} else if string(got) != k {
+					violation("concurrent get %q returned %q", k, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(puts)
+	for p := range puts {
+		r.expected[p.k] = p.v
+	}
+
+	// Phase 4b: invariants.
+	live := r.liveMembers()
+	rep.Live = len(live)
+
+	// (1) Every key stored on a live node — and every key the run still
+	// tracks — is retrievable from any live node.
+	holder := make(map[string]string) // key -> host holding it
+	checkKeys := make(map[string]bool)
+	for _, m := range live {
+		for _, k := range m.node.Keys() {
+			holder[k] = m.name
+			checkKeys[k] = true
+		}
+	}
+	for k := range r.expected {
+		checkKeys[k] = true
+	}
+	keys := make([]string, 0, len(checkKeys))
+	for k := range checkKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		m := live[(i+round)%len(live)]
+		v, route, err := m.node.Get(k)
+		cleanTimeouts.Add(int64(route.Timeouts))
+		where, held := holder[k]
+		if !held {
+			where = "no live node"
+		}
+		if err != nil {
+			violation("key %q unreachable (get from %s, held by %s): %v", k, m.name, where, err)
+		} else if want, tracked := r.expected[k]; tracked && string(v) != string(want) {
+			violation("key %q corrupted: %q", k, v)
+		}
+	}
+
+	// (2) Lookups from every live node converge to the responsible node.
+	for j := 0; j < 4; j++ {
+		k := fmt.Sprintf("conv-%d-%d", round, j)
+		want := r.bruteOwner(r.keyPoint(k))
+		for _, m := range live {
+			route, err := m.node.Lookup(k)
+			cleanTimeouts.Add(int64(route.Timeouts))
+			if err != nil {
+				violation("lookup %q from %s: %v", k, m.name, err)
+			} else if route.Terminal != want {
+				violation("lookup %q from %s: terminal %v, want %v", k, m.name, route.Terminal, want)
+			}
+		}
+	}
+
+	// (3) No dead entries in any live routing table.
+	liveAddr := make(map[string]bool, len(live))
+	for _, m := range live {
+		liveAddr[m.node.Addr()] = true
+	}
+	for _, m := range live {
+		st := m.node.State()
+		slots := map[string]*p2p.WireEntry{
+			"cubical": st.Cubical, "cyclicL": st.CyclicL, "cyclicS": st.CyclicS,
+			"insideL": st.InsideL, "insideR": st.InsideR,
+			"outsideL": st.OutsideL, "outsideR": st.OutsideR,
+		}
+		names := make([]string, 0, len(slots))
+		for name := range slots {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if e := slots[name]; e != nil && !liveAddr[e.Addr] {
+				violation("%s holds dead %s entry %s", m.name, name, e.Addr)
+			}
+		}
+	}
+
+	if w := r.cfg.Trace; w != nil {
+		fmt.Fprintf(w, "== round %d: events %v\n", round, events)
+		for _, m := range live {
+			st := m.node.State()
+			fmt.Fprintf(w, "%s %v cub=%s cycL=%s cycS=%s inL=%s inR=%s outL=%s outR=%s keys=%d\n",
+				m.name, m.id, weStr(st.Cubical), weStr(st.CyclicL), weStr(st.CyclicS),
+				weStr(st.InsideL), weStr(st.InsideR), weStr(st.OutsideL), weStr(st.OutsideR),
+				len(m.node.Keys()))
+		}
+	}
+
+	// (4) Timeouts appear only under injected faults.
+	rep.CleanTimeouts = int(cleanTimeouts.Load())
+	if rep.CleanTimeouts != 0 {
+		violation("%d timeouts in a healed, stabilized overlay", rep.CleanTimeouts)
+	}
+	sort.Strings(rep.Violations)
+	return rep
+}
+
+// weStr formats a wire entry for trace output.
+func weStr(e *p2p.WireEntry) string {
+	if e == nil {
+		return "-"
+	}
+	return fmt.Sprintf("(%d,%d)@%s", e.K, e.A, e.Addr)
+}
+
+// keyPoint maps an application key onto the ID space with the same
+// rule the p2p store uses, so bruteOwner matches actual placement.
+func (r *runner) keyPoint(key string) ids.CycloidID {
+	return r.space.FromLinear(hashing.KeyString(key, r.space.Size()))
+}

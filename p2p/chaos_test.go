@@ -1,0 +1,91 @@
+package p2p_test
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"cycloid/internal/chaosrunner"
+)
+
+// -chaosseeds bounds how many seeds the chaos suite drives; CI keeps it
+// small, a soak run can raise it (go test -run Chaos -chaosseeds=20).
+var chaosSeeds = flag.Int("chaosseeds", 2, "number of chaos seeds to run")
+
+// TestChaosInvariants drives seeded schedules of joins, graceful
+// leaves, crashes, partitions, loss, latency and concurrent traffic on
+// the in-memory transport and requires every paper-level invariant to
+// hold after each stabilization window. No real sockets, no wall-clock
+// sleeps: a failure replays exactly from its seed.
+func TestChaosInvariants(t *testing.T) {
+	for s := 0; s < *chaosSeeds; s++ {
+		seed := int64(1 + s)
+		t.Run(string(rune('A'+s)), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaosrunner.Run(chaosrunner.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			if res.FinalLive < 4 {
+				t.Errorf("seed %d: only %d nodes survived", seed, res.FinalLive)
+			}
+			if res.FinalKeys == 0 {
+				t.Errorf("seed %d: no tracked keys survived", seed)
+			}
+			// The timeout metric must reflect injected faults: across a
+			// whole schedule of partitions, blackholes and loss, the
+			// fault phases record timeouts...
+			faults, faultTimeouts := 0, 0
+			for i, rep := range res.Rounds {
+				faultTimeouts += rep.FaultTimeouts
+				if k := res.Schedule[2*i].Kind; k != chaosrunner.EvNone {
+					faults++
+				}
+				// ...and clean phases record none.
+				if rep.CleanTimeouts != 0 {
+					t.Errorf("seed %d round %d: %d timeouts without faults", seed, rep.Round, rep.CleanTimeouts)
+				}
+			}
+			if faults > 0 && faultTimeouts == 0 {
+				t.Errorf("seed %d: %d fault rounds produced no timeouts", seed, faults)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism runs the same seed twice and requires the entire
+// result — schedule, per-round reports, timeout counts, violations — to
+// be identical: same seed, same run.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := chaosrunner.Config{Seed: 3}
+	a, err := chaosrunner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosrunner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Schedule, b.Schedule) {
+		t.Fatalf("schedules differ across identically seeded runs:\n%+v\n%+v", a.Schedule, b.Schedule)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("results differ across identically seeded runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChaosScheduleIsPure checks schedule generation alone is a pure
+// function of the seed and differs across seeds.
+func TestChaosScheduleIsPure(t *testing.T) {
+	cfg := chaosrunner.Config{Seed: 11}
+	if !reflect.DeepEqual(chaosrunner.GenerateSchedule(cfg), chaosrunner.GenerateSchedule(cfg)) {
+		t.Fatal("same seed must generate the same schedule")
+	}
+	other := chaosrunner.Config{Seed: 12}
+	if reflect.DeepEqual(chaosrunner.GenerateSchedule(cfg), chaosrunner.GenerateSchedule(other)) {
+		t.Fatal("different seeds generated the same schedule")
+	}
+}

@@ -1,0 +1,102 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cycloid/internal/ids"
+	"cycloid/p2p/memnet"
+)
+
+// fuzzNode is shared across fuzz executions: handle must be safe against
+// arbitrary bytes on a node in any state, including one already mutated
+// by earlier malformed traffic.
+var (
+	fuzzOnce sync.Once
+	fuzzNode *Node
+)
+
+func fuzzTarget(t *testing.T) *Node {
+	fuzzOnce.Do(func() {
+		nw := memnet.New(42)
+		nd, err := Start(Config{
+			Dim:         5,
+			ID:          &ids.CycloidID{K: 2, A: 13},
+			DialTimeout: 100 * time.Millisecond,
+			Transport:   nw.Host("fuzz"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzNode = nd
+	})
+	return fuzzNode
+}
+
+// FuzzWireDecode throws arbitrary bytes at the server's connection
+// handler and at the client-side decoders. Malformed, truncated, or
+// adversarial wire JSON must never panic or hang: handle either answers
+// with a response and closes the connection, or drops it silently.
+func FuzzWireDecode(f *testing.F) {
+	// Well-formed requests for every op, so mutations explore the
+	// interesting decode paths rather than bailing at the first brace.
+	seeds := []string{
+		`{"op":"ping","from":{"k":1,"a":3,"addr":"peer:1"}}`,
+		`{"op":"state","from":{"k":0,"a":0,"addr":"peer:1"}}`,
+		`{"op":"step","from":{"k":1,"a":3,"addr":"peer:1"},"target":{"k":4,"a":21,"addr":""},"greedyOnly":true}`,
+		`{"op":"step","from":{"k":1,"a":3,"addr":"peer:1"},"target":{"k":250,"a":4000000000,"addr":""}}`,
+		`{"op":"store","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","value":"aGVsbG8="}`,
+		`{"op":"fetch","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc"}`,
+		`{"op":"handoff","from":{"k":1,"a":3,"addr":"peer:1"},"items":{"a":"AA==","b":null}}`,
+		`{"op":"reclaim","from":{"k":3,"a":14,"addr":"peer:1"}}`,
+		`{"op":"update","event":"join","from":{"k":1,"a":3,"addr":"peer:1"},"subject":{"k":1,"a":3,"addr":"peer:1"},"propagate":true,"ttl":99}`,
+		`{"op":"update","event":"leave","from":{"k":1,"a":3,"addr":"peer:1"},"subject":{"k":1,"a":3,"addr":"peer:1"},"departed":{"self":{"k":1,"a":3,"addr":"peer:1"},"insideL":{"k":2,"a":3,"addr":"peer:2"}}}`,
+		`{"op":"step"}`,
+		`{"op":"bogus"}`,
+		`{"op":`,
+		`{"op":"ping","from":{"k":1,"a":3,"addr":"peer:1"}`,
+		"\x00\x01\xff garbage",
+		`[]`,
+		`null`,
+		`{"ok":true,"candidates":[{"k":1,"a":2,"addr":"x"}],"state":{"self":{}}}`,
+		`{"a":"AA==","b":"not base64!"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := fuzzTarget(t)
+
+		// Server side: the bytes arrive as a connection's payload.
+		cli, srv := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			n.handle(srv)
+		}()
+		_ = cli.SetDeadline(time.Now().Add(2 * time.Second))
+		go func() {
+			_, _ = cli.Write(data)
+			// No closing newline: the decoder must terminate on its own
+			// (complete JSON value, syntax error, or deadline).
+		}()
+		_, _ = io.Copy(io.Discard, bufio.NewReader(cli))
+		cli.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("handle hung on %d-byte input", len(data))
+		}
+
+		// Client side: the same bytes as a peer's reply and as a reclaim
+		// payload.
+		var resp response
+		_ = json.Unmarshal(data, &resp)
+		_, _ = decodeReclaim(data)
+	})
+}

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"fmt"
+	"sort"
 
 	"cycloid/internal/ids"
 )
@@ -214,7 +215,12 @@ func (n *Node) Leave() error {
 // this runs the departure notifications have spliced this node out of its
 // neighbors' leaf sets, so a lookup started at a leaf neighbor resolves
 // each key's new owner; if a stale entry still routes back here, the item
-// falls back to the leaf neighbor closest to the key.
+// falls back to the leaf neighbor closest to the key. Keys and batches
+// are processed in sorted order so the sequence of network operations —
+// and therefore any deterministic fault schedule a test transport
+// replays against it — is reproducible; a failed delivery is retried
+// against every remaining live leaf neighbor before the batch is given
+// up, so a lossy link alone cannot destroy data.
 func (n *Node) handoffKeys() {
 	n.mu.Lock()
 	items := n.store
@@ -231,8 +237,13 @@ func (n *Node) handoffKeys() {
 			}
 		}
 	}
+	keys := make([]string, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	batches := make(map[string]map[string][]byte) // addr -> items
-	for k, v := range items {
+	for _, k := range keys {
 		kp := n.keyPoint(k)
 		var dest *entry
 		if liveStart != nil {
@@ -257,10 +268,36 @@ func (n *Node) handoffKeys() {
 		if batches[dest.Addr] == nil {
 			batches[dest.Addr] = make(map[string][]byte)
 		}
-		batches[dest.Addr][k] = v
+		batches[dest.Addr][k] = items[k]
 	}
-	for addr, batch := range batches {
-		_, _ = n.call(addr, request{Op: "handoff", Items: batch})
+	addrs := make([]string, 0, len(batches))
+	for a := range batches {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		batch := batches[addr]
+		// The routed owner is the preferred target; any live leaf
+		// neighbor is an acceptable alternate (a key parked off its
+		// true owner is pushed home by the next stabilization round's
+		// key repair). A lossy link drops individual dials, so each
+		// target gets several passes before the batch is given up —
+		// data must outlive transient loss.
+		targets := []string{addr}
+		for _, e := range cands {
+			if e != nil && e.ID != n.id && e.Addr != addr {
+				targets = append(targets, e.Addr)
+			}
+		}
+		delivered := false
+		for pass := 0; pass < 4 && !delivered; pass++ {
+			for _, t := range targets {
+				if _, err := n.call(t, request{Op: "handoff", Items: batch}); err == nil {
+					delivered = true
+					break
+				}
+			}
+		}
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"cycloid/internal/cycloid"
 	"cycloid/internal/ids"
 )
 
@@ -151,14 +150,7 @@ type stepResult struct {
 // unreachable (dead), which the caller accounts as a timeout.
 func (n *Node) stepAt(at entry, t ids.CycloidID, greedyOnly bool) (stepResult, error) {
 	if at.ID == n.id && !n.isStopped() {
-		s := cycloid.DecideStep(n.space, n.snapshot(), t, greedyOnly)
-		out := stepResult{Phase: s.Phase.String(), Done: len(s.Candidates) == 0}
-		for _, id := range s.Candidates {
-			if addr, ok := n.addrOf(id); ok {
-				out.Candidates = append(out.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
-			}
-		}
-		return out, nil
+		return n.localStep(t, greedyOnly), nil
 	}
 	tw := WireEntry{K: t.K, A: t.A}
 	resp, err := n.call(at.Addr, request{Op: "step", Target: &tw, GreedyOnly: greedyOnly})

@@ -1,0 +1,408 @@
+// Package memnet is a deterministic in-memory Transport for p2p nodes:
+// an entire overlay runs inside one process with no sockets, no OS
+// scheduling dependence and no wall-clock sleeps, while every failure
+// mode a deployed overlay meets — lost messages, slow links, asymmetric
+// partitions, unreachable hosts — is injected on demand and replayed
+// exactly.
+//
+// # Topology
+//
+// A Network is a fabric of named hosts. Each host is one p2p node's
+// Transport: Host("n1").Listen binds an address like "n1:1", and every
+// Dial made through that host is attributed to the link (src, dst), so
+// faults are per-directed-link. Connections are net.Pipe pairs — fully
+// in-memory, deadline-capable, synchronous.
+//
+// # Fault-injection knobs
+//
+//   - SetDrop(src, dst, p): each dial on the link fails independently
+//     with probability p (a "lost" request). SetDefaultDrop applies to
+//     every link without an explicit setting.
+//   - SetLatency(src, dst, d) / SetDefaultLatency(d): virtual added
+//     link latency. Latency is compared against the dialer's timeout,
+//     never slept: a link whose latency reaches the timeout fails the
+//     dial with a timeout error immediately, and a faster link delivers
+//     instantly. Only the latency/timeout ordering is observable, which
+//     keeps runs wall-clock-free and reproducible.
+//   - Block(src, dst) / Unblock: hard asymmetric cut of one directed
+//     link. Partition(a, b) blocks both directions between two host
+//     groups; a one-way partition is built from Block directly.
+//   - Blackhole(host) / Restore: the host keeps running but no dial to
+//     or from it succeeds — a live node that fell off the network.
+//   - FailAccepts(host, k): the host's listeners fail their next k
+//     Accept calls with a transient error (for exercising server
+//     accept-loop backoff). AcceptCalls(host) counts Accept attempts.
+//   - HealAll(): clears drops, latencies, blocks and blackholes (not
+//     accept faults), returning the fabric to a clean state.
+//
+// All knobs are safe for concurrent use and reconfigurable mid-run.
+//
+// # Determinism contract
+//
+// Same seed ⇒ same schedule. Drop decisions are drawn from a per-link
+// PRNG seeded from (network seed, src, dst), so the i-th dial on a
+// given link succeeds or drops identically across runs regardless of
+// what other links do. A single-threaded driver therefore observes a
+// bit-identical fault schedule on every run; concurrent dialers on the
+// same link race only for that link's draw order. Latency and
+// partitions are not random at all. Nothing in the package reads the
+// wall clock except to honor dial timeouts on a congested listener
+// queue, which an uncongested deterministic run never hits.
+package memnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is one in-memory fabric of hosts. The zero value is not
+// usable; construct with New.
+type Network struct {
+	mu        sync.Mutex
+	seed      int64
+	hosts     map[string]*hostState
+	listeners map[string]*listener // by full address "host:port"
+	links     map[linkKey]*linkState
+	defDrop   float64
+	defLat    time.Duration
+}
+
+type linkKey struct{ src, dst string }
+
+type linkState struct {
+	drop    float64
+	hasDrop bool
+	lat     time.Duration
+	hasLat  bool
+	blocked bool
+	rng     *rand.Rand
+}
+
+type hostState struct {
+	nextPort    int
+	blackholed  bool
+	failAccepts int
+	acceptCalls int
+}
+
+// New creates an empty fabric whose injected-fault randomness derives
+// from seed.
+func New(seed int64) *Network {
+	return &Network{
+		seed:      seed,
+		hosts:     make(map[string]*hostState),
+		listeners: make(map[string]*listener),
+		links:     make(map[linkKey]*linkState),
+	}
+}
+
+// Host returns the named host's transport handle, creating the host on
+// first use. The handle satisfies the p2p Transport interface.
+func (nw *Network) Host(name string) *Host {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.hostLocked(name)
+	return &Host{nw: nw, name: name}
+}
+
+func (nw *Network) hostLocked(name string) *hostState {
+	h, ok := nw.hosts[name]
+	if !ok {
+		h = &hostState{}
+		nw.hosts[name] = h
+	}
+	return h
+}
+
+// linkLocked returns the directed link's state, creating it (with its
+// deterministic per-link PRNG) on first use.
+func (nw *Network) linkLocked(src, dst string) *linkState {
+	k := linkKey{src, dst}
+	l, ok := nw.links[k]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(src))
+		h.Write([]byte{0})
+		h.Write([]byte(dst))
+		l = &linkState{rng: rand.New(rand.NewSource(nw.seed ^ int64(h.Sum64())))}
+		nw.links[k] = l
+	}
+	return l
+}
+
+// SetDrop sets the per-dial drop probability of the directed link.
+func (nw *Network) SetDrop(src, dst string, p float64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	l := nw.linkLocked(src, dst)
+	l.drop, l.hasDrop = p, true
+}
+
+// SetDefaultDrop sets the drop probability of every link that has no
+// explicit SetDrop value.
+func (nw *Network) SetDefaultDrop(p float64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.defDrop = p
+}
+
+// SetLatency sets the virtual latency of the directed link.
+func (nw *Network) SetLatency(src, dst string, d time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	l := nw.linkLocked(src, dst)
+	l.lat, l.hasLat = d, true
+}
+
+// SetDefaultLatency sets the virtual latency of every link that has no
+// explicit SetLatency value.
+func (nw *Network) SetDefaultLatency(d time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.defLat = d
+}
+
+// Block cuts the directed link src→dst; dials fail immediately.
+func (nw *Network) Block(src, dst string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.linkLocked(src, dst).blocked = true
+}
+
+// Unblock restores the directed link src→dst.
+func (nw *Network) Unblock(src, dst string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.linkLocked(src, dst).blocked = false
+}
+
+// Partition blocks every link between group a and group b, in both
+// directions — a full bidirectional partition. Asymmetric partitions
+// are built from Block.
+func (nw *Network) Partition(a, b []string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			nw.linkLocked(x, y).blocked = true
+			nw.linkLocked(y, x).blocked = true
+		}
+	}
+}
+
+// Blackhole makes every dial to or from the host fail while leaving the
+// host's process (and listeners) running.
+func (nw *Network) Blackhole(name string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.hostLocked(name).blackholed = true
+}
+
+// Restore reverses Blackhole.
+func (nw *Network) Restore(name string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.hostLocked(name).blackholed = false
+}
+
+// FailAccepts makes the host's listeners fail their next k Accept calls
+// with a transient error.
+func (nw *Network) FailAccepts(name string, k int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.hostLocked(name).failAccepts = k
+}
+
+// AcceptCalls reports how many times the host's listeners have had
+// Accept called (successful or not).
+func (nw *Network) AcceptCalls(name string) int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.hostLocked(name).acceptCalls
+}
+
+// HealAll clears every drop, latency, block and blackhole (but not
+// pending accept faults), returning the fabric to a clean state.
+// Per-link PRNGs keep their position, preserving determinism across
+// heal/re-fault cycles.
+func (nw *Network) HealAll() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.defDrop, nw.defLat = 0, 0
+	for _, l := range nw.links {
+		l.drop, l.hasDrop = 0, false
+		l.lat, l.hasLat = 0, false
+		l.blocked = false
+	}
+	for _, h := range nw.hosts {
+		h.blackholed = false
+	}
+}
+
+// Host is one named endpoint of a Network and one p2p node's Transport.
+type Host struct {
+	nw   *Network
+	name string
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Listen binds a listener at the next free port of this host. The
+// requested addr is ignored except as documentation (nodes pass ":0");
+// the listener's real address is "<host>:<port>".
+func (h *Host) Listen(addr string) (net.Listener, error) {
+	nw := h.nw
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	hs := nw.hostLocked(h.name)
+	hs.nextPort++
+	full := fmt.Sprintf("%s:%d", h.name, hs.nextPort)
+	ln := &listener{
+		nw:     nw,
+		host:   h.name,
+		addr:   memAddr(full),
+		queue:  make(chan net.Conn, 128),
+		closed: make(chan struct{}),
+	}
+	nw.listeners[full] = ln
+	return ln, nil
+}
+
+// errTimeout is a timeout error satisfying net.Error.
+type errTimeout struct{ msg string }
+
+func (e errTimeout) Error() string   { return e.msg }
+func (e errTimeout) Timeout() bool   { return true }
+func (e errTimeout) Temporary() bool { return true }
+
+// Dial connects this host to the listener at addr, subject to the
+// fabric's current faults.
+func (h *Host) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	nw := h.nw
+	nw.mu.Lock()
+	dstHost := hostOf(addr)
+	if nw.hostLocked(h.name).blackholed || nw.hostLocked(dstHost).blackholed {
+		nw.mu.Unlock()
+		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: host unreachable (blackholed)", addr)}
+	}
+	l := nw.linkLocked(h.name, dstHost)
+	if l.blocked {
+		nw.mu.Unlock()
+		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: link partitioned", addr)}
+	}
+	drop := nw.defDrop
+	if l.hasDrop {
+		drop = l.drop
+	}
+	if drop > 0 && l.rng.Float64() < drop {
+		nw.mu.Unlock()
+		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: injected drop", addr)}
+	}
+	lat := nw.defLat
+	if l.hasLat {
+		lat = l.lat
+	}
+	if lat > 0 && lat >= timeout {
+		nw.mu.Unlock()
+		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: injected latency %v exceeds timeout %v", addr, lat, timeout)}
+	}
+	ln, ok := nw.listeners[addr]
+	nw.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("memnet: dial %s: connection refused (no listener)", addr)
+	}
+
+	client, server := net.Pipe()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case ln.queue <- server:
+		return client, nil
+	case <-ln.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("memnet: dial %s: connection refused (listener closed)", addr)
+	case <-t.C:
+		client.Close()
+		server.Close()
+		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: accept queue full", addr)}
+	}
+}
+
+func hostOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+// errTemporary is the transient accept error FailAccepts injects.
+type errTemporary struct{ msg string }
+
+func (e errTemporary) Error() string   { return e.msg }
+func (e errTemporary) Timeout() bool   { return false }
+func (e errTemporary) Temporary() bool { return true }
+
+// listener is an accept queue bound to a host address.
+type listener struct {
+	nw        *Network
+	host      string
+	addr      memAddr
+	queue     chan net.Conn
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (ln *listener) Accept() (net.Conn, error) {
+	nw := ln.nw
+	nw.mu.Lock()
+	hs := nw.hostLocked(ln.host)
+	hs.acceptCalls++
+	if hs.failAccepts > 0 {
+		hs.failAccepts--
+		nw.mu.Unlock()
+		return nil, errTemporary{"memnet: injected accept fault"}
+	}
+	nw.mu.Unlock()
+	select {
+	case conn := <-ln.queue:
+		return conn, nil
+	case <-ln.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (ln *listener) Close() error {
+	ln.closeOnce.Do(func() {
+		close(ln.closed)
+		ln.nw.mu.Lock()
+		delete(ln.nw.listeners, string(ln.addr))
+		ln.nw.mu.Unlock()
+		// Drain connections already queued but never accepted so their
+		// dialers' reads fail fast instead of waiting out deadlines.
+		for {
+			select {
+			case c := <-ln.queue:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+func (ln *listener) Addr() net.Addr { return ln.addr }
+
+// memAddr is a fabric address; the network name is "mem".
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

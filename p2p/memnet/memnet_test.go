@@ -1,0 +1,187 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+)
+
+func dialOutcomes(seed int64, n int) []bool {
+	nw := New(seed)
+	a := nw.Host("a")
+	b := nw.Host("b")
+	ln, err := b.Listen(":0")
+	if err != nil {
+		panic(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	nw.SetDrop("a", "b", 0.5)
+	out := make([]bool, n)
+	for i := range out {
+		c, err := a.Dial(ln.Addr().String(), time.Second)
+		out[i] = err == nil
+		if c != nil {
+			c.Close()
+		}
+	}
+	ln.Close()
+	return out
+}
+
+func TestDropDeterminism(t *testing.T) {
+	x := dialOutcomes(42, 200)
+	y := dialOutcomes(42, 200)
+	drops := 0
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("dial %d differs across identically seeded runs", i)
+		}
+		if !x[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(x) {
+		t.Fatalf("p=0.5 produced %d/%d drops", drops, len(x))
+	}
+	z := dialOutcomes(43, 200)
+	same := 0
+	for i := range x {
+		if x[i] == z[i] {
+			same++
+		}
+	}
+	if same == len(x) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestConnRoundTripAndFaults(t *testing.T) {
+	nw := New(1)
+	a, b := nw.Host("a"), nw.Host("b")
+	ln, _ := b.Listen(":0")
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 5)
+				if _, err := c.Read(buf); err == nil {
+					c.Write(buf)
+				}
+				c.Close()
+			}()
+		}
+	}()
+	addr := ln.Addr().String()
+
+	c, err := a.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDeadline(time.Now().Add(time.Second))
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+	c.Close()
+
+	// Asymmetric block: a→b cut, b→a still open.
+	nw.Block("a", "b")
+	if _, err := a.Dial(addr, time.Second); err == nil {
+		t.Fatal("dial across a blocked link should fail")
+	}
+	lnA, _ := a.Listen(":0")
+	defer lnA.Close()
+	go func() {
+		if c, err := lnA.Accept(); err == nil {
+			c.Close()
+		}
+	}()
+	if c, err := b.Dial(lnA.Addr().String(), time.Second); err != nil {
+		t.Fatalf("reverse direction must stay open: %v", err)
+	} else {
+		c.Close()
+	}
+
+	// Latency at or above the timeout fails instantly; below passes.
+	nw.HealAll()
+	nw.SetLatency("a", "b", 300*time.Millisecond)
+	start := time.Now()
+	if _, err := a.Dial(addr, 100*time.Millisecond); err == nil {
+		t.Fatal("latency >= timeout must fail the dial")
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("virtual latency slept real time")
+	}
+	if c, err := a.Dial(addr, time.Second); err != nil {
+		t.Fatalf("latency < timeout must connect: %v", err)
+	} else {
+		c.Close()
+	}
+
+	// Blackhole cuts both directions; Restore heals.
+	nw.Blackhole("b")
+	if _, err := a.Dial(addr, time.Second); err == nil {
+		t.Fatal("dial to a blackholed host should fail")
+	}
+	if _, err := b.Dial(lnA.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial from a blackholed host should fail")
+	}
+	nw.Restore("b")
+	if c, err := a.Dial(addr, time.Second); err != nil {
+		t.Fatalf("restore must heal the host: %v", err)
+	} else {
+		c.Close()
+	}
+
+	// Closed listener refuses instantly.
+	ln.Close()
+	if _, err := a.Dial(addr, time.Second); err == nil {
+		t.Fatal("dial to a closed listener should be refused")
+	}
+}
+
+func TestFailAccepts(t *testing.T) {
+	nw := New(7)
+	h := nw.Host("h")
+	ln, _ := h.Listen(":0")
+	defer ln.Close()
+	nw.FailAccepts("h", 3)
+	for i := 0; i < 3; i++ {
+		if _, err := ln.Accept(); err == nil {
+			t.Fatalf("accept %d should fail", i)
+		}
+	}
+	if nw.AcceptCalls("h") != 3 {
+		t.Fatalf("AcceptCalls = %d, want 3", nw.AcceptCalls("h"))
+	}
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if c != nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	if c, err := nw.Host("x").Dial(ln.Addr().String(), time.Second); err != nil {
+		t.Fatal(err)
+	} else {
+		defer c.Close()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("accept after fault budget: %v", err)
+	}
+}

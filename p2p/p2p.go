@@ -1,5 +1,7 @@
-// Package p2p deploys Cycloid over real sockets: each Node is one overlay
-// participant listening on TCP, exchanging newline-delimited JSON messages
+// Package p2p deploys Cycloid over a pluggable Transport: each Node is
+// one overlay participant listening on a transport address (TCP by
+// default, the deterministic in-memory fabric of p2p/memnet in tests),
+// exchanging newline-delimited JSON messages
 // with its seven neighbors. The routing algorithm is the exact code the
 // simulator runs (cycloid.DecideStep); this package adds what a deployed
 // system needs around it — a wire protocol, the join procedure of
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -49,6 +52,10 @@ type Config struct {
 	// StabilizeEvery is the periodic stabilization interval; 0 disables
 	// the background loop (Stabilize can still be called manually).
 	StabilizeEvery time.Duration
+	// Transport carries the node's traffic. Nil selects TCP. Tests use
+	// p2p/memnet for deterministic in-memory fabrics with fault
+	// injection.
+	Transport Transport
 }
 
 func (c *Config) defaults() {
@@ -60,6 +67,9 @@ func (c *Config) defaults() {
 	}
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 2 * time.Second
+	}
+	if c.Transport == nil {
+		c.Transport = TCP
 	}
 }
 
@@ -112,7 +122,7 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Dim < 2 || cfg.Dim > ids.MaxDim {
 		return nil, fmt.Errorf("p2p: dimension %d out of range", cfg.Dim)
 	}
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	ln, err := cfg.Transport.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
 	}
@@ -209,6 +219,25 @@ func (n *Node) snapshotLocked() cycloid.NodeState {
 	add(&s.OutsideL, n.rs.outsideL)
 	add(&s.OutsideR, n.rs.outsideR)
 	return s
+}
+
+// State returns a copy of the node's current routing state, the same
+// snapshot peers see over the wire. Harnesses use it to assert table
+// invariants (e.g. no dead entries after stabilization).
+func (n *Node) State() *WireState { return n.wireState() }
+
+// Keys returns the keys currently stored on this node, sorted.
+// Harnesses use it to assert that every key held by a live node is
+// reachable by lookups.
+func (n *Node) Keys() []string {
+	n.mu.RLock()
+	out := make([]string, 0, len(n.store))
+	for k := range n.store {
+		out = append(out, k)
+	}
+	n.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // addrOf resolves a candidate ID to the address this node knows for it.

@@ -7,21 +7,39 @@ import (
 	"time"
 
 	"cycloid/internal/cycloid"
+	"cycloid/internal/ids"
 )
 
 func deadline(d time.Duration) time.Time { return time.Now().Add(d) }
 
-// serve accepts connections until the node stops.
+// serve accepts connections until the node stops. Transient Accept
+// errors (EMFILE, a faulty listener) back off exponentially instead of
+// hot-looping — a bare continue would spin a core while the condition
+// lasts.
 func (n *Node) serve() {
 	defer n.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
 			if n.isStopped() {
 				return
 			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-n.stopped:
+				t.Stop()
+				return
+			case <-t.C:
+			}
 			continue
 		}
+		backoff = 0
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
@@ -104,14 +122,21 @@ func (n *Node) handleStep(req request) response {
 	if !n.space.Contains(t) {
 		return response{Err: "target outside ID space"}
 	}
-	step := cycloid.DecideStep(n.space, n.snapshot(), t, req.GreedyOnly)
-	resp := response{Phase: step.Phase.String(), Done: len(step.Candidates) == 0}
+	s := n.localStep(t, req.GreedyOnly)
+	return response{Phase: s.Phase, Candidates: s.Candidates, Done: s.Done}
+}
+
+// localStep runs the shared routing decision on this node's own state
+// and resolves each candidate ID to the address this node knows for it.
+func (n *Node) localStep(t ids.CycloidID, greedyOnly bool) stepResult {
+	step := cycloid.DecideStep(n.space, n.snapshot(), t, greedyOnly)
+	out := stepResult{Phase: step.Phase.String(), Done: len(step.Candidates) == 0}
 	for _, id := range step.Candidates {
 		if addr, ok := n.addrOf(id); ok {
-			resp.Candidates = append(resp.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
+			out.Candidates = append(out.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
 		}
 	}
-	return resp
+	return out
 }
 
 // handleReclaim hands over the stored items the requesting (new) node is

@@ -16,8 +16,111 @@ func (n *Node) Stabilize() {
 		return
 	}
 	n.refreshLeafSets()
+	n.correctOutsideRing()
 	n.notifyLeafSet()
 	n.RefreshRoutingTable()
+	n.repairKeys()
+}
+
+// correctOutsideRing runs a Chord-style neighbor correction on the ring
+// of cycles. refreshLeafSets picks outside entries from the 1-hop
+// neighborhood union only, so after several nearby failures the overlay
+// can settle into a ring that is locally stable but globally wrong —
+// e.g. two cycles that became adjacent never learn it, and lookups
+// between them dead-end at a false local minimum. Following the current
+// outside entry's own outside chain toward this node closes such gaps:
+// every hop either reaches a strictly nearer live cycle or stops, so
+// the walk terminates and each stabilization round tightens the ring
+// until it is globally consistent, exactly like Chord's
+// successor-pointer correction.
+func (n *Node) correctOutsideRing() {
+	maxSteps := 4 * n.space.Dim()
+	// improve walks cur's chain (via nextOf) adopting strictly nearer
+	// cycles under the given closeness order; every adopted entry is
+	// state-queried, so the result is verified live.
+	improve := func(cur entry, nextOf func(*WireState) *WireEntry, closer func(a, b uint32) bool) entry {
+		best := cur
+		for step := 0; step < maxSteps; step++ {
+			st, err := n.stateOf(cur.Addr)
+			if err != nil {
+				return best
+			}
+			best = cur
+			w := nextOf(st)
+			if w == nil {
+				return best
+			}
+			c := w.entry()
+			if c.ID == cur.ID || c.ID == n.id || c.ID.A == n.id.A || !closer(c.ID.A, cur.ID.A) {
+				return best
+			}
+			cur = c
+		}
+		return best
+	}
+	n.mu.RLock()
+	outL, outR := n.rs.outsideL, n.rs.outsideR
+	n.mu.RUnlock()
+	if outL != nil && outL.ID != n.id && outL.ID.A != n.id.A {
+		better := improve(*outL,
+			func(st *WireState) *WireEntry { return st.OutsideR },
+			func(a, b uint32) bool { return n.space.ClockwiseCycle(a, n.id.A) < n.space.ClockwiseCycle(b, n.id.A) })
+		if better.ID != outL.ID {
+			n.mu.Lock()
+			n.rs.outsideL = clone(better)
+			n.mu.Unlock()
+		}
+	}
+	if outR != nil && outR.ID != n.id && outR.ID.A != n.id.A {
+		better := improve(*outR,
+			func(st *WireState) *WireEntry { return st.OutsideL },
+			func(a, b uint32) bool { return n.space.ClockwiseCycle(n.id.A, a) < n.space.ClockwiseCycle(n.id.A, b) })
+		if better.ID != outR.ID {
+			n.mu.Lock()
+			n.rs.outsideR = clone(better)
+			n.mu.Unlock()
+		}
+	}
+}
+
+// repairKeys pushes stored items this node is no longer responsible for
+// to their true owner. Keys land off their owner when a departing
+// node's hand-off had to fall back to a leaf neighbor (e.g. the routed
+// owner was unreachable on a lossy link) or when membership changed
+// around a stored key; without this sweep such keys would be live but
+// unreachable by exact lookups forever. The ownership test is local and
+// free — DecideStep returning no candidates means this node terminates
+// the route for the key — so quiescent rounds only pay for misplaced
+// keys.
+func (n *Node) repairKeys() {
+	n.mu.RLock()
+	keys := make([]string, 0, len(n.store))
+	for k := range n.store {
+		keys = append(keys, k)
+	}
+	n.mu.RUnlock()
+	sort.Strings(keys) // deterministic dial order for replayable fault schedules
+	for _, k := range keys {
+		kp := n.keyPoint(k)
+		if s := n.localStep(kp, false); s.Done {
+			continue // still the responsible node
+		}
+		r, err := n.route(kp)
+		if err != nil || r.Terminal == n.id {
+			continue
+		}
+		n.mu.RLock()
+		v, ok := n.store[k]
+		n.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if _, err := n.call(r.Addr, request{Op: "store", Key: k, Value: v}); err == nil {
+			n.mu.Lock()
+			delete(n.store, k)
+			n.mu.Unlock()
+		}
+	}
 }
 
 // notifyLeafSet tells each leaf entry about this node, Chord's notify
@@ -182,7 +285,11 @@ func (e *entry) entryWithState(st *WireState) entry {
 // RefreshRoutingTable re-resolves the cubical and cyclic neighbors with
 // the local-remote search of Section 3.3.1: route toward the ideal
 // position, then walk outward through adjacent cycles (checking every
-// member) until a node with the required cyclic index appears.
+// member) until a node with the required cyclic index appears. When the
+// search comes up empty (no node with the required cyclic index is
+// reachable) a dead incumbent is dropped rather than kept: a stale slot
+// costs a timeout on every lookup that tries it, and nothing short of
+// this check ever clears it.
 func (n *Node) RefreshRoutingTable() {
 	if n.id.K == 0 {
 		return // k=0 nodes have no cubical or cyclic neighbors
@@ -190,21 +297,33 @@ func (n *Node) RefreshRoutingTable() {
 	wantK := n.id.K - 1
 	flipped := n.id.A ^ (1 << n.id.K)
 
-	if e, ok := n.searchWithK(wantK, ids.CycloidID{K: wantK, A: flipped}, 0); ok {
-		n.mu.Lock()
-		n.rs.cubical = clone(e)
-		n.mu.Unlock()
+	set := func(slot **entry, e entry, ok bool) {
+		if ok {
+			n.mu.Lock()
+			*slot = clone(e)
+			n.mu.Unlock()
+			return
+		}
+		n.mu.RLock()
+		cur := *slot
+		n.mu.RUnlock()
+		if cur == nil || cur.ID == n.id {
+			return
+		}
+		if _, err := n.call(cur.Addr, request{Op: "ping"}); err != nil {
+			n.mu.Lock()
+			if *slot == cur {
+				*slot = nil
+			}
+			n.mu.Unlock()
+		}
 	}
-	if e, ok := n.searchWithK(wantK, ids.CycloidID{K: wantK, A: n.id.A}, +1); ok {
-		n.mu.Lock()
-		n.rs.cyclicL = clone(e)
-		n.mu.Unlock()
-	}
-	if e, ok := n.searchWithK(wantK, ids.CycloidID{K: wantK, A: n.id.A}, -1); ok {
-		n.mu.Lock()
-		n.rs.cyclicS = clone(e)
-		n.mu.Unlock()
-	}
+	e, ok := n.searchWithK(wantK, ids.CycloidID{K: wantK, A: flipped}, 0)
+	set(&n.rs.cubical, e, ok)
+	e, ok = n.searchWithK(wantK, ids.CycloidID{K: wantK, A: n.id.A}, +1)
+	set(&n.rs.cyclicL, e, ok)
+	e, ok = n.searchWithK(wantK, ids.CycloidID{K: wantK, A: n.id.A}, -1)
+	set(&n.rs.cyclicS, e, ok)
 }
 
 // searchWithK finds a node with the given cyclic index near the ideal

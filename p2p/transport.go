@@ -1,0 +1,36 @@
+package p2p
+
+import (
+	"net"
+	"time"
+)
+
+// Transport abstracts how nodes reach each other, so the same overlay
+// code runs over real TCP sockets in production and over the
+// deterministic in-memory fabric of p2p/memnet in tests. A Transport is
+// per-node: implementations may use the identity of the dialing node to
+// attribute traffic to a link (memnet does, for per-link fault
+// injection).
+type Transport interface {
+	// Listen binds a listener. addr follows the implementation's
+	// address syntax; ":0"-style wildcard ports must yield a unique,
+	// dialable address via the listener's Addr().
+	Listen(addr string) (net.Listener, error)
+	// Dial opens a connection to a listener's address, failing after
+	// at most timeout. A dial failure is the live-network equivalent
+	// of the paper's timeout metric.
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// TCP is the default Transport: real TCP sockets via the net package.
+var TCP Transport = tcpTransport{}
+
+type tcpTransport struct{}
+
+func (tcpTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func (tcpTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}

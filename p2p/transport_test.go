@@ -1,0 +1,222 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cycloid/internal/ids"
+	"cycloid/p2p/memnet"
+)
+
+var _ Transport = (*memnet.Host)(nil) // memnet satisfies the Transport contract
+
+// memConfig returns a node config bound to a memnet host.
+func memConfig(nw *memnet.Network, name string, dim int, id ids.CycloidID) Config {
+	return Config{
+		Dim:         dim,
+		ID:          &id,
+		DialTimeout: 200 * time.Millisecond,
+		Transport:   nw.Host(name),
+	}
+}
+
+// memCluster boots n nodes on one fabric with distinct seeded IDs.
+func memCluster(t *testing.T, nw *memnet.Network, dim, n int, seed int64) []*Node {
+	t.Helper()
+	space := ids.NewSpace(dim)
+	rng := rand.New(rand.NewSource(seed))
+	taken := make(map[uint64]bool)
+	nodes := make([]*Node, 0, n)
+	for len(nodes) < n {
+		v := uint64(rng.Int63n(int64(space.Size())))
+		if taken[v] {
+			continue
+		}
+		taken[v] = true
+		nd, err := Start(memConfig(nw, fmt.Sprintf("m%d", len(nodes)), dim, space.FromLinear(v)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) > 0 {
+			if err := nd.Join(nodes[rng.Intn(len(nodes))].Addr()); err != nil {
+				t.Fatalf("node %v join: %v", nd.ID(), err)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes
+}
+
+// TestServeBacksOffOnAcceptErrors feeds the accept loop a stream of
+// transient listener errors and requires it to back off instead of
+// hot-looping: without the backoff the loop would spin through millions
+// of Accept calls in the observation window.
+func TestServeBacksOffOnAcceptErrors(t *testing.T) {
+	nw := memnet.New(1)
+	const faults = 1 << 30
+	nw.FailAccepts("flaky", faults)
+	nd, err := Start(memConfig(nw, "flaky", 5, ids.CycloidID{K: 1, A: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	calls := nw.AcceptCalls("flaky")
+	if calls > 30 {
+		t.Fatalf("accept loop spun %d times in 150ms; backoff is not working", calls)
+	}
+	if calls == 0 {
+		t.Fatal("accept loop never ran")
+	}
+	// Shutdown must not wait out the current backoff sleep's full ladder.
+	start := time.Now()
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Close took %v during accept backoff", d)
+	}
+
+	// Once the fault clears, the node must serve again.
+	nw2 := memnet.New(2)
+	nw2.FailAccepts("srv", 3)
+	srv, err := Start(memConfig(nw2, "srv", 5, ids.CycloidID{K: 2, A: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Start(memConfig(nw2, "cli", 5, ids.CycloidID{K: 3, A: 21}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cli.call(srv.Addr(), request{Op: "ping"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered after transient accept faults")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGracefulLeaveHandoffUnderLossAndLatency runs the departure key
+// hand-off on a fabric with injected loss and with latency pushed past
+// the dial timeout on some links, and requires zero data loss: retries
+// must deliver every batch somewhere live, and stabilization's key
+// repair must pull parked keys back to their owners.
+func TestGracefulLeaveHandoffUnderLossAndLatency(t *testing.T) {
+	nw := memnet.New(9)
+	nodes := memCluster(t, nw, 6, 12, 5)
+	stabilizeAll(nodes, 2)
+
+	const items = 30
+	for i := 0; i < items; i++ {
+		if err := nodes[i%len(nodes)].Put(fmt.Sprintf("doc-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Loss on every link, plus latency beyond the timeout on the
+	// leavers' links to two specific peers.
+	nw.SetDefaultDrop(0.25)
+	nw.SetLatency("m3", "m0", time.Second)
+	nw.SetLatency("m7", "m1", time.Second)
+	for _, idx := range []int{3, 7, 9} {
+		if err := nodes[idx].Leave(); err != nil {
+			t.Fatalf("leave %d under loss: %v", idx, err)
+		}
+	}
+	nw.HealAll()
+
+	var live []*Node
+	for _, nd := range nodes {
+		if !nd.isStopped() {
+			live = append(live, nd)
+		}
+	}
+	stabilizeAll(live, 3)
+	for i := 0; i < items; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		val, route, err := live[i%len(live)].Get(key)
+		if err != nil {
+			t.Fatalf("%q lost after lossy departures: %v", key, err)
+		}
+		if val[0] != byte(i) {
+			t.Fatalf("%q corrupted", key)
+		}
+		if route.Timeouts != 0 {
+			t.Fatalf("%q: %d timeouts on a healed fabric", key, route.Timeouts)
+		}
+	}
+}
+
+// TestOverlappingJoinsConvergeUnderLoss joins several nodes through the
+// same bootstrap concurrently — the overlap the paper explicitly
+// assumes away — on a lossy, slow fabric, and requires stabilization to
+// converge the overlay to exact lookups anyway.
+func TestOverlappingJoinsConvergeUnderLoss(t *testing.T) {
+	const dim = 6
+	space := ids.NewSpace(dim)
+	nw := memnet.New(17)
+	boot, err := Start(memConfig(nw, "boot", dim, space.FromLinear(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+
+	nw.SetDefaultDrop(0.15)
+	nw.SetDefaultLatency(50 * time.Millisecond) // below the timeout: links slow but usable
+	ords := []uint64{40, 99, 170, 230, 301, 360}
+	nodes := []*Node{boot}
+	joined := make(chan *Node, len(ords))
+	for i, v := range ords {
+		nd, err := Start(memConfig(nw, fmt.Sprintf("j%d", i), dim, space.FromLinear(v)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+		go func(nd *Node) {
+			// A join on a lossy fabric may fail outright; retry until it
+			// lands. Overlap between the retries is the point.
+			for nd.Join(boot.Addr()) != nil {
+			}
+			joined <- nd
+		}(nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	for range ords {
+		<-joined
+	}
+	nw.HealAll()
+	stabilizeAll(nodes, 4)
+
+	for trial := 0; trial < 40; trial++ {
+		key := fmt.Sprintf("olap-%d", trial)
+		want := bruteOwner(space, nodes, nodes[0].keyPoint(key))
+		for _, from := range nodes {
+			r, err := from.Lookup(key)
+			if err != nil {
+				t.Fatalf("lookup %q from %v: %v", key, from.ID(), err)
+			}
+			if r.Terminal != want {
+				t.Fatalf("lookup %q from %v: terminal %v, want %v", key, from.ID(), r.Terminal, want)
+			}
+			if r.Timeouts != 0 {
+				t.Fatalf("lookup %q from %v: %d timeouts on a healed fabric", key, from.ID(), r.Timeouts)
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"net"
 
 	"cycloid/internal/ids"
 )
@@ -102,7 +101,7 @@ type response struct {
 // or protocol failure is the live-network analogue of the paper's timeout.
 func (n *Node) call(addr string, req request) (response, error) {
 	req.From = WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	conn, err := n.cfg.Transport.Dial(addr, n.cfg.DialTimeout)
 	if err != nil {
 		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}

@@ -32,6 +32,8 @@ func BenchmarkUngracefulFailures(b *testing.B)    { bench.Run(b, "UngracefulFail
 func BenchmarkLookup(b *testing.B)                { bench.Run(b, "Lookup") }
 func BenchmarkPutGet(b *testing.B)                { bench.Run(b, "PutGet") }
 func BenchmarkJoinLeave(b *testing.B)             { bench.Run(b, "JoinLeave") }
+func BenchmarkReplicatedPut(b *testing.B)         { bench.Run(b, "ReplicatedPut") }
+func BenchmarkGetWithOwnerDown(b *testing.B)      { bench.Run(b, "GetWithOwnerDown") }
 
 // TestBenchWrappersCoverRegistry keeps the wrapper list above in sync
 // with the internal/bench registry.
@@ -43,7 +45,7 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"Fig13Sparsity": true, "Fig14KoordeBreakdown": true,
 		"AblationLeafSet": true, "AblationStabilization": true,
 		"UngracefulFailures": true, "Lookup": true, "PutGet": true,
-		"JoinLeave": true,
+		"JoinLeave": true, "ReplicatedPut": true, "GetWithOwnerDown": true,
 	}
 	cases := bench.Cases()
 	if len(cases) != len(want) {

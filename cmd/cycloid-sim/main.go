@@ -39,11 +39,13 @@ flags:
 
 func main() {
 	var (
-		nodes = flag.Int("nodes", 500, "network size")
-		dim   = flag.Int("dim", 8, "Cycloid dimension d (ID space d*2^d)")
-		leaf  = flag.Int("leaf", 1, "leaf-set half width (1 = 7-entry, 2 = 11-entry)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		trace = flag.Bool("chaos-trace", false, "chaos: dump per-round routing state")
+		nodes    = flag.Int("nodes", 500, "network size")
+		dim      = flag.Int("dim", 8, "Cycloid dimension d (ID space d*2^d)")
+		leaf     = flag.Int("leaf", 1, "leaf-set half width (1 = 7-entry, 2 = 11-entry)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trace    = flag.Bool("chaos-trace", false, "chaos: dump per-round routing state")
+		replicas = flag.Int("replicas", 1, "chaos: replication factor R (keys survive f < R simultaneous crashes)")
+		crashes  = flag.Int("crashes", 1, "chaos: max simultaneous crashes per crash event")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -53,7 +55,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "chaos" {
-		runChaos(*nodes, *dim, *seed, *trace)
+		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes)
 		return
 	}
 
@@ -153,7 +155,7 @@ func main() {
 // then reports the per-round timeout counts and invariant violations.
 // The defaults for -nodes (500) and -dim (8) suit the simulator; chaos
 // runs live nodes, so clamp to the harness's scale when unchanged.
-func runChaos(nodes, dim int, seed int64, trace bool) {
+func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int) {
 	rounds := 8
 	if flag.NArg() >= 2 {
 		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
@@ -166,11 +168,15 @@ func runChaos(nodes, dim int, seed int64, trace bool) {
 	if dim == 8 {
 		dim = 6
 	}
-	cfg := chaosrunner.Config{Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds}
+	cfg := chaosrunner.Config{
+		Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds,
+		Replicas: replicas, MultiCrash: crashes,
+	}
 	if trace {
 		cfg.Trace = os.Stderr
 	}
-	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds\n", seed, nodes, dim, rounds)
+	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event\n",
+		seed, nodes, dim, rounds, replicas, crashes)
 	for _, ev := range chaosrunner.GenerateSchedule(cfg) {
 		fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
 	}

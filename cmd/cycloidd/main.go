@@ -29,6 +29,7 @@ func main() {
 		join      = flag.String("join", "", "address of any live overlay member to join through")
 		dim       = flag.Int("dim", 8, "Cycloid dimension d (all overlay members must agree)")
 		stabilize = flag.Duration("stabilize", 30*time.Second, "periodic stabilization interval")
+		replicas  = flag.Int("replicas", 1, "replication factor R: keys survive f < R simultaneous crashes (all overlay members must agree)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		Dim:            *dim,
 		ListenAddr:     *listen,
 		StabilizeEvery: *stabilize,
+		Replicas:       *replicas,
 	})
 	if err != nil {
 		fail(err)

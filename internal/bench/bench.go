@@ -43,6 +43,8 @@ func Cases() []Case {
 		{"Lookup", benchLookup},
 		{"PutGet", benchPutGet},
 		{"JoinLeave", benchJoinLeave},
+		{"ReplicatedPut", benchReplicatedPut},
+		{"GetWithOwnerDown", benchGetWithOwnerDown},
 	}
 }
 

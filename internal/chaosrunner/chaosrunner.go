@@ -46,11 +46,23 @@ type Config struct {
 	Rounds          int           // chaos rounds (default 8)
 	Keys            int           // keys seeded before round 1 (default 16)
 	StabilizeRounds int           // sweeps per quiescent window (default 3)
-	DialTimeout     time.Duration // per-contact budget (default 250ms)
+	DialTimeout     time.Duration // per-contact budget (default 1s)
 	Probes          int           // fault-phase lookups per round (default 8)
 	Clients         int           // concurrent clean-phase workers (default 4)
 	OpsPerClient    int           // put+get pairs per worker (default 3)
 	Trace           io.Writer     // optional: per-round routing-state dump
+
+	// Replicas is the members' replication factor R (default 1, no
+	// replication). With R > 1 the run asserts the upgraded durability
+	// invariant: keys survive any f < R simultaneous crashes between
+	// stabilization windows, and every live node can Get every tracked
+	// key after each window.
+	Replicas int
+	// MultiCrash is the maximum number of simultaneous crashes a single
+	// crash event may inflict (default 1). Values > 1 draw the count
+	// from the schedule RNG; the default leaves the RNG stream — and
+	// therefore every existing seeded schedule — byte-identical.
+	MultiCrash int
 }
 
 func (c *Config) defaults() {
@@ -70,7 +82,11 @@ func (c *Config) defaults() {
 		c.StabilizeRounds = 3
 	}
 	if c.DialTimeout == 0 {
-		c.DialTimeout = 250 * time.Millisecond
+		// The fabric never sleeps, so this costs no wall time; it is the
+		// real-clock budget each in-memory exchange gets before its pipe
+		// deadline fires, and a generous value keeps heavily loaded
+		// -race runs from recording spurious timeouts.
+		c.DialTimeout = time.Second
 	}
 	if c.Probes == 0 {
 		c.Probes = 8
@@ -80,6 +96,12 @@ func (c *Config) defaults() {
 	}
 	if c.OpsPerClient == 0 {
 		c.OpsPerClient = 3
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.MultiCrash == 0 {
+		c.MultiCrash = 1
 	}
 }
 
@@ -181,9 +203,19 @@ func GenerateSchedule(cfg Config) []Event {
 			sched = append(sched, Event{Round: r, Kind: EvLossy, Node: ord, P: 0.25})
 			remove(ord)
 		case shrinkOK:
-			ord := pickLive()
-			sched = append(sched, Event{Round: r, Kind: EvCrash, Node: ord})
-			remove(ord)
+			// With MultiCrash > 1 a crash event may take down several
+			// nodes at once — the f < R durability scenario. The extra
+			// RNG draw happens only when the knob is raised, so default
+			// schedules stay byte-identical seed for seed.
+			k := 1
+			if cfg.MultiCrash > 1 {
+				k = 1 + rng.Intn(cfg.MultiCrash)
+			}
+			for i := 0; i < k && len(live) > 4; i++ {
+				ord := pickLive()
+				sched = append(sched, Event{Round: r, Kind: EvCrash, Node: ord})
+				remove(ord)
+			}
 		default:
 			sched = append(sched, Event{Round: r, Kind: EvJoin, Node: next})
 			live = append(live, next)
@@ -294,6 +326,7 @@ func (r *runner) startMember(ord int) error {
 		ID:          &id,
 		DialTimeout: r.cfg.DialTimeout,
 		Transport:   r.nw.Host(name),
+		Replicas:    r.cfg.Replicas,
 	})
 	if err != nil {
 		return fmt.Errorf("chaosrunner: start %s: %w", name, err)
@@ -414,7 +447,15 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 		}
 	}
 
-	// Phase 2: heal the fabric, then apply the membership event.
+	// Phase 2: heal the fabric, then apply the membership event. The
+	// round's simultaneous crash count decides whether replication is
+	// expected to save the crashed nodes' keys (f < R) or not.
+	crashes := 0
+	for _, e := range events {
+		if e.Kind == EvCrash {
+			crashes++
+		}
+	}
 	r.nw.HealAll()
 	for _, e := range events {
 		switch e.Kind {
@@ -440,12 +481,17 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 			if m == nil || !m.live {
 				break
 			}
-			// Keys whose responsible node crashes die with it: there is
-			// no replication, exactly as in the paper's store.
-			for k := range r.expected {
-				kp := r.keyPoint(k)
-				if r.bruteOwner(kp) == m.id {
-					delete(r.expected, k)
+			// Without replication, keys whose responsible node crashes
+			// die with it, exactly as in the paper's store. With R-way
+			// replication the run keeps expecting them as long as the
+			// round's simultaneous crash count stays below R — the
+			// upgraded durability invariant.
+			if crashes >= r.cfg.Replicas {
+				for k := range r.expected {
+					kp := r.keyPoint(k)
+					if r.bruteOwner(kp) == m.id {
+						delete(r.expected, k)
+					}
 				}
 			}
 			m.node.Close()
@@ -533,6 +579,30 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 			violation("key %q unreachable (get from %s, held by %s): %v", k, m.name, where, err)
 		} else if want, tracked := r.expected[k]; tracked && string(v) != string(want) {
 			violation("key %q corrupted: %q", k, v)
+		}
+	}
+
+	// (1b) With replication on, the durability invariant is stronger:
+	// every tracked key must be retrievable from EVERY live node, not
+	// just a rotating sample — reads must survive the round's crashes
+	// from any vantage point once the stabilization window closed.
+	if r.cfg.Replicas > 1 {
+		tracked := make([]string, 0, len(r.expected))
+		for k := range r.expected {
+			tracked = append(tracked, k)
+		}
+		sort.Strings(tracked)
+		for _, k := range tracked {
+			want := r.expected[k]
+			for _, m := range live {
+				v, route, err := m.node.Get(k)
+				cleanTimeouts.Add(int64(route.Timeouts))
+				if err != nil {
+					violation("key %q unreachable from %s under R=%d: %v", k, m.name, r.cfg.Replicas, err)
+				} else if string(v) != string(want) {
+					violation("key %q corrupted at %s: %q", k, m.name, v)
+				}
+			}
 		}
 	}
 

@@ -89,3 +89,73 @@ func TestChaosScheduleIsPure(t *testing.T) {
 		t.Fatal("different seeds generated the same schedule")
 	}
 }
+
+// TestChaosReplicatedCrashTolerance drives seeded schedules with R = 3
+// replication and up to 2 simultaneous crashes per stabilization
+// window, and requires the upgraded durability invariant: zero key
+// loss — every key ever tracked is still tracked and retrievable from
+// every live node at the end — because every crash event stays below
+// the replication factor.
+func TestChaosReplicatedCrashTolerance(t *testing.T) {
+	for s := 0; s < *chaosSeeds; s++ {
+		seed := int64(101 + s)
+		t.Run(string(rune('A'+s)), func(t *testing.T) {
+			t.Parallel()
+			cfg := chaosrunner.Config{
+				Seed:       seed,
+				Replicas:   3,
+				MultiCrash: 2,
+				Rounds:     6,
+			}
+			res, err := chaosrunner.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			crashes := 0
+			for _, e := range res.Schedule {
+				if e.Kind == chaosrunner.EvCrash {
+					crashes++
+				}
+			}
+			// Zero forfeiture: 16 seeded keys plus every concurrent put
+			// must still be tracked — crashes below R lose nothing.
+			want := 16 + 6*4*3
+			if res.FinalKeys != want {
+				t.Errorf("seed %d: %d keys tracked at the end, want %d (no loss despite %d crashes)",
+					seed, res.FinalKeys, want, crashes)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminismReplicated pins determinism with replication and
+// multi-crash enabled: same seed, same run, byte for byte.
+func TestChaosDeterminismReplicated(t *testing.T) {
+	cfg := chaosrunner.Config{Seed: 7, Replicas: 3, MultiCrash: 2, Rounds: 5}
+	a, err := chaosrunner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosrunner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replicated chaos results differ across identically seeded runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChaosDefaultScheduleUnchanged pins that the replication knobs do
+// not perturb default schedules: a config that leaves Replicas and
+// MultiCrash at their defaults must generate the exact schedule the
+// pre-replication harness generated, seed for seed.
+func TestChaosDefaultScheduleUnchanged(t *testing.T) {
+	plain := chaosrunner.GenerateSchedule(chaosrunner.Config{Seed: 19})
+	repl := chaosrunner.GenerateSchedule(chaosrunner.Config{Seed: 19, Replicas: 3})
+	if !reflect.DeepEqual(plain, repl) {
+		t.Fatal("raising Replicas alone changed the generated schedule")
+	}
+}

@@ -52,8 +52,12 @@ func FuzzWireDecode(f *testing.F) {
 		`{"op":"step","from":{"k":1,"a":3,"addr":"peer:1"},"target":{"k":250,"a":4000000000,"addr":""}}`,
 		`{"op":"store","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","value":"aGVsbG8="}`,
 		`{"op":"fetch","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc"}`,
+		`{"op":"handoff","from":{"k":1,"a":3,"addr":"peer:1"},"items":{"a":{"v":"AA==","ver":3,"src":7},"b":null}}`,
 		`{"op":"handoff","from":{"k":1,"a":3,"addr":"peer:1"},"items":{"a":"AA==","b":null}}`,
 		`{"op":"reclaim","from":{"k":3,"a":14,"addr":"peer:1"}}`,
+		`{"op":"replicate","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","value":"aGVsbG8=","ver":5,"src":19}`,
+		`{"op":"replicate","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","ver":-1,"src":18446744073709551615}`,
+		`{"op":"store","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","value":"aGVsbG8=","ver":2,"src":4}`,
 		`{"op":"update","event":"join","from":{"k":1,"a":3,"addr":"peer:1"},"subject":{"k":1,"a":3,"addr":"peer:1"},"propagate":true,"ttl":99}`,
 		`{"op":"update","event":"leave","from":{"k":1,"a":3,"addr":"peer:1"},"subject":{"k":1,"a":3,"addr":"peer:1"},"departed":{"self":{"k":1,"a":3,"addr":"peer:1"},"insideL":{"k":2,"a":3,"addr":"peer:2"}}}`,
 		`{"op":"step"}`,
@@ -64,6 +68,9 @@ func FuzzWireDecode(f *testing.F) {
 		`[]`,
 		`null`,
 		`{"ok":true,"candidates":[{"k":1,"a":2,"addr":"x"}],"state":{"self":{}}}`,
+		`{"ok":false,"err":"not responsible","redirect":{"k":2,"a":9,"addr":"peer:3"}}`,
+		`{"ok":true,"ver":7,"replicas":[{"k":2,"a":9,"addr":"peer:3"},{"k":0,"a":1,"addr":"peer:4"}]}`,
+		`{"ok":true,"found":true,"value":"aGVsbG8=","ver":12}`,
 		`{"a":"AA==","b":"not base64!"}`,
 	}
 	for _, s := range seeds {

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,7 +26,7 @@ func (n *Node) Join(bootstrap string) error {
 	if boot.Self.entry().ID == n.id {
 		return fmt.Errorf("p2p: join: ID collision with bootstrap node %v", n.id)
 	}
-	route, err := n.routeFrom(boot.Self.entry(), n.id)
+	route, err := n.routeFrom(context.Background(), boot.Self.entry(), n.id)
 	if err != nil {
 		return fmt.Errorf("p2p: join: locating closest node: %w", err)
 	}
@@ -48,7 +49,11 @@ func (n *Node) Join(bootstrap string) error {
 
 // stateOf fetches a peer's routing state.
 func (n *Node) stateOf(addr string) (*WireState, error) {
-	resp, err := n.call(addr, request{Op: "state"})
+	return n.stateOfCtx(context.Background(), addr)
+}
+
+func (n *Node) stateOfCtx(ctx context.Context, addr string) (*WireState, error) {
+	resp, err := n.callCtx(ctx, addr, request{Op: "state"})
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +61,15 @@ func (n *Node) stateOf(addr string) (*WireState, error) {
 		return nil, fmt.Errorf("p2p: %s returned no state", addr)
 	}
 	return resp.State, nil
+}
+
+// stateOfOrLocalCtx answers a state query locally when the entry is this
+// node itself, with remote queries capped by the context deadline.
+func (n *Node) stateOfOrLocalCtx(ctx context.Context, e entry) (*WireState, error) {
+	if e.ID == n.id {
+		return n.wireState(), nil
+	}
+	return n.stateOfCtx(ctx, e.Addr)
 }
 
 // deriveLeafSets builds this node's leaf sets from the closest node Z's
@@ -188,11 +202,9 @@ func (n *Node) reclaimKeys() {
 		if err != nil {
 			continue
 		}
-		n.mu.Lock()
-		for k, v := range items {
-			n.store[k] = v
+		for k, w := range items {
+			n.putLocal(k, item{val: append([]byte(nil), w.V...), ver: w.Ver, src: w.Src})
 		}
-		n.mu.Unlock()
 	}
 }
 
@@ -224,7 +236,7 @@ func (n *Node) Leave() error {
 func (n *Node) handoffKeys() {
 	n.mu.Lock()
 	items := n.store
-	n.store = make(map[string][]byte)
+	n.store = make(map[string]item)
 	cands := []*entry{n.rs.insideL, n.rs.insideR, n.rs.outsideL, n.rs.outsideR}
 	n.mu.Unlock()
 
@@ -242,12 +254,12 @@ func (n *Node) handoffKeys() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	batches := make(map[string]map[string][]byte) // addr -> items
+	batches := make(map[string]map[string]WireItem) // addr -> items
 	for _, k := range keys {
 		kp := n.keyPoint(k)
 		var dest *entry
 		if liveStart != nil {
-			if r, err := n.routeFrom(*liveStart, kp); err == nil && r.Terminal != n.id {
+			if r, err := n.routeFrom(context.Background(), *liveStart, kp); err == nil && r.Terminal != n.id {
 				dest = &entry{ID: r.Terminal, Addr: r.Addr}
 			}
 		}
@@ -266,9 +278,10 @@ func (n *Node) handoffKeys() {
 			continue // last node standing: the data dies with the overlay
 		}
 		if batches[dest.Addr] == nil {
-			batches[dest.Addr] = make(map[string][]byte)
+			batches[dest.Addr] = make(map[string]WireItem)
 		}
-		batches[dest.Addr][k] = items[k]
+		it := items[k]
+		batches[dest.Addr][k] = WireItem{V: it.val, Ver: it.ver, Src: it.src}
 	}
 	addrs := make([]string, 0, len(batches))
 	for a := range batches {

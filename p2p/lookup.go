@@ -1,8 +1,10 @@
 package p2p
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"cycloid/internal/ids"
 )
@@ -20,56 +22,196 @@ type Route struct {
 // Lookup routes a request for an application key from this node and
 // returns the route to the responsible node.
 func (n *Node) Lookup(key string) (Route, error) {
-	return n.route(n.keyPoint(key))
+	return n.LookupContext(context.Background(), key)
 }
 
-// Put stores a value on the node responsible for the key.
+// LookupContext is Lookup with each per-candidate dial capped by the
+// context's deadline, so a blackholed neighbor costs at most the time
+// the caller budgeted rather than the full dial-timeout ladder.
+func (n *Node) LookupContext(ctx context.Context, key string) (Route, error) {
+	return n.routeCtx(ctx, n.keyPoint(key))
+}
+
+// Put stores a value on the node responsible for the key; with
+// replication enabled the owner fans copies out to its replica set.
 func (n *Node) Put(key string, value []byte) error {
-	r, err := n.route(n.keyPoint(key))
+	return n.PutContext(context.Background(), key, value)
+}
+
+// PutContext is Put with dials capped by the context's deadline.
+func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
+	r, err := n.routeCtx(ctx, n.keyPoint(key))
 	if err != nil {
 		return err
 	}
 	if r.Terminal == n.id {
-		n.mu.Lock()
-		n.store[key] = append([]byte(nil), value...)
-		n.mu.Unlock()
+		n.putOwner(ctx, key, value)
 		return nil
 	}
-	_, err = n.call(r.Addr, request{Op: "store", Key: key, Value: value})
-	return err
+	// A racing join can make the routed terminal disown the key by the
+	// time the store arrives; it rejects with a redirect entry pointing
+	// at the node it believes responsible. Follow a short redirect chain
+	// rather than stranding the value.
+	addr := r.Addr
+	for hop := 0; hop < 3; hop++ {
+		resp, err := n.callCtx(ctx, addr, request{Op: "store", Key: key, Value: value})
+		if err == nil {
+			return nil
+		}
+		if resp.Redirect == nil {
+			return err
+		}
+		red := resp.Redirect.entry()
+		if red.ID == n.id {
+			n.putOwner(ctx, key, value)
+			return nil
+		}
+		addr = red.Addr
+	}
+	return fmt.Errorf("p2p: put %q: no node accepted ownership", key)
 }
 
-// Get fetches the value stored under key, routing from this node.
+// Get fetches the value stored under key, routing from this node. When
+// the routed owner is unreachable and replication is enabled, the read
+// falls back through the replica set: the failure is promoted into the
+// route's timeout accounting, the corpse is suspected so the re-route
+// steers around it, and the crash successor's neighborhood — where the
+// dead owner's replicas live — is probed for a surviving copy.
 func (n *Node) Get(key string) ([]byte, Route, error) {
-	r, err := n.route(n.keyPoint(key))
+	return n.GetContext(context.Background(), key)
+}
+
+// GetContext is Get with dials capped by the context's deadline.
+func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error) {
+	kp := n.keyPoint(key)
+	r, err := n.routeCtx(ctx, kp)
 	if err != nil {
 		return nil, r, err
 	}
-	if r.Terminal == n.id {
-		n.mu.RLock()
-		v, ok := n.store[key]
-		n.mu.RUnlock()
-		if !ok {
-			return nil, r, ErrNotFound
+	tried := make(map[string]bool)
+	term := entry{ID: r.Terminal, Addr: r.Addr}
+	for attempt := 0; attempt < n.cfg.Replicas; attempt++ {
+		tried[term.Addr] = true
+		v, found, ferr := n.fetchAt(ctx, term, key)
+		if ferr == nil {
+			if found {
+				return v, r, nil
+			}
+			break // reachable but empty: fall through to the replica probe
 		}
-		return append([]byte(nil), v...), r, nil
+		if n.cfg.Replicas <= 1 {
+			return nil, r, ferr
+		}
+		// Owner died between route and fetch: account the timeout,
+		// suspect the corpse, and re-route — candidate ordering now
+		// avoids it, so the route terminates at the crash successor.
+		r.Timeouts++
+		n.suspect(term.Addr)
+		r2, rerr := n.routeCtx(ctx, kp)
+		if rerr != nil {
+			return nil, r, ferr
+		}
+		r.Hops += r2.Hops
+		r.Timeouts += r2.Timeouts
+		for ph, c := range r2.Phases {
+			r.Phases[ph] += c
+		}
+		r.Terminal, r.Addr = r2.Terminal, r2.Addr
+		term = entry{ID: r2.Terminal, Addr: r2.Addr}
+		if tried[term.Addr] {
+			break // rerouting made no progress
+		}
 	}
-	resp, err := n.call(r.Addr, request{Op: "fetch", Key: key})
+	if n.cfg.Replicas > 1 {
+		// The terminal answered but has no copy (a crash successor the
+		// anti-entropy pass has not reached yet, or a mid-transition
+		// owner): probe its leaf neighborhood, which coincides with the
+		// previous owner's replica set.
+		if v, ok := n.localFetch(key); ok {
+			return v, r, nil
+		}
+		for _, cand := range n.replicaProbes(ctx, term, kp, tried) {
+			tried[cand.Addr] = true
+			v, found, ferr := n.fetchAt(ctx, cand, key)
+			if ferr != nil {
+				r.Timeouts++
+				n.suspect(cand.Addr)
+				continue
+			}
+			if found {
+				return v, r, nil
+			}
+		}
+	}
+	return nil, r, ErrNotFound
+}
+
+// localFetch reads a key from this node's own store.
+func (n *Node) localFetch(key string) ([]byte, bool) {
+	n.mu.RLock()
+	it, ok := n.store[key]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), it.val...), true
+}
+
+// fetchAt reads a key from the given node — locally when it is this
+// node, over the wire otherwise.
+func (n *Node) fetchAt(ctx context.Context, at entry, key string) ([]byte, bool, error) {
+	if at.ID == n.id && !n.isStopped() {
+		v, ok := n.localFetch(key)
+		return v, ok, nil
+	}
+	resp, err := n.callCtx(ctx, at.Addr, request{Op: "fetch", Key: key})
 	if err != nil {
-		return nil, r, err
+		return nil, false, err
 	}
-	if !resp.Found {
-		return nil, r, ErrNotFound
+	return resp.Value, resp.Found, nil
+}
+
+// replicaProbes lists the terminal's leaf neighborhood ranked by
+// closeness to the key, excluding addresses already consulted — the
+// candidates most likely to hold a replica of the key.
+func (n *Node) replicaProbes(ctx context.Context, term entry, kp ids.CycloidID, tried map[string]bool) []entry {
+	st, err := n.stateOfOrLocalCtx(ctx, term)
+	if err != nil {
+		return nil
 	}
-	return resp.Value, r, nil
+	seen := make(map[string]bool)
+	var out []entry
+	for _, w := range []*WireEntry{st.InsideL, st.InsideR, st.OutsideL, st.OutsideR} {
+		if w == nil {
+			continue
+		}
+		e := w.entry()
+		if e.ID == n.id || e.Addr == term.Addr || tried[e.Addr] || seen[e.Addr] {
+			continue
+		}
+		if n.strikesOf(e.Addr) >= suspectDrop {
+			continue // known corpse: don't pay its timeout again
+		}
+		seen[e.Addr] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return n.space.Closer(kp, out[i].ID, out[j].ID) })
+	if len(out) > n.cfg.Replicas {
+		out = out[:n.cfg.Replicas]
+	}
+	return out
 }
 
 // route drives an iterative lookup starting at this node.
 func (n *Node) route(t ids.CycloidID) (Route, error) {
+	return n.routeCtx(context.Background(), t)
+}
+
+func (n *Node) routeCtx(ctx context.Context, t ids.CycloidID) (Route, error) {
 	if n.isStopped() {
 		return Route{}, ErrStopped
 	}
-	return n.routeFrom(*n.selfEntry(), t)
+	return n.routeFrom(ctx, *n.selfEntry(), t)
 }
 
 // routeFrom drives an iterative lookup starting at an arbitrary live node
@@ -77,7 +219,13 @@ func (n *Node) route(t ids.CycloidID) (Route, error) {
 // current node's local decision yields candidates in preference order; a
 // candidate that cannot be dialed costs a timeout and the next is tried,
 // the live-network equivalent of the paper's timeout accounting.
-func (n *Node) routeFrom(start entry, t ids.CycloidID) (Route, error) {
+//
+// The shared suspicion list reorders that preference: a candidate with
+// one strike is tried only after every clean candidate failed, and one
+// with suspectDrop strikes is skipped outright until stabilization
+// re-probes it — so the same corpse stops costing a timeout on every
+// route. Each dial is additionally capped by the context's deadline.
+func (n *Node) routeFrom(ctx context.Context, start entry, t ids.CycloidID) (Route, error) {
 	r := Route{Target: t, Phases: make(map[string]int)}
 	d := n.space.Dim()
 	window := 4*d + 16
@@ -88,28 +236,38 @@ func (n *Node) routeFrom(start entry, t ids.CycloidID) (Route, error) {
 	cur := start
 	best := start.ID
 	sinceImprove := 0
-	step, err := n.stepAt(cur, t, greedyOnly)
+	step, err := n.stepAt(ctx, cur, t, greedyOnly)
 	if err != nil {
 		return r, fmt.Errorf("p2p: route: first hop: %w", err)
 	}
 	for !step.Done {
+		if err := ctx.Err(); err != nil {
+			return r, fmt.Errorf("p2p: route to %v: %w", t, err)
+		}
 		moved := false
-		for _, w := range step.Candidates {
-			cand := w.entry()
-			if dead[cand.Addr] {
-				continue // already found unreachable during this route
+		for pass := 0; pass < 2 && !moved; pass++ {
+			for _, w := range step.Candidates {
+				cand := w.entry()
+				if dead[cand.Addr] {
+					continue // already found unreachable during this route
+				}
+				s := n.strikesOf(cand.Addr)
+				if s >= suspectDrop || (pass == 0 && s > 0) {
+					continue // suspected: demoted to pass 1 or skipped
+				}
+				next, err := n.stepAt(ctx, cand, t, greedyOnly)
+				if err != nil {
+					r.Timeouts++
+					dead[cand.Addr] = true
+					n.suspect(cand.Addr)
+					continue
+				}
+				r.Hops++
+				r.Phases[step.Phase]++
+				cur, step = cand, next
+				moved = true
+				break
 			}
-			next, err := n.stepAt(cand, t, greedyOnly)
-			if err != nil {
-				r.Timeouts++
-				dead[cand.Addr] = true
-				continue
-			}
-			r.Hops++
-			r.Phases[step.Phase]++
-			cur, step = cand, next
-			moved = true
-			break
 		}
 		if !moved {
 			break // every candidate unreachable: cur keeps the request
@@ -119,13 +277,13 @@ func (n *Node) routeFrom(start entry, t ids.CycloidID) (Route, error) {
 			sinceImprove = 0
 		} else if sinceImprove++; sinceImprove >= window && !greedyOnly {
 			greedyOnly = true
-			if step, err = n.stepAt(cur, t, true); err != nil {
+			if step, err = n.stepAt(ctx, cur, t, true); err != nil {
 				return r, err
 			}
 		}
 		if r.Hops >= budget && !greedyOnly {
 			greedyOnly = true
-			if step, err = n.stepAt(cur, t, true); err != nil {
+			if step, err = n.stepAt(ctx, cur, t, true); err != nil {
 				return r, err
 			}
 		}
@@ -148,12 +306,12 @@ type stepResult struct {
 // stepAt obtains the routing decision of the given node — locally when it
 // is this node, over the wire otherwise. A wire failure means the node is
 // unreachable (dead), which the caller accounts as a timeout.
-func (n *Node) stepAt(at entry, t ids.CycloidID, greedyOnly bool) (stepResult, error) {
+func (n *Node) stepAt(ctx context.Context, at entry, t ids.CycloidID, greedyOnly bool) (stepResult, error) {
 	if at.ID == n.id && !n.isStopped() {
 		return n.localStep(t, greedyOnly), nil
 	}
 	tw := WireEntry{K: t.K, A: t.A}
-	resp, err := n.call(at.Addr, request{Op: "step", Target: &tw, GreedyOnly: greedyOnly})
+	resp, err := n.callCtx(ctx, at.Addr, request{Op: "step", Target: &tw, GreedyOnly: greedyOnly})
 	if err != nil {
 		return stepResult{}, err
 	}
@@ -161,11 +319,11 @@ func (n *Node) stepAt(at entry, t ids.CycloidID, greedyOnly bool) (stepResult, e
 }
 
 // decodeReclaim unpacks a reclaim response batch.
-func decodeReclaim(v []byte) (map[string][]byte, error) {
+func decodeReclaim(v []byte) (map[string]WireItem, error) {
 	if len(v) == 0 {
 		return nil, nil
 	}
-	items := make(map[string][]byte)
+	items := make(map[string]WireItem)
 	if err := json.Unmarshal(v, &items); err != nil {
 		return nil, err
 	}

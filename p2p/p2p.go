@@ -8,7 +8,11 @@
 // Section 3.3.1 (route to the numerically closest node, derive leaf sets
 // from its neighborhood, local-remote search for the routing table,
 // notification fan-out), graceful departure with key hand-off, periodic
-// stabilization, and a replicated-nothing key/value store.
+// stabilization, and a key/value store with R-way leaf-set replication:
+// every key lives on its owner plus up to R-1 leaf-set neighbors, with
+// per-key logical versions resolved last-writer-wins, so any f < R
+// simultaneous crashes between stabilization windows lose no data (see
+// p2p/replicate.go).
 //
 // Lookups are iterative: the querying node asks each hop for its local
 // next-hop decision and dials onward, so a crashed neighbor surfaces as a
@@ -56,6 +60,12 @@ type Config struct {
 	// p2p/memnet for deterministic in-memory fabrics with fault
 	// injection.
 	Transport Transport
+	// Replicas is the replication factor R: every key is stored on its
+	// owner plus up to R-1 leaf-set neighbors, so any f < R simultaneous
+	// crashes between stabilization windows lose no data. Default 1
+	// (no replication). The effective factor is bounded by the distinct
+	// leaf-set neighbors available (at most 4 besides the owner).
+	Replicas int
 }
 
 func (c *Config) defaults() {
@@ -70,6 +80,9 @@ func (c *Config) defaults() {
 	}
 	if c.Transport == nil {
 		c.Transport = TCP
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
 	}
 }
 
@@ -91,6 +104,15 @@ type routingState struct {
 	outsideR *entry
 }
 
+// item is one stored value with its replication metadata: a per-key
+// logical version and the linear ID of the node that assigned it, for
+// last-writer-wins conflict resolution across replicas.
+type item struct {
+	val []byte
+	ver uint64
+	src uint64
+}
+
 // Node is one live Cycloid participant.
 type Node struct {
 	cfg   Config
@@ -99,7 +121,14 @@ type Node struct {
 
 	mu    sync.RWMutex
 	rs    routingState
-	store map[string][]byte
+	store map[string]item
+
+	// suspects maps transport addresses found dead during routes to a
+	// strike count; candidate ordering consults it so repeated lookups
+	// stop paying timeouts for the same corpse, and stabilization
+	// drains it (see p2p/replicate.go).
+	smu      sync.Mutex
+	suspects map[string]int
 
 	ln       net.Listener
 	stopOnce sync.Once
@@ -122,6 +151,9 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Dim < 2 || cfg.Dim > ids.MaxDim {
 		return nil, fmt.Errorf("p2p: dimension %d out of range", cfg.Dim)
 	}
+	if cfg.Replicas < 1 || cfg.Replicas > 8 {
+		return nil, fmt.Errorf("p2p: replication factor %d out of range [1,8]", cfg.Replicas)
+	}
 	ln, err := cfg.Transport.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
@@ -138,13 +170,14 @@ func Start(cfg Config) (*Node, error) {
 		id = space.FromLinear(hashing.Fold(hashing.HashString(ln.Addr().String()), space.Size()))
 	}
 	n := &Node{
-		cfg:     cfg,
-		space:   space,
-		id:      id,
-		store:   make(map[string][]byte),
-		ln:      ln,
-		stopped: make(chan struct{}),
-		rng:     rand.New(rand.NewSource(int64(space.Linear(id)) + 1)),
+		cfg:      cfg,
+		space:    space,
+		id:       id,
+		store:    make(map[string]item),
+		suspects: make(map[string]int),
+		ln:       ln,
+		stopped:  make(chan struct{}),
+		rng:      rand.New(rand.NewSource(int64(space.Linear(id)) + 1)),
 	}
 	self := entry{ID: id, Addr: n.Addr()}
 	n.rs = routingState{insideL: &self, insideR: &self, outsideL: &self, outsideR: &self}

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net"
 	"time"
@@ -70,21 +71,18 @@ func (n *Node) dispatch(req request) response {
 	case "step":
 		return n.handleStep(req)
 	case "store":
-		n.mu.Lock()
-		n.store[req.Key] = append([]byte(nil), req.Value...)
-		n.mu.Unlock()
-		return response{}
+		return n.handleStore(req)
+	case "replicate":
+		return n.handleReplicate(req)
 	case "fetch":
 		n.mu.RLock()
-		v, ok := n.store[req.Key]
+		it, ok := n.store[req.Key]
 		n.mu.RUnlock()
-		return response{Value: v, Found: ok}
+		return response{Value: it.val, Found: ok, Ver: it.ver}
 	case "handoff":
-		n.mu.Lock()
-		for k, v := range req.Items {
-			n.store[k] = v
+		for k, w := range req.Items {
+			n.putLocal(k, item{val: append([]byte(nil), w.V...), ver: w.Ver, src: w.Src})
 		}
-		n.mu.Unlock()
 		return response{}
 	case "reclaim":
 		return n.handleReclaim(req)
@@ -139,17 +137,41 @@ func (n *Node) localStep(t ids.CycloidID, greedyOnly bool) stepResult {
 	return out
 }
 
+// handleStore accepts a routed write. A receiver outside the key's
+// replica scope rejects it with a redirect entry — a route resolved just
+// before a join can otherwise strand the value on a node that is no
+// longer responsible. In scope, the receiver takes owner-side authority:
+// it assigns the next logical version and fans the copy out, so even a
+// mid-transition write converges via last-writer-wins at the true owner.
+func (n *Node) handleStore(req request) response {
+	kp := n.keyPoint(req.Key)
+	if !n.mayHold(kp) {
+		resp := response{Err: "not owner or replica for key"}
+		if s := n.localStep(kp, false); len(s.Candidates) > 0 {
+			resp.Redirect = &s.Candidates[0]
+		}
+		return resp
+	}
+	n.putOwner(context.Background(), req.Key, req.Value)
+	return response{}
+}
+
 // handleReclaim hands over the stored items the requesting (new) node is
-// now responsible for — the key migration of the join protocol.
+// now responsible for — the key migration of the join protocol. With
+// replication enabled the previous holder keeps its copy: as the
+// newcomer's leaf neighbor it usually stays inside the key's replica
+// scope, and the anti-entropy pass garbage-collects it if not.
 func (n *Node) handleReclaim(req request) response {
 	newcomer := req.From.entry().ID
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	items := make(map[string][]byte)
+	items := make(map[string]WireItem)
 	for k, v := range n.store {
 		if n.space.Closer(n.keyPoint(k), newcomer, n.id) {
-			items[k] = v
-			delete(n.store, k)
+			items[k] = WireItem{V: v.val, Ver: v.ver, Src: v.src}
+			if n.cfg.Replicas <= 1 {
+				delete(n.store, k)
+			}
 		}
 	}
 	if len(items) == 0 {

@@ -7,19 +7,23 @@ import (
 	"cycloid/internal/ids"
 )
 
-// Stabilize runs one stabilization round: refresh the leaf sets from the
-// neighbors' neighborhoods and re-resolve the cubical and cyclic
-// neighbors with the local-remote search — the periodic repair the paper
-// delegates to "system stabilization, as in Chord".
+// Stabilize runs one stabilization round: re-probe suspected addresses
+// (so recovered nodes stop being avoided before this round's searches
+// run), refresh the leaf sets from the neighbors' neighborhoods,
+// re-resolve the cubical and cyclic neighbors with the local-remote
+// search — the periodic repair the paper delegates to "system
+// stabilization, as in Chord" — and finish with the replication
+// anti-entropy pass over the local store.
 func (n *Node) Stabilize() {
 	if n.isStopped() {
 		return
 	}
+	n.drainSuspects()
 	n.refreshLeafSets()
 	n.correctOutsideRing()
 	n.notifyLeafSet()
 	n.RefreshRoutingTable()
-	n.repairKeys()
+	n.syncReplicas()
 }
 
 // correctOutsideRing runs a Chord-style neighbor correction on the ring
@@ -78,46 +82,6 @@ func (n *Node) correctOutsideRing() {
 		if better.ID != outR.ID {
 			n.mu.Lock()
 			n.rs.outsideR = clone(better)
-			n.mu.Unlock()
-		}
-	}
-}
-
-// repairKeys pushes stored items this node is no longer responsible for
-// to their true owner. Keys land off their owner when a departing
-// node's hand-off had to fall back to a leaf neighbor (e.g. the routed
-// owner was unreachable on a lossy link) or when membership changed
-// around a stored key; without this sweep such keys would be live but
-// unreachable by exact lookups forever. The ownership test is local and
-// free — DecideStep returning no candidates means this node terminates
-// the route for the key — so quiescent rounds only pay for misplaced
-// keys.
-func (n *Node) repairKeys() {
-	n.mu.RLock()
-	keys := make([]string, 0, len(n.store))
-	for k := range n.store {
-		keys = append(keys, k)
-	}
-	n.mu.RUnlock()
-	sort.Strings(keys) // deterministic dial order for replayable fault schedules
-	for _, k := range keys {
-		kp := n.keyPoint(k)
-		if s := n.localStep(kp, false); s.Done {
-			continue // still the responsible node
-		}
-		r, err := n.route(kp)
-		if err != nil || r.Terminal == n.id {
-			continue
-		}
-		n.mu.RLock()
-		v, ok := n.store[k]
-		n.mu.RUnlock()
-		if !ok {
-			continue
-		}
-		if _, err := n.call(r.Addr, request{Op: "store", Key: k, Value: v}); err == nil {
-			n.mu.Lock()
-			delete(n.store, k)
 			n.mu.Unlock()
 		}
 	}

@@ -2,8 +2,10 @@ package p2p
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"cycloid/internal/ids"
 )
@@ -41,6 +43,15 @@ func entryPtr(w *WireEntry) *entry {
 	return &e
 }
 
+// WireItem is one stored value with its replication metadata: the
+// per-key logical version and the linear ID of the node that assigned
+// it, for last-writer-wins conflict resolution at the receiver.
+type WireItem struct {
+	V   []byte `json:"v"`
+	Ver uint64 `json:"ver"`
+	Src uint64 `json:"src,omitempty"`
+}
+
 // WireState is a node's full routing state on the wire, the payload the
 // join procedure derives the newcomer's leaf sets from.
 type WireState struct {
@@ -63,12 +74,14 @@ type request struct {
 	Target     *WireEntry `json:"target,omitempty"`
 	GreedyOnly bool       `json:"greedyOnly,omitempty"`
 
-	// store / fetch
+	// store / fetch / replicate
 	Key   string `json:"key,omitempty"`
 	Value []byte `json:"value,omitempty"`
+	Ver   uint64 `json:"ver,omitempty"` // replicate: the copy's version
+	Src   uint64 `json:"src,omitempty"` // replicate: version tie-breaker
 
 	// handoff
-	Items map[string][]byte `json:"items,omitempty"`
+	Items map[string]WireItem `json:"items,omitempty"`
 
 	// update (membership notification)
 	Event     string     `json:"event,omitempty"` // "join" or "leave"
@@ -95,18 +108,49 @@ type response struct {
 	// fetch
 	Value []byte `json:"value,omitempty"`
 	Found bool   `json:"found,omitempty"`
+	Ver   uint64 `json:"ver,omitempty"` // fetch/replicate: receiver's stored version
+
+	// store/replicate rejection: where the receiver believes the key
+	// belongs, so the sender can follow instead of stranding the value.
+	Redirect *WireEntry `json:"redirect,omitempty"`
+	// replicate: the receiver's current replica set (itself plus its
+	// replica targets); senders use it to garbage-collect copies they
+	// should no longer hold.
+	Replicas []WireEntry `json:"replicas,omitempty"`
 }
 
 // call performs one request/response exchange with a peer. A connection
 // or protocol failure is the live-network analogue of the paper's timeout.
 func (n *Node) call(addr string, req request) (response, error) {
+	return n.callCtx(context.Background(), addr, req)
+}
+
+// callCtx is call with the per-contact budget capped by the caller's
+// context deadline: each dial costs at most min(DialTimeout, time left
+// on ctx), so one blackholed peer cannot stall a whole operation for
+// the full dial-timeout ladder.
+func (n *Node) callCtx(ctx context.Context, addr string, req request) (response, error) {
+	timeout := n.cfg.DialTimeout
+	if d, ok := ctx.Deadline(); ok {
+		rem := time.Until(d)
+		if rem <= 0 {
+			err := ctx.Err()
+			if err == nil {
+				err = context.DeadlineExceeded
+			}
+			return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
+		}
+		if rem < timeout {
+			timeout = rem
+		}
+	}
 	req.From = WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
-	conn, err := n.cfg.Transport.Dial(addr, n.cfg.DialTimeout)
+	conn, err := n.cfg.Transport.Dial(addr, timeout)
 	if err != nil {
 		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(deadline(n.cfg.DialTimeout)); err != nil {
+	if err := conn.SetDeadline(deadline(timeout)); err != nil {
 		return response{}, err
 	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
@@ -116,6 +160,8 @@ func (n *Node) call(addr string, req request) (response, error) {
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
 		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
 	}
+	// A completed exchange proves the peer is alive, whatever it said.
+	n.unsuspect(addr)
 	if !resp.OK {
 		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
 	}

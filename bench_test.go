@@ -30,6 +30,7 @@ func BenchmarkAblationLeafSet(b *testing.B)       { bench.Run(b, "AblationLeafSe
 func BenchmarkAblationStabilization(b *testing.B) { bench.Run(b, "AblationStabilization") }
 func BenchmarkUngracefulFailures(b *testing.B)    { bench.Run(b, "UngracefulFailures") }
 func BenchmarkLookup(b *testing.B)                { bench.Run(b, "Lookup") }
+func BenchmarkLookupInstrumented(b *testing.B)    { bench.Run(b, "LookupInstrumented") }
 func BenchmarkPutGet(b *testing.B)                { bench.Run(b, "PutGet") }
 func BenchmarkJoinLeave(b *testing.B)             { bench.Run(b, "JoinLeave") }
 func BenchmarkReplicatedPut(b *testing.B)         { bench.Run(b, "ReplicatedPut") }
@@ -44,7 +45,8 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"Fig10QueryLoad": true, "Fig11MassDeparture": true, "Fig12Churn": true,
 		"Fig13Sparsity": true, "Fig14KoordeBreakdown": true,
 		"AblationLeafSet": true, "AblationStabilization": true,
-		"UngracefulFailures": true, "Lookup": true, "PutGet": true,
+		"UngracefulFailures": true, "Lookup": true,
+		"LookupInstrumented": true, "PutGet": true,
 		"JoinLeave": true, "ReplicatedPut": true, "GetWithOwnerDown": true,
 	}
 	cases := bench.Cases()

@@ -5,18 +5,31 @@
 // Usage:
 //
 //	cycloid-sim -nodes 500 -dim 8 route "some key"
+//	cycloid-sim -nodes 500 -trace route "some key"
 //	cycloid-sim -nodes 200 table "(4,10110110)"
 //	cycloid-sim -nodes 200 owner movie.mkv
 //	cycloid-sim -nodes 300 churn 50
+//	cycloid-sim -nodes 2000 phases 1000
+//	cycloid-sim metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"cycloid"
 	"cycloid/internal/chaosrunner"
+	"cycloid/internal/ids"
+	"cycloid/internal/telemetry"
+	"cycloid/p2p"
+	"cycloid/p2p/memnet"
 )
 
 func usage() {
@@ -28,6 +41,11 @@ commands:
   table <(k,a)>    print a node's routing table, e.g. "(4,10110110)"
   nodes            list the live nodes
   churn <rounds>   run <rounds> of one join + one leave, then verify lookups
+  phases <n>       route <n> random lookups under telemetry and print the
+                   per-phase hop breakdown (the paper's Figure 7 view)
+  metrics          boot a live 8-node in-memory overlay, drive traffic,
+                   self-scrape its metrics endpoint, lint the exposition
+                   and print phase-annotated traces (the CI smoke check)
   chaos <rounds>   run live p2p nodes on the in-memory transport through
                    <rounds> of seeded faults and membership churn
                    (-nodes, -dim, -seed apply; -chaos-trace dumps state)
@@ -44,6 +62,7 @@ func main() {
 		leaf     = flag.Int("leaf", 1, "leaf-set half width (1 = 7-entry, 2 = 11-entry)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		trace    = flag.Bool("chaos-trace", false, "chaos: dump per-round routing state")
+		hopTrace = flag.Bool("trace", false, "route: print the phase-annotated hop trace in the live node's /debug/traces layout")
 		replicas = flag.Int("replicas", 1, "chaos: replication factor R (keys survive f < R simultaneous crashes)")
 		crashes  = flag.Int("crashes", 1, "chaos: max simultaneous crashes per crash event")
 	)
@@ -56,6 +75,10 @@ func main() {
 
 	if flag.Arg(0) == "chaos" {
 		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes)
+		return
+	}
+	if flag.Arg(0) == "metrics" {
+		runMetrics(*nodes, *dim, *seed, *replicas)
 		return
 	}
 
@@ -72,6 +95,10 @@ func main() {
 		r, err := d.Lookup(from, key)
 		if err != nil {
 			fail(err)
+		}
+		if *hopTrace {
+			routeTrace(d, key, r).Format(os.Stdout)
+			break
 		}
 		fmt.Printf("key %q hashes to owner %s\n", key, fmtID(d, r.Terminal))
 		fmt.Printf("route (%d hops, %d timeouts):\n", r.PathLength(), r.Timeouts)
@@ -112,6 +139,13 @@ func main() {
 		for _, id := range d.Nodes() {
 			fmt.Println(fmtID(d, id))
 		}
+	case "phases":
+		need(2, "phases <lookups>")
+		var count int
+		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &count); err != nil {
+			fail(err)
+		}
+		runPhases(d, count, *seed)
 	case "churn":
 		need(2, "churn <rounds>")
 		var rounds int
@@ -197,6 +231,211 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int) {
 		os.Exit(1)
 	}
 	fmt.Println("all invariants held")
+}
+
+// routeTrace converts a simulator route into the shared telemetry trace
+// shape so cycloid-sim -trace and the live node's /debug/traces endpoint
+// print byte-compatible layouts.
+func routeTrace(d *cycloid.DHT, key string, r cycloid.Route) telemetry.Trace {
+	tr := telemetry.Trace{
+		Kind:     "lookup",
+		Target:   key,
+		Source:   fmtID(d, r.Source),
+		Terminal: fmtID(d, r.Terminal),
+		Timeouts: r.Timeouts,
+	}
+	for _, h := range r.Hops {
+		tr.Hops = append(tr.Hops, telemetry.Hop{
+			Phase: string(h.Phase),
+			From:  fmtID(d, h.From),
+			To:    fmtID(d, h.To),
+		})
+	}
+	return tr
+}
+
+// runPhases drives count random lookups with telemetry enabled and
+// prints the per-phase hop breakdown the counters recorded — the
+// simulator-side view of the paper's Figure 7.
+func runPhases(d *cycloid.DHT, count int, seed int64) {
+	reg := telemetry.NewRegistry("sim")
+	d.EnableTelemetry(reg)
+	rng := rand.New(rand.NewSource(seed))
+	nodes := d.Nodes()
+	timeouts := 0
+	for i := 0; i < count; i++ {
+		r, err := d.Lookup(nodes[rng.Intn(len(nodes))], fmt.Sprintf("phase-key-%d", i))
+		if err != nil {
+			fail(err)
+		}
+		timeouts += r.Timeouts
+	}
+	vals := reg.CounterValues()
+	var total uint64
+	for _, p := range []string{"ascending", "descending", "traverse"} {
+		total += vals[fmt.Sprintf("sim_lookup_hops_total{phase=%q}", p)]
+	}
+	fmt.Printf("phases: %d lookups across %d nodes (dim %d)\n", count, d.Size(), d.Dim())
+	for _, p := range []string{"ascending", "descending", "traverse"} {
+		hops := vals[fmt.Sprintf("sim_lookup_hops_total{phase=%q}", p)]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(hops) / float64(total)
+		}
+		fmt.Printf("  %-10s %7d hops  %5.1f%%\n", p, hops, pct)
+	}
+	fmt.Printf("total %d hops, %.2f avg/lookup, %d timeouts, %d failures\n",
+		total, float64(total)/float64(count), timeouts, vals["sim_lookup_failures_total"])
+}
+
+// runMetrics is the observability smoke check CI runs: it boots a live
+// overlay on the deterministic in-memory fabric, drives puts and gets,
+// serves one node's introspection endpoint on a loopback port,
+// self-scrapes it, lints the exposition (HELP/TYPE present and
+// consistent), cross-checks exposed metric families against the
+// registry in both directions, and prints the phase-annotated traces.
+// Any violation exits nonzero.
+func runMetrics(nodes, dim int, seed int64, replicas int) {
+	if nodes == 500 {
+		nodes = 8
+	}
+	if dim == 8 {
+		dim = 6
+	}
+	nw := memnet.New(seed)
+	space := ids.NewSpace(dim)
+	rng := rand.New(rand.NewSource(seed))
+	taken := make(map[uint64]bool)
+	cluster := make([]*p2p.Node, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		var v uint64
+		for {
+			v = uint64(rng.Int63n(int64(space.Size())))
+			if !taken[v] {
+				taken[v] = true
+				break
+			}
+		}
+		id := space.FromLinear(v)
+		nd, err := p2p.Start(p2p.Config{
+			Dim:         dim,
+			ID:          &id,
+			DialTimeout: 200 * time.Millisecond,
+			Transport:   nw.Host(fmt.Sprintf("m%d", i)),
+			Replicas:    replicas,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if len(cluster) > 0 {
+			if err := nd.Join(cluster[0].Addr()); err != nil {
+				fail(err)
+			}
+		}
+		cluster = append(cluster, nd)
+	}
+	defer func() {
+		for _, nd := range cluster {
+			nd.Close()
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		for _, nd := range cluster {
+			nd.Stabilize()
+		}
+	}
+	for i := 0; i < 24; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := cluster[i%len(cluster)].Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			fail(err)
+		}
+		if _, _, err := cluster[(i+3)%len(cluster)].Get(key); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("metrics: %d live nodes (dim %d, R=%d), 24 keys written and read back\n",
+		len(cluster), dim, replicas)
+
+	// Serve node 0's endpoint on a real loopback socket and scrape it
+	// over HTTP, exactly as an operator or Prometheus would.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: telemetry.Handler(cluster[0].Telemetry(), cluster[0].TraceRing())}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	body := fetch(base + "/metrics")
+	if err := telemetry.Lint(body); err != nil {
+		fail(fmt.Errorf("exposition lint: %w", err))
+	}
+	fmt.Printf("scraped %s/metrics: %d bytes, lint clean\n", base, len(body))
+
+	exposed := telemetry.ExpositionFamilies(body)
+	registered := cluster[0].Telemetry().Families()
+	if err := sameFamilies(exposed, registered); err != nil {
+		fail(err)
+	}
+	fmt.Printf("exposition and registry agree on %d metric families\n", len(registered))
+
+	var vars map[string]any
+	if err := json.Unmarshal(fetch(base+"/debug/vars"), &vars); err != nil {
+		fail(fmt.Errorf("/debug/vars is not valid JSON: %w", err))
+	}
+	fmt.Printf("/debug/vars parses: %d series\n", len(vars))
+
+	traces := cluster[0].Traces()
+	if len(traces) == 0 {
+		fail(fmt.Errorf("node 0 drove traffic but retained no lookup traces"))
+	}
+	fmt.Printf("%d phase-annotated traces retained; most recent:\n", len(traces))
+	for _, t := range traces[max(0, len(traces)-3):] {
+		t.Format(os.Stdout)
+	}
+	fmt.Println("metrics smoke check passed")
+}
+
+// fetch GETs a URL and returns the body, failing the run on any error.
+func fetch(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	return body
+}
+
+// sameFamilies requires the scraped exposition and the registry to list
+// exactly the same metric families: an exposed-but-unregistered family
+// means something bypassed the registry; a registered-but-unexposed one
+// means the exposition dropped it.
+func sameFamilies(exposed, registered []string) error {
+	have := make(map[string]bool, len(exposed))
+	for _, f := range exposed {
+		have[f] = true
+	}
+	want := make(map[string]bool, len(registered))
+	for _, f := range registered {
+		want[f] = true
+		if !have[f] {
+			return fmt.Errorf("registered family %q missing from exposition", f)
+		}
+	}
+	for _, f := range exposed {
+		if !want[f] {
+			return fmt.Errorf("exposition contains unregistered family %q", f)
+		}
+	}
+	return nil
 }
 
 func fmtID(d *cycloid.DHT, id cycloid.NodeID) string {

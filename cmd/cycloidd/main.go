@@ -10,16 +10,28 @@
 //	cycloidd -join 127.0.0.1:4001 put greeting "hello"    # client put
 //	cycloidd -join 127.0.0.1:4001 get greeting            # client get
 //	cycloidd -join 127.0.0.1:4001 route greeting          # show the route
+//
+// Observability (see README "Observability"):
+//
+//	cycloidd -listen 127.0.0.1:4001 -metrics-addr 127.0.0.1:9001
+//	cycloidd -listen 127.0.0.1:4001 -metrics-addr 127.0.0.1:9001 -pprof
+//	cycloidd -listen 127.0.0.1:4001 -log-level debug
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cycloid/internal/telemetry"
 	"cycloid/p2p"
 )
 
@@ -30,14 +42,28 @@ func main() {
 		dim       = flag.Int("dim", 8, "Cycloid dimension d (all overlay members must agree)")
 		stabilize = flag.Duration("stabilize", 30*time.Second, "periodic stabilization interval")
 		replicas  = flag.Int("replicas", 1, "replication factor R: keys survive f < R simultaneous crashes (all overlay members must agree)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this HTTP address (empty = off)")
+		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
+		logLevel    = flag.String("log-level", "", "emit structured logs to stderr at this level: debug, info, warn or error (empty = off)")
+		traceBuf    = flag.Int("trace-buffer", 0, "lookup traces retained for /debug/traces (0 = default 64, negative = off)")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+
+	reg := telemetry.NewRegistry("cycloid")
 	node, err := p2p.Start(p2p.Config{
 		Dim:            *dim,
 		ListenAddr:     *listen,
 		StabilizeEvery: *stabilize,
 		Replicas:       *replicas,
+		Telemetry:      reg,
+		Logger:         logger,
+		TraceBuffer:    *traceBuf,
 	})
 	if err != nil {
 		fail(err)
@@ -72,6 +98,18 @@ func main() {
 	fmt.Printf("cycloidd: node (%d,%0*b) serving on %s (dimension %d)\n",
 		id.K, *dim, id.A, node.Addr(), *dim)
 
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv, err = serveMetrics(*metricsAddr, node, *pprofOn)
+		if err != nil {
+			node.Close()
+			fail(err)
+		}
+	} else if *pprofOn {
+		node.Close()
+		fail(fmt.Errorf("-pprof needs -metrics-addr"))
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -79,6 +117,57 @@ func main() {
 	if err := node.Leave(); err != nil && err != p2p.ErrStopped {
 		fail(err)
 	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := metricsSrv.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// buildLogger maps -log-level onto a stderr text slog.Logger; an empty
+// level returns nil, which p2p replaces with a discard logger.
+func buildLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// serveMetrics starts the introspection HTTP server: the node's metrics
+// and traces via telemetry.Handler, plus net/http/pprof when requested.
+// pprof is opt-in so a metrics port never exposes profiling by default.
+func serveMetrics(addr string, node *p2p.Node, pprofOn bool) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.Handler(node.Telemetry(), node.TraceRing()))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics server: %w", err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "cycloidd: metrics server:", serr)
+		}
+	}()
+	what := "metrics"
+	if pprofOn {
+		what = "metrics+pprof"
+	}
+	fmt.Printf("cycloidd: %s on http://%s\n", what, srv.Addr)
+	return srv, nil
 }
 
 func runClient(node *p2p.Node, args []string) error {

@@ -26,6 +26,7 @@ import (
 	impl "cycloid/internal/cycloid"
 	"cycloid/internal/hashing"
 	"cycloid/internal/ids"
+	"cycloid/internal/telemetry"
 )
 
 // NodeID identifies a node: a cyclic index K in [0, d) and a cubical
@@ -101,6 +102,18 @@ func Bootstrap(n int, opts Options) (*DHT, error) {
 	}
 	d.net = net
 	return d, nil
+}
+
+// EnableTelemetry registers the overlay's lookup metrics — lookup
+// counts, per-phase hop counters, the hop-count histogram and
+// timeout/failure counters — in reg and starts recording. The metric
+// names and bucket layouts match the live p2p node's, so simulated and
+// deployed distributions diff directly. Call it once, before driving
+// traffic.
+func (d *DHT) EnableTelemetry(reg *telemetry.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.net.EnableTelemetry(reg)
 }
 
 // Dim returns the network dimension d.

@@ -13,6 +13,7 @@ import (
 
 	"cycloid"
 	"cycloid/internal/experiments"
+	"cycloid/internal/telemetry"
 )
 
 // Seed keeps benchmark workloads deterministic across runs.
@@ -41,6 +42,7 @@ func Cases() []Case {
 		{"AblationStabilization", benchAblationStabilization},
 		{"UngracefulFailures", benchUngracefulFailures},
 		{"Lookup", benchLookup},
+		{"LookupInstrumented", benchLookupInstrumented},
 		{"PutGet", benchPutGet},
 		{"JoinLeave", benchJoinLeave},
 		{"ReplicatedPut", benchReplicatedPut},
@@ -212,6 +214,31 @@ func benchLookup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	nodes := d.Nodes()
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Lookup(nodes[i%len(nodes)], keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLookupInstrumented is benchLookup with telemetry recording every
+// hop, timeout and completion. Comparing the two cases in
+// BENCH_cycloid.json bounds the overhead of the metrics layer on the
+// library's hottest path; the instruments are preallocated atomics, so
+// allocs/op must match benchLookup exactly.
+func benchLookupInstrumented(b *testing.B) {
+	d, err := cycloid.Bootstrap(2048, cycloid.Options{Dim: 8, Seed: Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.EnableTelemetry(telemetry.NewRegistry("sim"))
 	nodes := d.Nodes()
 	keys := make([]string, 4096)
 	for i := range keys {

@@ -8,6 +8,13 @@
 // crash — is a pure function of the seed, so a failing run replays
 // exactly.
 //
+// The runner also asserts the members' telemetry stays consistent with
+// the routes they report: during the fault phase — the only window in
+// which the harness drives every route itself — the fleet-wide delta of
+// cycloid_lookup_timeouts_total must equal the summed Route.Timeouts of
+// the probes exactly, and every cumulative counter must be monotone
+// from round to round.
+//
 // Each round has four phases:
 //
 //  1. Fault: inject one network fault (loss, latency, partition,
@@ -241,6 +248,10 @@ type runner struct {
 	members  []*member
 	expected map[string][]byte // keys the invariants assert retrievable
 	idFor    map[int]ids.CycloidID
+
+	// prevCounters holds each member's cumulative telemetry snapshot
+	// from the previous round, for the monotonicity invariant.
+	prevCounters map[int]map[string]uint64
 }
 
 // Run executes the seeded schedule and returns the full report. An
@@ -439,12 +450,33 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 			origins = append(origins, m)
 		}
 	}
+	// The probes below are the only routes in flight during phase 1
+	// (membership is untouched and stabilization is manual), so the
+	// fleet-wide delta of the lookup-timeout counter must equal the
+	// summed Route.Timeouts of the probes exactly — a timeout charged
+	// twice or dropped by the metrics layer shows up here.
+	const timeoutCounter = "cycloid_lookup_timeouts_total"
+	phase1 := r.liveMembers()
+	var timeoutsBefore uint64
+	for _, m := range phase1 {
+		timeoutsBefore += m.node.Telemetry().CounterValue(timeoutCounter)
+	}
+	probeTimeouts := 0
 	for i := 0; i < r.cfg.Probes; i++ {
 		from := origins[(i*7+round)%len(origins)]
 		route, err := from.node.Lookup(fmt.Sprintf("probe-%d-%d", round, i))
+		probeTimeouts += route.Timeouts
 		if err == nil || route.Timeouts > 0 {
 			rep.FaultTimeouts += route.Timeouts
 		}
+	}
+	var timeoutsAfter uint64
+	for _, m := range phase1 {
+		timeoutsAfter += m.node.Telemetry().CounterValue(timeoutCounter)
+	}
+	if delta := int(timeoutsAfter - timeoutsBefore); delta != probeTimeouts {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"round %d: %s advanced by %d for %d probe timeouts", round, timeoutCounter, delta, probeTimeouts))
 	}
 
 	// Phase 2: heal the fabric, then apply the membership event. The
@@ -656,7 +688,23 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 		}
 	}
 
-	// (4) Timeouts appear only under injected faults.
+	// (4) Telemetry counters are cumulative: no counter on any member
+	// may move backwards between rounds. A regression here means an
+	// instrument was reset, re-registered or double-registered.
+	if r.prevCounters == nil {
+		r.prevCounters = make(map[int]map[string]uint64)
+	}
+	for _, m := range live {
+		now := m.node.Telemetry().CounterValues()
+		for name, was := range r.prevCounters[m.ord] {
+			if now[name] < was {
+				violation("telemetry counter %s on %s went backwards: %d -> %d", name, m.name, was, now[name])
+			}
+		}
+		r.prevCounters[m.ord] = now
+	}
+
+	// (5) Timeouts appear only under injected faults.
 	rep.CleanTimeouts = int(cleanTimeouts.Load())
 	if rep.CleanTimeouts != 0 {
 		violation("%d timeouts in a healed, stabilized overlay", rep.CleanTimeouts)

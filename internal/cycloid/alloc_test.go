@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cycloid/internal/overlay"
+	"cycloid/internal/telemetry"
 )
 
 // These tests pin the zero-allocation property of the lookup hot path so
@@ -61,6 +62,38 @@ func TestLookupAllocsBounded(t *testing.T) {
 	// One sized allocation for the hop trace; nothing else.
 	if allocs > 1 {
 		t.Errorf("converged Lookup allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+// TestLookupInstrumentedAllocsBounded proves telemetry does not widen
+// the hot path's allocation budget: with metrics recording every hop,
+// timeout and completion, a converged lookup still allocates only its
+// hop trace.
+func TestLookupInstrumentedAllocsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := NewRandom(Config{Dim: 8, LeafHalf: 1}, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := net.EnableTelemetry(telemetry.NewRegistry("sim"))
+	var srcs, keys []uint64
+	for i := 0; i < 64; i++ {
+		srcs = append(srcs, overlay.RandomNode(net, rng))
+		keys = append(keys, overlay.RandomKey(net, rng))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		net.Lookup(srcs[i%len(srcs)], keys[i%len(keys)])
+		i++
+	})
+	if allocs > 1 {
+		t.Errorf("instrumented Lookup allocates %.1f/op, want <= 1", allocs)
+	}
+	if got := stats.Lookups.Value(); got == 0 {
+		t.Error("telemetry recorded no lookups")
+	}
+	if got := stats.Hops.Count(); got != stats.Lookups.Value() {
+		t.Errorf("hop histogram has %d observations for %d lookups", got, stats.Lookups.Value())
 	}
 }
 

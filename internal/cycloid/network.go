@@ -6,6 +6,7 @@ import (
 
 	"cycloid/internal/ids"
 	"cycloid/internal/sortedset"
+	"cycloid/internal/telemetry"
 )
 
 // Network is an in-memory Cycloid overlay: the full set of live nodes
@@ -27,7 +28,23 @@ type Network struct {
 	// concurrent use on the same Network.
 	sc scratch
 
+	// tel, when non-nil, receives per-lookup metrics. Every record is a
+	// single atomic operation on preallocated instruments, so the
+	// instrumented hot path keeps its ≤1 alloc/op budget (see
+	// alloc_test.go).
+	tel *telemetry.LookupStats
+
 	maint Maintenance
+}
+
+// EnableTelemetry registers the simulator's lookup metrics in reg —
+// lookup counts, per-phase hop counters, a hop-count histogram and
+// timeout/failure counters, under the same names and bucket layouts the
+// live p2p stack exposes — and starts recording. It returns the bundle
+// for direct inspection.
+func (net *Network) EnableTelemetry(reg *telemetry.Registry) *telemetry.LookupStats {
+	net.tel = telemetry.NewLookupStats(reg, []string{"ascending", "descending", "traverse"})
+	return net.tel
 }
 
 // New returns an empty network with the given configuration.

@@ -61,6 +61,9 @@ func (net *Network) Lookup(src, key uint64) overlay.Result {
 			To:    net.space.Linear(next.ID),
 			Phase: step.Phase,
 		})
+		if net.tel != nil {
+			net.tel.HopPhase(int(step.Phase))
+		}
 		cur = next
 		if net.space.Closer(t, cur.ID, best) {
 			best = cur.ID
@@ -76,12 +79,31 @@ func (net *Network) Lookup(src, key uint64) overlay.Result {
 			// get here. Give up rather than loop.
 			res.Terminal = net.space.Linear(cur.ID)
 			res.Failed = true
+			net.recordLookup(res)
 			return res
 		}
 	}
 	res.Terminal = net.space.Linear(cur.ID)
 	res.Failed = len(net.nodes) > 0 && res.Terminal != net.Responsible(key)
+	net.recordLookup(res)
 	return res
+}
+
+// recordLookup finishes a lookup's metrics: total count, hop-count
+// distribution, timeout and failure tallies. A nil bundle costs one
+// branch.
+func (net *Network) recordLookup(res overlay.Result) {
+	if net.tel == nil {
+		return
+	}
+	net.tel.Lookups.Inc()
+	net.tel.Hops.Observe(int64(len(res.Hops)))
+	if res.Timeouts > 0 {
+		net.tel.Timeouts.Add(uint64(res.Timeouts))
+	}
+	if res.Failed {
+		net.tel.Failed.Inc()
+	}
 }
 
 // resolve walks a preference-ordered candidate list: each departed

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): families in registration
+// order, each preceded by its # HELP and # TYPE lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.fams {
+		name := r.fullName(f.name)
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", name, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", name, s.labels, s.g.Value())
+			case s.h != nil:
+				count, sum, cum := s.h.snapshot()
+				for i, b := range s.h.bounds {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", name, mergeLabels(s.labels, fmt.Sprintf(`le="%d"`, b)), cum[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, mergeLabels(s.labels, `le="+Inf"`), count)
+				fmt.Fprintf(bw, "%s_sum%s %d\n", name, s.labels, sum)
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, s.labels, count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// mergeLabels splices an extra label pair into an already-rendered
+// label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}
+
+// WriteJSON renders the registry /debug/vars style: one flat JSON
+// object keyed by full series name. Counters and gauges map to
+// numbers; histograms map to {"count","sum","buckets"} objects with
+// cumulative bucket counts keyed by upper bound.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any)
+	for _, f := range r.fams {
+		name := r.fullName(f.name)
+		for _, s := range f.series {
+			key := name + s.labels
+			switch {
+			case s.c != nil:
+				out[key] = s.c.Value()
+			case s.g != nil:
+				out[key] = s.g.Value()
+			case s.h != nil:
+				count, sum, cum := s.h.snapshot()
+				buckets := make(map[string]uint64, len(cum))
+				for i, b := range s.h.bounds {
+					buckets[fmt.Sprint(b)] = cum[i]
+				}
+				buckets["+Inf"] = count
+				out[key] = map[string]any{"count": count, "sum": sum, "buckets": buckets}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Lint validates a Prometheus text exposition: every sample line's
+// metric family must have been declared with both a # HELP and a
+// # TYPE line before its first sample, histogram sample suffixes
+// (_bucket, _sum, _count) resolving to their family. It returns an
+// error naming the first offender, or nil.
+func Lint(text []byte) error {
+	help := make(map[string]bool)
+	typ := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "HELP" {
+				help[fields[2]] = true
+			}
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				typ[fields[2]] = true
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			return fmt.Errorf("telemetry: line %d: sample with empty metric name", lineNo)
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && (help[base] || typ[base]) {
+				fam = base
+				break
+			}
+		}
+		if !help[fam] {
+			return fmt.Errorf("telemetry: line %d: metric %s has no # HELP", lineNo, name)
+		}
+		if !typ[fam] {
+			return fmt.Errorf("telemetry: line %d: metric %s has no # TYPE", lineNo, name)
+		}
+	}
+	return sc.Err()
+}
+
+// ExpositionFamilies lists the family names declared by # HELP lines
+// in a Prometheus text exposition, sorted — the scrape-side complement
+// of Registry.Families for unregistered-metric checks.
+func ExpositionFamilies(text []byte) []string {
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 3 && fields[0] == "#" && fields[1] == "HELP" {
+			seen[fields[2]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import "sync/atomic"
+
+// histStripes is the number of independent counter stripes a histogram
+// spreads its observations across. Striping bounds cache-line
+// contention when many goroutines observe concurrently; scrapes sum
+// the stripes.
+const histStripes = 8
+
+// stripePad keeps stripes on distinct cache lines so concurrent
+// observers do not false-share.
+type stripePad [64]byte
+
+// histStripe is one stripe's counters: a count per bucket (the last
+// slot is the implicit +Inf bucket) and the stripe's running sum.
+type histStripe struct {
+	counts []atomic.Uint64
+	sum    atomic.Int64
+	_      stripePad
+}
+
+// Histogram counts integer observations into a fixed bucket layout
+// (upper bounds, ascending, +Inf implicit). Observe is lock-free and
+// allocation-free: one linear scan over the small fixed bound slice and
+// two atomic adds on a value-selected stripe. The unit of the observed
+// values is whatever the metric's name declares (hops, microseconds).
+type Histogram struct {
+	bounds  []int64
+	stripes [histStripes]histStripe
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	h := &Histogram{bounds: bounds}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Stripe selection hashes the value itself: no shared rotation
+	// state, so two goroutines observing different values touch
+	// different cache lines, and the choice is deterministic.
+	s := &h.stripes[(uint64(v)*0x9E3779B97F4A7C15)>>61]
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+}
+
+// snapshot sums the stripes: total count, total sum, and cumulative
+// per-bucket counts (Prometheus "le" semantics, +Inf last).
+func (h *Histogram) snapshot() (count uint64, sum int64, cumulative []uint64) {
+	cumulative = make([]uint64, len(h.bounds)+1)
+	for si := range h.stripes {
+		s := &h.stripes[si]
+		for bi := range s.counts {
+			cumulative[bi] += s.counts[bi].Load()
+		}
+		sum += s.sum.Load()
+	}
+	for bi := 1; bi < len(cumulative); bi++ {
+		cumulative[bi] += cumulative[bi-1]
+	}
+	count = cumulative[len(cumulative)-1]
+	return count, sum, cumulative
+}
+
+// Count returns the number of observations recorded so far.
+func (h *Histogram) Count() uint64 {
+	c, _, _ := h.snapshot()
+	return c
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	_, s, _ := h.snapshot()
+	return s
+}

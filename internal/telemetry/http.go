@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing a registry for live
+// introspection:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   the same metrics as a flat JSON object
+//	/debug/traces recent phase-annotated lookup traces (text)
+//
+// ring may be nil, in which case /debug/traces reports no traces.
+// Callers mount pprof themselves when they want it (see cycloidd
+// -pprof), so importing this package never registers profiling
+// endpoints by side effect.
+func Handler(reg *Registry, ring *TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range ring.Snapshot() {
+			t.Format(w)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nopHandler is an slog.Handler that drops everything. Unlike a text
+// handler writing to io.Discard it reports Enabled false, so disabled
+// log calls cost one interface call and no formatting.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards every record without
+// formatting it — the default for library components whose caller did
+// not wire a logger.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

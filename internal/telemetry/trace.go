@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Hop is one annotated forwarding step of a lookup trace: which routing
+// phase of the paper produced it (ascending / descending / traverse /
+// leafset for the greedy leaf-set finish), which candidate in the
+// preference order was taken, and what the candidate-ordering decision
+// cost to get there.
+type Hop struct {
+	Phase    string `json:"phase"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Rank     int    `json:"rank"`               // index of the dialed candidate in preference order; -1 when unknown
+	Demoted  int    `json:"demoted,omitempty"`  // suspected candidates demoted behind clean ones at this hop
+	Skipped  int    `json:"skipped,omitempty"`  // candidates skipped outright (known corpses)
+	Timeouts int    `json:"timeouts,omitempty"` // dials that failed before this hop succeeded
+	Greedy   bool   `json:"greedy,omitempty"`   // greedy-only leaf-set forwarding was active
+}
+
+// Trace is one recorded lookup: the route's endpoints, every annotated
+// hop, and the timeout/suspicion outcome.
+type Trace struct {
+	Seq      uint64        `json:"seq"`
+	Kind     string        `json:"kind"` // "lookup", "join", "stabilize", ...
+	Target   string        `json:"target"`
+	Source   string        `json:"source"`
+	Terminal string        `json:"terminal"`
+	Hops     []Hop         `json:"hops"`
+	Timeouts int           `json:"timeouts"`
+	Err      string        `json:"err,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// PhaseHops aggregates the trace's hop count per phase label.
+func (t Trace) PhaseHops() map[string]int {
+	out := make(map[string]int)
+	for _, h := range t.Hops {
+		out[h.Phase]++
+	}
+	return out
+}
+
+// Format renders the trace in the shared human-readable layout that
+// both cycloid-sim -trace and the live node's /debug/traces endpoint
+// emit, so simulated and live phase breakdowns diff cleanly.
+func (t Trace) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace #%d %s target=%s from=%s terminal=%s hops=%d timeouts=%d",
+		t.Seq, t.Kind, t.Target, t.Source, t.Terminal, len(t.Hops), t.Timeouts)
+	if t.Err != "" {
+		fmt.Fprintf(w, " err=%q", t.Err)
+	}
+	fmt.Fprintln(w)
+	for i, h := range t.Hops {
+		var notes []string
+		if h.Rank > 0 {
+			notes = append(notes, fmt.Sprintf("cand=%d", h.Rank))
+		}
+		if h.Demoted > 0 {
+			notes = append(notes, fmt.Sprintf("demoted=%d", h.Demoted))
+		}
+		if h.Skipped > 0 {
+			notes = append(notes, fmt.Sprintf("skipped=%d", h.Skipped))
+		}
+		if h.Timeouts > 0 {
+			notes = append(notes, fmt.Sprintf("timeouts=%d", h.Timeouts))
+		}
+		if h.Greedy {
+			notes = append(notes, "greedy")
+		}
+		note := ""
+		if len(notes) > 0 {
+			note = "  " + strings.Join(notes, " ")
+		}
+		fmt.Fprintf(w, "  %2d. %-10s %s -> %s%s\n", i+1, h.Phase, h.From, h.To, note)
+	}
+}
+
+// TraceRing keeps the most recent lookup traces in a fixed-capacity
+// ring. Add never allocates beyond the trace it stores; Snapshot copies
+// out the retained traces oldest-first.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next uint64 // monotonic sequence number, also total traces ever added
+}
+
+// NewTraceRing creates a ring retaining up to capacity traces.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TraceRing{buf: make([]Trace, 0, capacity)}
+}
+
+// Add records one trace, stamping its sequence number, evicting the
+// oldest when full. A nil ring drops the trace.
+func (r *TraceRing) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	t.Seq = r.next
+	r.next++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[int(t.Seq)%cap(r.buf)] = t
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, oldest first. A nil ring
+// returns nil.
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		out = append(out, r.buf...)
+		return out
+	}
+	start := int(r.next) % cap(r.buf)
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}

@@ -26,7 +26,7 @@ func (n *Node) Join(bootstrap string) error {
 	if boot.Self.entry().ID == n.id {
 		return fmt.Errorf("p2p: join: ID collision with bootstrap node %v", n.id)
 	}
-	route, err := n.routeFrom(context.Background(), boot.Self.entry(), n.id)
+	route, err := n.routeTraced(context.Background(), boot.Self.entry(), n.id, "join", nil)
 	if err != nil {
 		return fmt.Errorf("p2p: join: locating closest node: %w", err)
 	}
@@ -44,6 +44,9 @@ func (n *Node) Join(bootstrap string) error {
 	n.RefreshRoutingTable()
 	n.announce("join", nil)
 	n.reclaimKeys()
+	n.updateLeafGauges()
+	n.log.Info("joined overlay", "via", bootstrap, "closest", route.Terminal.String(),
+		"hops", route.Hops, "timeouts", route.Timeouts)
 	return nil
 }
 
@@ -218,6 +221,10 @@ func (n *Node) Leave() error {
 		return ErrStopped
 	}
 	st := n.wireState()
+	n.mu.RLock()
+	keys := len(n.store)
+	n.mu.RUnlock()
+	n.log.Info("leaving overlay", "keys", keys)
 	n.announce("leave", st)
 	n.handoffKeys()
 	return n.Close()
@@ -237,6 +244,7 @@ func (n *Node) handoffKeys() {
 	n.mu.Lock()
 	items := n.store
 	n.store = make(map[string]item)
+	n.updateStoreGaugeLocked()
 	cands := []*entry{n.rs.insideL, n.rs.insideR, n.rs.outsideL, n.rs.outsideR}
 	n.mu.Unlock()
 
@@ -259,7 +267,7 @@ func (n *Node) handoffKeys() {
 		kp := n.keyPoint(k)
 		var dest *entry
 		if liveStart != nil {
-			if r, err := n.routeFrom(context.Background(), *liveStart, kp); err == nil && r.Terminal != n.id {
+			if r, err := n.routeTraced(context.Background(), *liveStart, kp, "leave", nil); err == nil && r.Terminal != n.id {
 				dest = &entry{ID: r.Terminal, Addr: r.Addr}
 			}
 		}

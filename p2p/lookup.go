@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"cycloid/internal/ids"
+	"cycloid/internal/telemetry"
 )
 
 // Route describes one resolved lookup.
@@ -56,14 +58,18 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 	for hop := 0; hop < 3; hop++ {
 		resp, err := n.callCtx(ctx, addr, request{Op: "store", Key: key, Value: value})
 		if err == nil {
+			n.tel.redirectDepth.Observe(int64(hop))
 			return nil
 		}
 		if resp.Redirect == nil {
 			return err
 		}
+		n.tel.putRedirects.Inc()
+		n.log.Debug("store redirected", "key", key, "from", addr, "to", resp.Redirect.Addr)
 		red := resp.Redirect.entry()
 		if red.ID == n.id {
 			n.putOwner(ctx, key, value)
+			n.tel.redirectDepth.Observe(int64(hop + 1))
 			return nil
 		}
 		addr = red.Addr
@@ -89,6 +95,11 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 		return nil, r, err
 	}
 	tried := make(map[string]bool)
+	// failed collects addresses whose fetch already cost this read a
+	// timeout; the re-route is seeded with them so the same corpse is
+	// not dialed — and charged — a second time by pass-1 candidate
+	// ordering (a one-strike suspect is demoted, not skipped).
+	var failed map[string]bool
 	term := entry{ID: r.Terminal, Addr: r.Addr}
 	for attempt := 0; attempt < n.cfg.Replicas; attempt++ {
 		tried[term.Addr] = true
@@ -106,8 +117,15 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 		// suspect the corpse, and re-route — candidate ordering now
 		// avoids it, so the route terminates at the crash successor.
 		r.Timeouts++
+		n.tel.timeouts.Inc()
+		n.tel.replicaFallbacks.Inc()
 		n.suspect(term.Addr)
-		r2, rerr := n.routeCtx(ctx, kp)
+		n.log.Debug("owner unreachable, rerouting", "key", key, "owner", term.Addr, "err", ferr)
+		if failed == nil {
+			failed = make(map[string]bool)
+		}
+		failed[term.Addr] = true
+		r2, rerr := n.routeAvoiding(ctx, kp, failed)
 		if rerr != nil {
 			return nil, r, ferr
 		}
@@ -132,9 +150,11 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 		}
 		for _, cand := range n.replicaProbes(ctx, term, kp, tried) {
 			tried[cand.Addr] = true
+			n.tel.replicaProbes.Inc()
 			v, found, ferr := n.fetchAt(ctx, cand, key)
 			if ferr != nil {
 				r.Timeouts++
+				n.tel.timeouts.Inc()
 				n.suspect(cand.Addr)
 				continue
 			}
@@ -202,36 +222,79 @@ func (n *Node) replicaProbes(ctx context.Context, term entry, kp ids.CycloidID, 
 	return out
 }
 
-// route drives an iterative lookup starting at this node.
+// route drives an iterative lookup starting at this node on behalf of
+// the maintenance plane (stabilization's key repair and routing-table
+// search).
 func (n *Node) route(t ids.CycloidID) (Route, error) {
-	return n.routeCtx(context.Background(), t)
-}
-
-func (n *Node) routeCtx(ctx context.Context, t ids.CycloidID) (Route, error) {
 	if n.isStopped() {
 		return Route{}, ErrStopped
 	}
-	return n.routeFrom(ctx, *n.selfEntry(), t)
+	return n.routeTraced(context.Background(), *n.selfEntry(), t, "stabilize", nil)
 }
 
-// routeFrom drives an iterative lookup starting at an arbitrary live node
-// (used by Join before this node is part of the overlay). At each step the
-// current node's local decision yields candidates in preference order; a
-// candidate that cannot be dialed costs a timeout and the next is tried,
-// the live-network equivalent of the paper's timeout accounting.
+func (n *Node) routeCtx(ctx context.Context, t ids.CycloidID) (Route, error) {
+	return n.routeAvoiding(ctx, t, nil)
+}
+
+// routeAvoiding routes from this node, treating every address in avoid
+// as already dead: it is neither dialed nor charged a timeout. Reads
+// use it to re-route around an owner whose corpse they already paid for
+// once.
+func (n *Node) routeAvoiding(ctx context.Context, t ids.CycloidID, avoid map[string]bool) (Route, error) {
+	if n.isStopped() {
+		return Route{}, ErrStopped
+	}
+	return n.routeTraced(ctx, *n.selfEntry(), t, "lookup", avoid)
+}
+
+// routeTraced drives an iterative lookup starting at an arbitrary live
+// node (Join uses it before this node is part of the overlay). At each
+// step the current node's local decision yields candidates in preference
+// order; a candidate that cannot be dialed costs a timeout and the next
+// is tried, the live-network equivalent of the paper's timeout
+// accounting.
 //
 // The shared suspicion list reorders that preference: a candidate with
 // one strike is tried only after every clean candidate failed, and one
 // with suspectDrop strikes is skipped outright until stabilization
 // re-probes it — so the same corpse stops costing a timeout on every
 // route. Each dial is additionally capped by the context's deadline.
-func (n *Node) routeFrom(ctx context.Context, start entry, t ids.CycloidID) (Route, error) {
-	r := Route{Target: t, Phases: make(map[string]int)}
+//
+// Every hop updates the node's metrics, and when tracing is enabled the
+// whole route is recorded as one phase-annotated trace under kind.
+func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, kind string, avoid map[string]bool) (r Route, err error) {
+	r = Route{Target: t, Phases: make(map[string]int)}
 	d := n.space.Dim()
 	window := 4*d + 16
 	budget := 64*d + 128
 	greedyOnly := false
 	dead := make(map[string]bool) // addresses that failed during this route
+	for a := range avoid {
+		dead[a] = true
+	}
+
+	var tr *telemetry.Trace
+	var began time.Time
+	if n.traces != nil {
+		began = time.Now()
+		tr = &telemetry.Trace{Kind: kind, Target: t.String(), Source: start.ID.String()}
+	}
+	defer func() {
+		n.tel.lookups.Inc()
+		n.tel.lookupHops.Observe(int64(r.Hops))
+		if err != nil {
+			n.tel.failures.Inc()
+		}
+		if tr != nil {
+			tr.Terminal = r.Terminal.String()
+			tr.Timeouts = r.Timeouts
+			if err != nil {
+				tr.Err = err.Error()
+			}
+			tr.Duration = time.Since(began)
+			n.traces.Add(*tr)
+		}
+	}()
 
 	cur := start
 	best := start.ID
@@ -241,29 +304,55 @@ func (n *Node) routeFrom(ctx context.Context, start entry, t ids.CycloidID) (Rou
 		return r, fmt.Errorf("p2p: route: first hop: %w", err)
 	}
 	for !step.Done {
-		if err := ctx.Err(); err != nil {
-			return r, fmt.Errorf("p2p: route to %v: %w", t, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return r, fmt.Errorf("p2p: route to %v: %w", t, cerr)
 		}
 		moved := false
+		// Per-hop decision accounting, reset each forwarding step.
+		hopTimeouts, hopDemoted, hopSkipped := 0, 0, 0
 		for pass := 0; pass < 2 && !moved; pass++ {
-			for _, w := range step.Candidates {
+			for ci, w := range step.Candidates {
 				cand := w.entry()
 				if dead[cand.Addr] {
 					continue // already found unreachable during this route
 				}
 				s := n.strikesOf(cand.Addr)
-				if s >= suspectDrop || (pass == 0 && s > 0) {
-					continue // suspected: demoted to pass 1 or skipped
+				if s >= suspectDrop {
+					if pass == 0 {
+						hopSkipped++
+						n.tel.skips.Inc()
+					}
+					continue // known corpse: skipped outright
 				}
-				next, err := n.stepAt(ctx, cand, t, greedyOnly)
-				if err != nil {
+				if pass == 0 && s > 0 {
+					hopDemoted++
+					n.tel.demotions.Inc()
+					continue // suspected: demoted to pass 1
+				}
+				next, serr := n.stepAt(ctx, cand, t, greedyOnly)
+				if serr != nil {
 					r.Timeouts++
+					n.tel.timeouts.Inc()
+					hopTimeouts++
 					dead[cand.Addr] = true
 					n.suspect(cand.Addr)
 					continue
 				}
 				r.Hops++
 				r.Phases[step.Phase]++
+				n.tel.hopPhase(step.Phase)
+				if tr != nil {
+					tr.Hops = append(tr.Hops, telemetry.Hop{
+						Phase:    step.Phase,
+						From:     cur.ID.String(),
+						To:       cand.ID.String(),
+						Rank:     ci,
+						Demoted:  hopDemoted,
+						Skipped:  hopSkipped,
+						Timeouts: hopTimeouts,
+						Greedy:   greedyOnly,
+					})
+				}
 				cur, step = cand, next
 				moved = true
 				break
@@ -277,12 +366,14 @@ func (n *Node) routeFrom(ctx context.Context, start entry, t ids.CycloidID) (Rou
 			sinceImprove = 0
 		} else if sinceImprove++; sinceImprove >= window && !greedyOnly {
 			greedyOnly = true
+			n.tel.greedyFallbacks.Inc()
 			if step, err = n.stepAt(ctx, cur, t, true); err != nil {
 				return r, err
 			}
 		}
 		if r.Hops >= budget && !greedyOnly {
 			greedyOnly = true
+			n.tel.greedyFallbacks.Inc()
 			if step, err = n.stepAt(ctx, cur, t, true); err != nil {
 				return r, err
 			}

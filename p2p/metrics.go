@@ -1,0 +1,179 @@
+package p2p
+
+import (
+	"cycloid/internal/telemetry"
+)
+
+// routePhases is the label set for per-phase hop counters — the paper's
+// three routing phases. Greedy leaf-set hops report "traverse" (the
+// leaf-set finish is the traverse phase) and are additionally counted
+// by lookup_greedy_fallbacks_total.
+var routePhases = []string{"ascending", "descending", "traverse"}
+
+// wireOps is the label set for per-op request counters, matching the
+// dispatch table in server.go.
+var wireOps = []string{"ping", "state", "step", "store", "replicate", "fetch", "handoff", "reclaim", "update"}
+
+// nodeMetrics bundles one node's instruments. Every field is registered
+// at Start, so recording is a single atomic operation with no map
+// lookups on shared registry state.
+type nodeMetrics struct {
+	reg *telemetry.Registry
+
+	// lookup path (p2p/lookup.go)
+	lookups          *telemetry.Counter
+	lookupHops       *telemetry.Histogram
+	phaseHops        map[string]*telemetry.Counter
+	phaseOther       *telemetry.Counter
+	timeouts         *telemetry.Counter
+	failures         *telemetry.Counter
+	demotions        *telemetry.Counter
+	skips            *telemetry.Counter
+	greedyFallbacks  *telemetry.Counter
+	replicaFallbacks *telemetry.Counter
+	replicaProbes    *telemetry.Counter
+	putRedirects     *telemetry.Counter
+	redirectDepth    *telemetry.Histogram
+
+	// wire layer (p2p/server.go, p2p/wire.go)
+	requests      map[string]*telemetry.Counter
+	requestOther  *telemetry.Counter
+	dialLatency   *telemetry.Histogram
+	dialFailures  *telemetry.Counter
+	acceptBackoff *telemetry.Counter
+
+	// replication (p2p/replicate.go)
+	fanout      *telemetry.Histogram
+	lwwRejects  *telemetry.Counter
+	promotions  *telemetry.Counter
+	antiEntropy *telemetry.Counter
+	replicaGC   *telemetry.Counter
+
+	// stabilization (p2p/stabilize.go)
+	stabRounds      *telemetry.Counter
+	stabDuration    *telemetry.Histogram
+	pruned          *telemetry.Counter
+	suspectsCleared *telemetry.Counter
+
+	// state gauges
+	suspectsGauge *telemetry.Gauge
+	storeKeys     *telemetry.Gauge
+	leafNodes     *telemetry.Gauge
+	replicaSet    *telemetry.Gauge
+}
+
+func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
+	m := &nodeMetrics{
+		reg: reg,
+
+		lookups:    reg.Counter("lookups_total", "Routes driven by this node (lookups, reads, writes, join and repair traffic)."),
+		lookupHops: reg.Histogram("lookup_hop_count", "Per-route path length in hops.", telemetry.HopBuckets),
+		phaseHops:  make(map[string]*telemetry.Counter, len(routePhases)),
+		timeouts: reg.Counter("lookup_timeouts_total",
+			"Unreachable nodes contacted during routes and reads — the live equivalent of the paper's timeout metric."),
+		failures:  reg.Counter("lookup_failures_total", "Routes that did not converge or were cancelled."),
+		demotions: reg.Counter("lookup_demotions_total", "Suspected candidates demoted behind clean ones by candidate ordering."),
+		skips:     reg.Counter("lookup_skips_total", "Known-dead candidates skipped outright by candidate ordering."),
+		greedyFallbacks: reg.Counter("lookup_greedy_fallbacks_total",
+			"Routes that fell back to pure greedy leaf-set forwarding after phased routing stalled."),
+		replicaFallbacks: reg.Counter("get_replica_fallbacks_total",
+			"Reads re-routed after the routed owner died between route and fetch."),
+		replicaProbes: reg.Counter("get_replica_probes_total",
+			"Leaf-neighborhood replica probes issued by reads whose terminal held no copy."),
+		putRedirects:  reg.Counter("put_redirects_total", "Store redirects followed after routing raced a membership change."),
+		redirectDepth: reg.Histogram("put_redirect_depth", "Redirects followed per successful store.", telemetry.RedirectBuckets),
+
+		requests:     make(map[string]*telemetry.Counter, len(wireOps)),
+		dialLatency:  reg.Histogram("dial_latency_us", "Per-contact dial+exchange latency in microseconds.", telemetry.LatencyBucketsUS),
+		dialFailures: reg.Counter("dial_failures_total", "Contacts that failed to dial or complete the exchange."),
+		acceptBackoff: reg.Counter("accept_backoff_total",
+			"Transient listener Accept errors absorbed by exponential backoff."),
+
+		fanout:     reg.Histogram("replicate_fanout_size", "Replica targets per owner-side write fan-out.", telemetry.FanoutBuckets),
+		lwwRejects: reg.Counter("lww_rejects_total", "Replicated copies rejected because a local copy was at least as new."),
+		promotions: reg.Counter("replica_promotions_total",
+			"Replicas promoted to owned copies after the previous owner disappeared."),
+		antiEntropy: reg.Counter("antientropy_pushes_total", "Non-owned copies pushed home by the anti-entropy pass."),
+		replicaGC:   reg.Counter("replica_gc_total", "Out-of-scope copies garbage-collected after owner acknowledgement."),
+
+		stabRounds:      reg.Counter("stabilize_rounds_total", "Stabilization rounds completed."),
+		stabDuration:    reg.Histogram("stabilize_duration_us", "Stabilization round duration in microseconds.", telemetry.LatencyBucketsUS),
+		pruned:          reg.Counter("table_entries_pruned_total", "Dead cubical/cyclic entries dropped by the routing-table refresh."),
+		suspectsCleared: reg.Counter("suspects_cleared_total", "Suspected addresses cleared by a successful re-probe."),
+
+		suspectsGauge: reg.Gauge("suspects", "Addresses currently under failure suspicion."),
+		storeKeys:     reg.Gauge("store_keys", "Keys currently held in the local store (owned plus replicated)."),
+		leafNodes:     reg.Gauge("leafset_nodes", "Distinct live nodes across the four leaf-set slots."),
+		replicaSet:    reg.Gauge("replica_set_size", "Replica targets currently reachable from the leaf sets."),
+	}
+	const phaseHelp = "Route hops by routing phase (the paper's Figure 7 breakdown)."
+	for _, p := range routePhases {
+		m.phaseHops[p] = reg.Counter("lookup_hops_total", phaseHelp, telemetry.L("phase", p))
+	}
+	m.phaseOther = reg.Counter("lookup_hops_total", phaseHelp, telemetry.L("phase", "other"))
+	const reqHelp = "Wire requests served, by op code."
+	for _, op := range wireOps {
+		m.requests[op] = reg.Counter("requests_total", reqHelp, telemetry.L("op", op))
+	}
+	m.requestOther = reg.Counter("requests_total", reqHelp, telemetry.L("op", "other"))
+	return m
+}
+
+// hopPhase counts one route hop under its phase label.
+func (m *nodeMetrics) hopPhase(phase string) {
+	if c, ok := m.phaseHops[phase]; ok {
+		c.Inc()
+		return
+	}
+	m.phaseOther.Inc()
+}
+
+// request counts one served wire request under its op label.
+func (m *nodeMetrics) request(op string) {
+	if c, ok := m.requests[op]; ok {
+		c.Inc()
+		return
+	}
+	m.requestOther.Inc()
+}
+
+// Telemetry returns the registry holding the node's metrics — the same
+// registry passed in Config.Telemetry, or the node's private one.
+// Expose it over HTTP with telemetry.Handler (see cmd/cycloidd).
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel.reg }
+
+// TraceRing returns the node's lookup trace buffer, nil when tracing is
+// disabled (Config.TraceBuffer < 0).
+func (n *Node) TraceRing() *telemetry.TraceRing { return n.traces }
+
+// Traces returns the retained phase-annotated lookup traces, oldest
+// first.
+func (n *Node) Traces() []telemetry.Trace { return n.traces.Snapshot() }
+
+// updateStoreGauge refreshes the store_keys gauge; callers hold n.mu.
+func (n *Node) updateStoreGaugeLocked() {
+	n.tel.storeKeys.Set(int64(len(n.store)))
+}
+
+// updateLeafGauges refreshes the leaf-set and replica-set size gauges
+// from the current routing state.
+func (n *Node) updateLeafGauges() {
+	n.mu.RLock()
+	leafs := []*entry{n.rs.insideL, n.rs.insideR, n.rs.outsideL, n.rs.outsideR}
+	distinct := make(map[string]bool)
+	for _, e := range leafs {
+		if e != nil && e.ID != n.id {
+			distinct[e.Addr] = true
+		}
+	}
+	n.mu.RUnlock()
+	n.tel.leafNodes.Set(int64(len(distinct)))
+	rs := 0
+	if n.cfg.Replicas > 1 {
+		rs = n.cfg.Replicas - 1
+		if len(distinct) < rs {
+			rs = len(distinct)
+		}
+	}
+	n.tel.replicaSet.Set(int64(rs))
+}

@@ -27,6 +27,7 @@ package p2p
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"cycloid/internal/cycloid"
 	"cycloid/internal/hashing"
 	"cycloid/internal/ids"
+	"cycloid/internal/telemetry"
 )
 
 // Config parameterizes a live node.
@@ -66,6 +68,20 @@ type Config struct {
 	// (no replication). The effective factor is bounded by the distinct
 	// leaf-set neighbors available (at most 4 besides the owner).
 	Replicas int
+	// Telemetry receives the node's metrics. Nil creates a private
+	// registry with the "cycloid" prefix; either way the instruments are
+	// always live and scrapable via Node.Telemetry (recording is atomic
+	// ops on preallocated memory, so there is no "off" mode to configure).
+	Telemetry *telemetry.Registry
+	// Logger receives structured events (joins, departures, suspicion,
+	// replica repair). Nil discards them without formatting. The node
+	// stamps every record with its own identity, so one process hosting
+	// many nodes can share a handler.
+	Logger *slog.Logger
+	// TraceBuffer caps the phase-annotated lookup traces retained for
+	// introspection (Node.Traces, /debug/traces). 0 selects the default
+	// of 64; negative disables trace recording.
+	TraceBuffer int
 }
 
 func (c *Config) defaults() {
@@ -83,6 +99,15 @@ func (c *Config) defaults() {
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 1
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry("cycloid")
+	}
+	if c.Logger == nil {
+		c.Logger = telemetry.NopLogger()
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 64
 	}
 }
 
@@ -111,6 +136,10 @@ type item struct {
 	val []byte
 	ver uint64
 	src uint64
+	// promoted is local-only bookkeeping: set once this node counted the
+	// copy as a crash promotion (it owns a key some other node wrote), so
+	// repeated anti-entropy passes do not recount it. Never serialized.
+	promoted bool
 }
 
 // Node is one live Cycloid participant.
@@ -135,6 +164,10 @@ type Node struct {
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 	rng      *rand.Rand
+
+	tel    *nodeMetrics
+	log    *slog.Logger
+	traces *telemetry.TraceRing
 }
 
 // ErrStopped reports an operation on a closed node.
@@ -178,9 +211,13 @@ func Start(cfg Config) (*Node, error) {
 		ln:       ln,
 		stopped:  make(chan struct{}),
 		rng:      rand.New(rand.NewSource(int64(space.Linear(id)) + 1)),
+		tel:      newNodeMetrics(cfg.Telemetry),
+		traces:   telemetry.NewTraceRing(cfg.TraceBuffer),
 	}
+	n.log = cfg.Logger.With("node", id.String(), "addr", ln.Addr().String())
 	self := entry{ID: id, Addr: n.Addr()}
 	n.rs = routingState{insideL: &self, insideR: &self, outsideL: &self, outsideR: &self}
+	n.updateLeafGauges()
 
 	n.wg.Add(1)
 	go n.serve()

@@ -56,9 +56,11 @@ func (n *Node) putLocal(key string, it item) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if cur, ok := n.store[key]; ok && !newer(it, cur) {
+		n.tel.lwwRejects.Inc()
 		return false
 	}
 	n.store[key] = it
+	n.updateStoreGaugeLocked()
 	return true
 }
 
@@ -72,6 +74,7 @@ func (n *Node) putOwner(ctx context.Context, key string, value []byte) item {
 		src: n.space.Linear(n.id),
 	}
 	n.store[key] = it
+	n.updateStoreGaugeLocked()
 	n.mu.Unlock()
 	n.fanOut(ctx, key, it)
 	return it
@@ -107,7 +110,9 @@ func (n *Node) replicaTargets(kp ids.CycloidID) []entry {
 // fanOut pushes one item to every replica target, best effort: an
 // unreachable target is repaired by the next anti-entropy pass.
 func (n *Node) fanOut(ctx context.Context, key string, it item) {
-	for _, tgt := range n.replicaTargets(n.keyPoint(key)) {
+	targets := n.replicaTargets(n.keyPoint(key))
+	n.tel.fanout.Observe(int64(len(targets)))
+	for _, tgt := range targets {
 		_, _ = n.callCtx(ctx, tgt.Addr, request{Op: "replicate", Key: key, Value: it.val, Ver: it.ver, Src: it.src})
 	}
 }
@@ -221,6 +226,19 @@ func (n *Node) syncReplicas() {
 		}
 		kp := n.keyPoint(k)
 		if n.localStep(kp, false).Done {
+			// Owning a copy some other node wrote means this node inherited
+			// the key — the crash-successor promotion the replication design
+			// relies on. Count it once per copy.
+			if it.src != n.space.Linear(n.id) && !it.promoted {
+				n.mu.Lock()
+				if cur, ok := n.store[k]; ok && cur.ver == it.ver && !cur.promoted {
+					cur.promoted = true
+					n.store[k] = cur
+					n.tel.promotions.Inc()
+					n.log.Info("replica promoted to owned copy", "key", k, "ver", it.ver)
+				}
+				n.mu.Unlock()
+			}
 			n.fanOut(context.Background(), k, it)
 			continue
 		}
@@ -228,6 +246,7 @@ func (n *Node) syncReplicas() {
 		if err != nil || r.Terminal == n.id {
 			continue // owner unreachable: keep the copy
 		}
+		n.tel.antiEntropy.Inc()
 		resp, err := n.call(r.Addr, request{Op: "replicate", Key: k, Value: it.val, Ver: it.ver, Src: it.src})
 		if err != nil {
 			continue
@@ -242,6 +261,8 @@ func (n *Node) syncReplicas() {
 			n.mu.Lock()
 			if cur, ok := n.store[k]; ok && !newer(cur, it) {
 				delete(n.store, k) // the owner holds >= this version elsewhere
+				n.tel.replicaGC.Inc()
+				n.updateStoreGaugeLocked()
 			}
 			n.mu.Unlock()
 		}
@@ -259,17 +280,21 @@ func (n *Node) suspect(addr string) {
 	if n.suspects[addr] < suspectDrop {
 		n.suspects[addr]++
 	}
+	strikes := n.suspects[addr]
 	// Safety valve: a long-lived node that met many corpses must not pin
 	// memory forever; drop everything and re-learn.
 	if len(n.suspects) > 256 {
 		n.suspects = make(map[string]int)
 	}
+	n.tel.suspectsGauge.Set(int64(len(n.suspects)))
 	n.smu.Unlock()
+	n.log.Debug("suspected address", "peer", addr, "strikes", strikes)
 }
 
 func (n *Node) unsuspect(addr string) {
 	n.smu.Lock()
 	delete(n.suspects, addr)
+	n.tel.suspectsGauge.Set(int64(len(n.suspects)))
 	n.smu.Unlock()
 }
 
@@ -295,6 +320,9 @@ func (n *Node) drainSuspects() {
 	n.smu.Unlock()
 	sort.Strings(addrs) // deterministic probe order for seeded fabrics
 	for _, a := range addrs {
-		_, _ = n.call(a, request{Op: "ping"})
+		if _, err := n.call(a, request{Op: "ping"}); err == nil {
+			n.tel.suspectsCleared.Inc() // the exchange itself unsuspected it
+			n.log.Debug("suspect recovered", "peer", a)
+		}
 	}
 }

@@ -31,6 +31,8 @@ func (n *Node) serve() {
 			} else if backoff *= 2; backoff > time.Second {
 				backoff = time.Second
 			}
+			n.tel.acceptBackoff.Inc()
+			n.log.Warn("accept failed, backing off", "err", err, "backoff", backoff)
 			t := time.NewTimer(backoff)
 			select {
 			case <-n.stopped:
@@ -63,6 +65,7 @@ func (n *Node) handle(conn net.Conn) {
 }
 
 func (n *Node) dispatch(req request) response {
+	n.tel.request(req.Op)
 	switch req.Op {
 	case "ping":
 		return response{}
@@ -174,6 +177,7 @@ func (n *Node) handleReclaim(req request) response {
 			}
 		}
 	}
+	n.updateStoreGaugeLocked()
 	if len(items) == 0 {
 		return response{}
 	}

@@ -18,12 +18,18 @@ func (n *Node) Stabilize() {
 	if n.isStopped() {
 		return
 	}
+	began := time.Now()
 	n.drainSuspects()
 	n.refreshLeafSets()
 	n.correctOutsideRing()
 	n.notifyLeafSet()
 	n.RefreshRoutingTable()
 	n.syncReplicas()
+	n.updateLeafGauges()
+	n.tel.stabRounds.Inc()
+	elapsed := time.Since(began)
+	n.tel.stabDuration.Observe(elapsed.Microseconds())
+	n.log.Debug("stabilization round complete", "took", elapsed)
 }
 
 // correctOutsideRing runs a Chord-style neighbor correction on the ring
@@ -278,6 +284,8 @@ func (n *Node) RefreshRoutingTable() {
 			n.mu.Lock()
 			if *slot == cur {
 				*slot = nil
+				n.tel.pruned.Inc()
+				n.log.Debug("pruned dead routing entry", "peer", cur.Addr)
 			}
 			n.mu.Unlock()
 		}

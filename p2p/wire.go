@@ -145,21 +145,27 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 		}
 	}
 	req.From = WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
+	began := time.Now()
 	conn, err := n.cfg.Transport.Dial(addr, timeout)
 	if err != nil {
+		n.tel.dialFailures.Inc()
 		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(deadline(timeout)); err != nil {
+		n.tel.dialFailures.Inc()
 		return response{}, err
 	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		n.tel.dialFailures.Inc()
 		return response{}, fmt.Errorf("p2p: send to %s: %w", addr, err)
 	}
 	var resp response
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		n.tel.dialFailures.Inc()
 		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
 	}
+	n.tel.dialLatency.Observe(time.Since(began).Microseconds())
 	// A completed exchange proves the peer is alive, whatever it said.
 	n.unsuspect(addr)
 	if !resp.OK {

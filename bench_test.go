@@ -35,6 +35,8 @@ func BenchmarkPutGet(b *testing.B)                { bench.Run(b, "PutGet") }
 func BenchmarkJoinLeave(b *testing.B)             { bench.Run(b, "JoinLeave") }
 func BenchmarkReplicatedPut(b *testing.B)         { bench.Run(b, "ReplicatedPut") }
 func BenchmarkGetWithOwnerDown(b *testing.B)      { bench.Run(b, "GetWithOwnerDown") }
+func BenchmarkPooledLookup(b *testing.B)          { bench.Run(b, "PooledLookup") }
+func BenchmarkLookupDialPerRequest(b *testing.B)  { bench.Run(b, "LookupDialPerRequest") }
 
 // TestBenchWrappersCoverRegistry keeps the wrapper list above in sync
 // with the internal/bench registry.
@@ -48,6 +50,7 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"UngracefulFailures": true, "Lookup": true,
 		"LookupInstrumented": true, "PutGet": true,
 		"JoinLeave": true, "ReplicatedPut": true, "GetWithOwnerDown": true,
+		"PooledLookup": true, "LookupDialPerRequest": true,
 	}
 	cases := bench.Cases()
 	if len(cases) != len(want) {

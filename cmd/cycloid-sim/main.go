@@ -65,6 +65,8 @@ func main() {
 		hopTrace = flag.Bool("trace", false, "route: print the phase-annotated hop trace in the live node's /debug/traces layout")
 		replicas = flag.Int("replicas", 1, "chaos: replication factor R (keys survive f < R simultaneous crashes)")
 		crashes  = flag.Int("crashes", 1, "chaos: max simultaneous crashes per crash event")
+		pooled   = flag.Bool("pooled", false, "chaos: run members on pooled, multiplexed wire connections")
+		loaders  = flag.Int("load-clients", 0, "chaos: load-during-churn workers (0 = off)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -74,7 +76,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "chaos" {
-		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes)
+		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *loaders)
 		return
 	}
 	if flag.Arg(0) == "metrics" {
@@ -189,7 +191,7 @@ func main() {
 // then reports the per-round timeout counts and invariant violations.
 // The defaults for -nodes (500) and -dim (8) suit the simulator; chaos
 // runs live nodes, so clamp to the harness's scale when unchanged.
-func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int) {
+func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, loaders int) {
 	rounds := 8
 	if flag.NArg() >= 2 {
 		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
@@ -205,12 +207,13 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int) {
 	cfg := chaosrunner.Config{
 		Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds,
 		Replicas: replicas, MultiCrash: crashes,
+		Pooled: pooled, LoadClients: loaders,
 	}
 	if trace {
 		cfg.Trace = os.Stderr
 	}
-	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event\n",
-		seed, nodes, dim, rounds, replicas, crashes)
+	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, load-clients=%d\n",
+		seed, nodes, dim, rounds, replicas, crashes, pooled, loaders)
 	for _, ev := range chaosrunner.GenerateSchedule(cfg) {
 		fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
 	}
@@ -219,8 +222,12 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int) {
 		fail(err)
 	}
 	for _, r := range res.Rounds {
-		fmt.Printf("round %2d: live=%2d fault-timeouts=%3d clean-timeouts=%d violations=%d\n",
+		fmt.Printf("round %2d: live=%2d fault-timeouts=%3d clean-timeouts=%d violations=%d",
 			r.Round, r.Live, r.FaultTimeouts, r.CleanTimeouts, len(r.Violations))
+		if r.LoadOps > 0 {
+			fmt.Printf(" load=%d/%d errors", r.LoadErrors, r.LoadOps)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("final: %d live nodes, %d keys tracked\n", res.FinalLive, res.FinalKeys)
 	if len(res.Violations) > 0 {

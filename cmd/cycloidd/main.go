@@ -42,6 +42,7 @@ func main() {
 		dim       = flag.Int("dim", 8, "Cycloid dimension d (all overlay members must agree)")
 		stabilize = flag.Duration("stabilize", 30*time.Second, "periodic stabilization interval")
 		replicas  = flag.Int("replicas", 1, "replication factor R: keys survive f < R simultaneous crashes (all overlay members must agree)")
+		pooled    = flag.Bool("pooled", false, "use pooled, multiplexed wire connections for outbound requests (interoperates with dial-per-request members)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this HTTP address (empty = off)")
 		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
@@ -57,13 +58,14 @@ func main() {
 
 	reg := telemetry.NewRegistry("cycloid")
 	node, err := p2p.Start(p2p.Config{
-		Dim:            *dim,
-		ListenAddr:     *listen,
-		StabilizeEvery: *stabilize,
-		Replicas:       *replicas,
-		Telemetry:      reg,
-		Logger:         logger,
-		TraceBuffer:    *traceBuf,
+		Dim:             *dim,
+		ListenAddr:      *listen,
+		StabilizeEvery:  *stabilize,
+		Replicas:        *replicas,
+		PooledTransport: *pooled,
+		Telemetry:       reg,
+		Logger:          logger,
+		TraceBuffer:     *traceBuf,
 	})
 	if err != nil {
 		fail(err)

@@ -47,6 +47,8 @@ func Cases() []Case {
 		{"JoinLeave", benchJoinLeave},
 		{"ReplicatedPut", benchReplicatedPut},
 		{"GetWithOwnerDown", benchGetWithOwnerDown},
+		{"PooledLookup", benchPooledLookup},
+		{"LookupDialPerRequest", benchLookupDialPerRequest},
 	}
 }
 

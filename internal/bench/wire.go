@@ -1,0 +1,97 @@
+// Wire-transport benchmarks: the same iterative lookup driven through
+// the two transport modes the live stack supports — a fresh dial per
+// wire exchange (the seed behavior) versus pooled, multiplexed
+// persistent connections. Both run real p2p nodes over loopback TCP so
+// the pair measures what pooling actually buys: connection setup,
+// socket churn and per-request goroutine spin-up on the dial path.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cycloid/internal/ids"
+	"cycloid/p2p"
+)
+
+// tcpCluster boots n live nodes on loopback TCP with deterministic IDs,
+// fully stabilized, in either transport mode.
+func tcpCluster(b *testing.B, dim, n int, seed int64, pooled bool) []*p2p.Node {
+	b.Helper()
+	space := ids.NewSpace(dim)
+	rng := rand.New(rand.NewSource(seed))
+	taken := make(map[uint64]bool)
+	nodes := make([]*p2p.Node, 0, n)
+	for len(nodes) < n {
+		v := uint64(rng.Int63n(int64(space.Size())))
+		if taken[v] {
+			continue
+		}
+		taken[v] = true
+		id := space.FromLinear(v)
+		nd, err := p2p.Start(p2p.Config{
+			Dim:             dim,
+			ID:              &id,
+			DialTimeout:     2 * time.Second,
+			PooledTransport: pooled,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(nodes) > 0 {
+			if err := nd.Join(nodes[rng.Intn(len(nodes))].Addr()); err != nil {
+				b.Fatalf("join: %v", err)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	b.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	for i := 0; i < 3; i++ {
+		for _, nd := range nodes {
+			nd.Stabilize()
+		}
+	}
+	return nodes
+}
+
+// benchWireLookup drives iterative lookups from every node in turn.
+// Keys are pregenerated so the loop measures routing and transport, not
+// fmt.Sprintf.
+func benchWireLookup(b *testing.B, pooled bool) {
+	nodes := tcpCluster(b, 6, 8, Seed, pooled)
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("wire-%d", i)
+	}
+	// Warm-up: route one lookup from each origin so pooled mode starts
+	// with established connections, matching its steady state.
+	for i, nd := range nodes {
+		if _, err := nd.Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[i%len(nodes)].Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPooledLookup measures the lookup hot path over pooled,
+// multiplexed wire connections: every step rides an established
+// per-peer conn, correlated by request ID.
+func benchPooledLookup(b *testing.B) { benchWireLookup(b, true) }
+
+// benchLookupDialPerRequest is the same workload over the seed
+// transport: every wire exchange dials a fresh TCP connection. The
+// pooled/dial-per-request ratio in BENCH_cycloid.json is the recorded
+// win of the connection pool.
+func benchLookupDialPerRequest(b *testing.B) { benchWireLookup(b, false) }

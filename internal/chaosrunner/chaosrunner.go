@@ -22,7 +22,9 @@
 //     paper's timeout metric.
 //  2. Heal + membership: clear network faults, then apply one
 //     membership event (join, graceful leave, leave on a lossy fabric,
-//     or an ungraceful crash).
+//     or an ungraceful crash). With LoadClients > 0, load workers
+//     drive gets and lookups concurrently with this phase and the
+//     next, and their error rate must stay under MaxLoadErrorRate.
 //  3. Stabilize: a quiescent window of synchronous stabilization
 //     sweeps.
 //  4. Verify: concurrent puts/gets/lookups followed by the invariant
@@ -70,6 +72,28 @@ type Config struct {
 	// from the schedule RNG; the default leaves the RNG stream — and
 	// therefore every existing seeded schedule — byte-identical.
 	MultiCrash int
+
+	// Pooled runs every member on pooled, multiplexed wire connections
+	// (p2p.Config.PooledTransport) instead of dial-per-request. The
+	// schedule and every invariant are transport-independent, so the
+	// same seeds must pass in both modes.
+	Pooled bool
+	// LoadClients > 0 enables load-during-churn: that many workers
+	// drive Gets on tracked keys and fresh lookups concurrently with
+	// the round's membership events and stabilization sweeps — the
+	// window in which routing state is in flux. The run then asserts a
+	// bounded error rate over that traffic; key durability is already
+	// covered by the per-round retrievability invariants. Default 0
+	// keeps the harness — and every seeded report — exactly as before.
+	LoadClients int
+	// LoadOpsPerClient is the operations each load worker issues per
+	// round (default 8 when LoadClients > 0).
+	LoadOpsPerClient int
+	// MaxLoadErrorRate bounds errors/ops over the load-during-churn
+	// traffic (default 0.2 when LoadClients > 0). Membership changes
+	// mid-request make occasional failures legitimate; a rate above the
+	// bound means churn is breaking routing rather than racing it.
+	MaxLoadErrorRate float64
 }
 
 func (c *Config) defaults() {
@@ -110,6 +134,14 @@ func (c *Config) defaults() {
 	if c.MultiCrash == 0 {
 		c.MultiCrash = 1
 	}
+	if c.LoadClients > 0 {
+		if c.LoadOpsPerClient == 0 {
+			c.LoadOpsPerClient = 8
+		}
+		if c.MaxLoadErrorRate == 0 {
+			c.MaxLoadErrorRate = 0.2
+		}
+	}
 }
 
 // Event kinds. Fault events run in phase 1, membership events in
@@ -141,11 +173,18 @@ type RoundReport struct {
 	Live          int
 	FaultTimeouts int      // timeouts observed while faults were active
 	CleanTimeouts int      // timeouts observed after heal+stabilize (must be 0)
+	LoadOps       int      // load-during-churn operations issued (0 unless LoadClients > 0)
+	LoadErrors    int      // load-during-churn operations that failed
 	Violations    []string // invariant violations detected this round
 }
 
-// Result is a full run's outcome. Two runs with the same Config are
-// identical, including every report field.
+// Result is a full run's outcome. With LoadClients = 0 (the default)
+// two runs with the same Config are identical, including every report
+// field. Load-during-churn traffic races the membership events by
+// design, so with LoadClients > 0 the timing-dependent fields
+// (LoadErrors, and anything downstream of a request that lost the
+// race) are exempt from that contract; the invariants themselves must
+// still hold on every run.
 type Result struct {
 	Schedule   []Event
 	Rounds     []RoundReport
@@ -333,11 +372,12 @@ func (r *runner) startMember(ord int) error {
 	name := fmt.Sprintf("n%03d", ord)
 	id := r.idFor[ord]
 	nd, err := p2p.Start(p2p.Config{
-		Dim:         r.cfg.Dim,
-		ID:          &id,
-		DialTimeout: r.cfg.DialTimeout,
-		Transport:   r.nw.Host(name),
-		Replicas:    r.cfg.Replicas,
+		Dim:             r.cfg.Dim,
+		ID:              &id,
+		DialTimeout:     r.cfg.DialTimeout,
+		Transport:       r.nw.Host(name),
+		Replicas:        r.cfg.Replicas,
+		PooledTransport: r.cfg.Pooled,
 	})
 	if err != nil {
 		return fmt.Errorf("chaosrunner: start %s: %w", name, err)
@@ -489,6 +529,54 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 		}
 	}
 	r.nw.HealAll()
+
+	// Load-during-churn: workers drive Gets on tracked keys and fresh
+	// lookups while the membership events below and the stabilization
+	// sweeps execute — the window in which routing tables are in flux.
+	// Origins are members that survive the whole round, so every failure
+	// is the protocol's to explain; targets freely include the departing
+	// nodes. The workers stop before the phase-4 invariant checks.
+	var loadWG sync.WaitGroup
+	var loadOps, loadErrs atomic.Int64
+	if r.cfg.LoadClients > 0 {
+		departing := map[int]bool{}
+		for _, e := range events {
+			if e.Kind == EvLeave || e.Kind == EvLossy || e.Kind == EvCrash {
+				departing[e.Node] = true
+			}
+		}
+		var origins []*member
+		for _, m := range r.liveMembers() {
+			if !departing[m.ord] {
+				origins = append(origins, m)
+			}
+		}
+		keys := make([]string, 0, len(r.expected))
+		for k := range r.expected {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(origins) > 0 {
+			for g := 0; g < r.cfg.LoadClients; g++ {
+				loadWG.Add(1)
+				go func(g int) {
+					defer loadWG.Done()
+					for i := 0; i < r.cfg.LoadOpsPerClient; i++ {
+						from := origins[(g*13+i)%len(origins)].node
+						loadOps.Add(1)
+						if i%2 == 0 && len(keys) > 0 {
+							if _, _, err := from.Get(keys[(g*7+i)%len(keys)]); err != nil {
+								loadErrs.Add(1)
+							}
+						} else if _, err := from.Lookup(fmt.Sprintf("churn-%d-%d-%d", round, g, i)); err != nil {
+							loadErrs.Add(1)
+						}
+					}
+				}(g)
+			}
+		}
+	}
+
 	for _, e := range events {
 		switch e.Kind {
 		case EvJoin:
@@ -534,7 +622,6 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 	// Phase 3: quiescent stabilization window.
 	r.stabilizeAll(r.cfg.StabilizeRounds)
 
-	// Phase 4a: concurrent clean traffic — puts, gets, lookups.
 	var cleanTimeouts atomic.Int64
 	var vmu sync.Mutex
 	violation := func(format string, args ...any) {
@@ -542,6 +629,21 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: ", round)+fmt.Sprintf(format, args...))
 		vmu.Unlock()
 	}
+
+	// The load-during-churn invariant: the traffic that raced the
+	// membership events may fail occasionally, but its error rate stays
+	// under the configured bound.
+	loadWG.Wait()
+	rep.LoadOps = int(loadOps.Load())
+	rep.LoadErrors = int(loadErrs.Load())
+	if rep.LoadOps > 0 {
+		if rate := float64(rep.LoadErrors) / float64(rep.LoadOps); rate > r.cfg.MaxLoadErrorRate {
+			violation("load-during-churn error rate %.3f (%d/%d) exceeds %.3f",
+				rate, rep.LoadErrors, rep.LoadOps, r.cfg.MaxLoadErrorRate)
+		}
+	}
+
+	// Phase 4a: concurrent clean traffic — puts, gets, lookups.
 	var wg sync.WaitGroup
 	type putKV struct {
 		k string

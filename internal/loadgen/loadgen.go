@@ -1,0 +1,402 @@
+// Package loadgen drives sustained Put/Get/Lookup traffic against a
+// live p2p Cycloid cluster and reports what the paper measures under
+// load: throughput, latency quantiles, error counts, and the per-node
+// query-load distribution of Figures 8–10 (how evenly lookup traffic
+// spreads across the overlay).
+//
+// Two drivers are provided. The closed-loop driver keeps a fixed number
+// of outstanding operations (classic concurrency-N benchmarking: the
+// next op starts when one finishes). The open-loop driver dispatches
+// operations at a fixed arrival rate regardless of completions,
+// modelling independent clients; a saturated overlay shows up as
+// latency growth rather than throughput collapse.
+//
+// The workload is pregenerated from a seed — operation kinds, key
+// choices (uniform or Zipf-distributed popularity), and originating
+// nodes are all drawn single-threaded before any traffic flows. On a
+// deterministic fabric (p2p/memnet) with a fixed seed the operation
+// outcomes and the per-node query-load table are therefore identical
+// across runs; only wall-clock latency fields vary.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cycloid/internal/telemetry"
+	"cycloid/p2p"
+)
+
+// Op is one workload operation kind.
+type Op int
+
+// Workload operation kinds.
+const (
+	OpPut Op = iota
+	OpGet
+	OpLookup
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpLookup:
+		return "lookup"
+	}
+	return "unknown"
+}
+
+// Mix weights the operation kinds; zero-value weights drop the kind.
+// The canonical query-balance workload is lookup-only: Mix{Lookup: 1}.
+type Mix struct {
+	Put    int
+	Get    int
+	Lookup int
+}
+
+func (m Mix) total() int { return m.Put + m.Get + m.Lookup }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Nodes is the live cluster to drive. Every node must carry its own
+	// private telemetry registry (the default) — the per-node query-load
+	// table is read from those registries.
+	Nodes []*p2p.Node
+	// Mix weights Put/Get/Lookup. Default lookup-only.
+	Mix Mix
+	// Keys is the distinct-key population. Default 64.
+	Keys int
+	// Zipf is the key-popularity skew s (> 1 per math/rand's Zipf);
+	// 0 selects uniform popularity. Values in (0,1] are invalid.
+	Zipf float64
+	// Seed drives all workload randomness. Same seed, same fabric ⇒
+	// same operations, same outcomes.
+	Seed int64
+	// Ops is the measured operation count. Default 1000.
+	Ops int
+	// Closed-loop: Concurrency is the fixed number of outstanding
+	// operations. Default 8. Ignored when Rate > 0.
+	Concurrency int
+	// Open-loop: Rate is the arrival rate in operations per second.
+	// 0 selects the closed-loop driver.
+	Rate float64
+}
+
+func (c *Config) defaults() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("loadgen: no nodes")
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = Mix{Lookup: 1}
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.Ops == 0 {
+		c.Ops = 1000
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 8
+	}
+	if c.Zipf != 0 && c.Zipf <= 1 {
+		return fmt.Errorf("loadgen: zipf skew must be > 1 (or 0 for uniform), got %v", c.Zipf)
+	}
+	return nil
+}
+
+// spec is one pregenerated operation: kind, key index, origin node.
+type spec struct {
+	op     Op
+	key    int
+	origin int
+}
+
+// NodeLoad is one node's share of the query load: the wire requests it
+// served during the measure window, by kind — the live analogue of the
+// paper's "query load" per node.
+type NodeLoad struct {
+	Name    string `json:"name"`
+	ID      string `json:"id"`
+	Steps   uint64 `json:"steps"`   // routing decisions served
+	Fetches uint64 `json:"fetches"` // reads served
+	Stores  uint64 `json:"stores"`  // writes served (incl. replicate)
+	Total   uint64 `json:"total"`
+}
+
+// Balance summarizes the query-load distribution across nodes (the
+// paper reports mean and deviation; CV = stddev/mean is the
+// scale-free version).
+type Balance struct {
+	Min  uint64  `json:"min"`
+	Max  uint64  `json:"max"`
+	Mean float64 `json:"mean"`
+	CV   float64 `json:"cv"`
+}
+
+// OpStats is one operation kind's outcome counts and latency quantiles
+// (microseconds, bucket-interpolated).
+type OpStats struct {
+	Ops    int   `json:"ops"`
+	Errors int   `json:"errors"`
+	P50    int64 `json:"p50_us"`
+	P95    int64 `json:"p95_us"`
+	P99    int64 `json:"p99_us"`
+}
+
+// Report is the outcome of one load run. On a deterministic fabric
+// with a fixed seed, everything except Duration, Throughput and the
+// latency quantiles is identical across runs.
+type Report struct {
+	Mode        string             `json:"mode"` // "closed" or "open"
+	Nodes       int                `json:"nodes"`
+	Ops         int                `json:"ops"`
+	Errors      int                `json:"errors"`
+	Duration    time.Duration      `json:"duration_ns"`
+	Throughput  float64            `json:"throughput_ops_per_s"`
+	P50         int64              `json:"p50_us"`
+	P95         int64              `json:"p95_us"`
+	P99         int64              `json:"p99_us"`
+	PerOp       map[string]OpStats `json:"per_op"`
+	Load        []NodeLoad         `json:"node_load"`
+	LoadBalance Balance            `json:"load_balance"`
+}
+
+// runner is one run's shared state.
+type runner struct {
+	cfg     Config
+	specs   []spec
+	keys    []string
+	vals    [][]byte
+	lat     map[Op]*telemetry.Histogram
+	latAll  *telemetry.Histogram
+	ops     [3]atomic.Int64
+	errs    [3]atomic.Int64
+	nextIdx atomic.Int64
+}
+
+// Run executes the configured workload and returns its report. The keys
+// are first written once each (round-robin across nodes, outside the
+// measure window) so reads always have something to hit; the per-node
+// load table covers only the measured traffic.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg}
+	r.generate()
+
+	// Warmup: seed every key so Gets hit, outside the measure window.
+	for i, k := range r.keys {
+		if err := cfg.Nodes[i%len(cfg.Nodes)].Put(k, r.vals[i]); err != nil {
+			return nil, fmt.Errorf("loadgen: warmup put %q: %w", k, err)
+		}
+	}
+
+	before := snapshotLoads(cfg.Nodes)
+	began := time.Now()
+	if cfg.Rate > 0 {
+		r.runOpen()
+	} else {
+		r.runClosed()
+	}
+	took := time.Since(began)
+	after := snapshotLoads(cfg.Nodes)
+
+	return r.report(took, before, after), nil
+}
+
+// generate pregenerates keys, values and the full operation sequence
+// from the seed, single-threaded — the only randomness in a run.
+func (r *runner) generate() {
+	cfg := r.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r.keys = make([]string, cfg.Keys)
+	r.vals = make([][]byte, cfg.Keys)
+	for i := range r.keys {
+		r.keys[i] = fmt.Sprintf("load-%d-%d", cfg.Seed, i)
+		r.vals[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	var zipf *rand.Zipf
+	if cfg.Zipf > 1 {
+		zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+	}
+	pick := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(cfg.Keys)
+	}
+	tot := cfg.Mix.total()
+	r.specs = make([]spec, cfg.Ops)
+	for i := range r.specs {
+		var op Op
+		switch w := rng.Intn(tot); {
+		case w < cfg.Mix.Put:
+			op = OpPut
+		case w < cfg.Mix.Put+cfg.Mix.Get:
+			op = OpGet
+		default:
+			op = OpLookup
+		}
+		r.specs[i] = spec{op: op, key: pick(), origin: rng.Intn(len(cfg.Nodes))}
+	}
+	r.lat = map[Op]*telemetry.Histogram{}
+	reg := telemetry.NewRegistry("loadgen")
+	for _, op := range []Op{OpPut, OpGet, OpLookup} {
+		r.lat[op] = reg.Histogram(op.String()+"_latency_us", "Per-op latency.", telemetry.LatencyBucketsUS)
+	}
+	r.latAll = reg.Histogram("op_latency_us", "All-op latency.", telemetry.LatencyBucketsUS)
+}
+
+// exec runs one pregenerated operation and records its outcome.
+func (r *runner) exec(s spec) {
+	nd := r.cfg.Nodes[s.origin]
+	key := r.keys[s.key]
+	began := time.Now()
+	var err error
+	switch s.op {
+	case OpPut:
+		err = nd.Put(key, r.vals[s.key])
+	case OpGet:
+		_, _, err = nd.Get(key)
+	case OpLookup:
+		_, err = nd.Lookup(key)
+	}
+	us := time.Since(began).Microseconds()
+	r.lat[s.op].Observe(us)
+	r.latAll.Observe(us)
+	r.ops[s.op].Add(1)
+	if err != nil {
+		r.errs[s.op].Add(1)
+	}
+}
+
+// runClosed keeps Concurrency operations outstanding until the
+// pregenerated sequence is exhausted.
+func (r *runner) runClosed() {
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(r.nextIdx.Add(1)) - 1
+				if i >= len(r.specs) {
+					return
+				}
+				r.exec(r.specs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen dispatches operation i at t0 + i/rate regardless of earlier
+// completions — a fixed arrival rate, as from independent clients.
+func (r *runner) runOpen() {
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := range r.specs {
+		if d := time.Until(t0.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(s spec) {
+			defer wg.Done()
+			r.exec(s)
+		}(r.specs[i])
+	}
+	wg.Wait()
+}
+
+// loadSnapshot is one node's served-request counters at an instant.
+type loadSnapshot struct {
+	steps, fetches, stores uint64
+}
+
+func snapshotLoads(nodes []*p2p.Node) []loadSnapshot {
+	out := make([]loadSnapshot, len(nodes))
+	for i, nd := range nodes {
+		vals := nd.Telemetry().CounterValues()
+		pre := "cycloid_requests_total"
+		out[i] = loadSnapshot{
+			steps:   vals[pre+`{op="step"}`],
+			fetches: vals[pre+`{op="fetch"}`],
+			stores:  vals[pre+`{op="store"}`] + vals[pre+`{op="replicate"}`],
+		}
+	}
+	return out
+}
+
+func (r *runner) report(took time.Duration, before, after []loadSnapshot) *Report {
+	cfg := r.cfg
+	rep := &Report{
+		Mode:       "closed",
+		Nodes:      len(cfg.Nodes),
+		Duration:   took,
+		P50:        r.latAll.Quantile(0.50),
+		P95:        r.latAll.Quantile(0.95),
+		P99:        r.latAll.Quantile(0.99),
+		PerOp:      map[string]OpStats{},
+		Load:       make([]NodeLoad, len(cfg.Nodes)),
+		LoadBalance: Balance{Min: ^uint64(0)},
+	}
+	if cfg.Rate > 0 {
+		rep.Mode = "open"
+	}
+	for _, op := range []Op{OpPut, OpGet, OpLookup} {
+		ops, errs := int(r.ops[op].Load()), int(r.errs[op].Load())
+		rep.Ops += ops
+		rep.Errors += errs
+		if ops == 0 {
+			continue
+		}
+		h := r.lat[op]
+		rep.PerOp[op.String()] = OpStats{
+			Ops: ops, Errors: errs,
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		}
+	}
+	rep.Throughput = float64(rep.Ops) / took.Seconds()
+
+	var sum, sumSq float64
+	for i, nd := range cfg.Nodes {
+		l := NodeLoad{
+			Name:    nd.Addr(),
+			ID:      nd.ID().String(),
+			Steps:   after[i].steps - before[i].steps,
+			Fetches: after[i].fetches - before[i].fetches,
+			Stores:  after[i].stores - before[i].stores,
+		}
+		l.Total = l.Steps + l.Fetches + l.Stores
+		rep.Load[i] = l
+		if l.Total < rep.LoadBalance.Min {
+			rep.LoadBalance.Min = l.Total
+		}
+		if l.Total > rep.LoadBalance.Max {
+			rep.LoadBalance.Max = l.Total
+		}
+		sum += float64(l.Total)
+		sumSq += float64(l.Total) * float64(l.Total)
+	}
+	n := float64(len(cfg.Nodes))
+	rep.LoadBalance.Mean = sum / n
+	if rep.LoadBalance.Mean > 0 {
+		variance := sumSq/n - rep.LoadBalance.Mean*rep.LoadBalance.Mean
+		if variance < 0 {
+			variance = 0
+		}
+		rep.LoadBalance.CV = math.Sqrt(variance) / rep.LoadBalance.Mean
+	}
+	sort.Slice(rep.Load, func(i, j int) bool { return rep.Load[i].Total > rep.Load[j].Total })
+	return rep
+}

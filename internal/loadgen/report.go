@@ -1,0 +1,36 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// us renders a microsecond quantile as a human duration.
+func us(v int64) string { return time.Duration(v * int64(time.Microsecond)).String() }
+
+// Format writes the report as a human-readable table: the SLO block
+// (throughput, latency quantiles, errors) followed by the per-node
+// query-load distribution — the live-stack rendering of the paper's
+// query-balance experiment (Figures 8–10), where an even Total column
+// and a small CV are the result being reproduced.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "load report: mode=%s nodes=%d ops=%d errors=%d\n", r.Mode, r.Nodes, r.Ops, r.Errors)
+	fmt.Fprintf(w, "  duration %v, throughput %.1f ops/s\n", r.Duration.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(w, "  latency p50=%s p95=%s p99=%s\n", us(r.P50), us(r.P95), us(r.P99))
+	for _, op := range []string{"put", "get", "lookup"} {
+		s, ok := r.PerOp[op]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-6s ops=%-6d errors=%-4d p50=%s p95=%s p99=%s\n",
+			op, s.Ops, s.Errors, us(s.P50), us(s.P95), us(s.P99))
+	}
+	fmt.Fprintf(w, "  query load per node (busiest first):\n")
+	fmt.Fprintf(w, "    %-12s %-10s %8s %8s %8s %8s\n", "node", "id", "steps", "fetches", "stores", "total")
+	for _, l := range r.Load {
+		fmt.Fprintf(w, "    %-12s %-10s %8d %8d %8d %8d\n", l.Name, l.ID, l.Steps, l.Fetches, l.Stores, l.Total)
+	}
+	b := r.LoadBalance
+	fmt.Fprintf(w, "  balance: min=%d max=%d mean=%.1f cv=%.3f\n", b.Min, b.Max, b.Mean, b.CV)
+}

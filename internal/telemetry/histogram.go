@@ -75,6 +75,45 @@ func (h *Histogram) snapshot() (count uint64, sum int64, cumulative []uint64) {
 	return count, sum, cumulative
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// values by linear interpolation inside the bucket the quantile falls
+// in — the standard bucketed-histogram estimate, accurate to bucket
+// granularity. A quantile landing in the +Inf bucket reports the last
+// finite bound (the histogram cannot see beyond its layout). Returns 0
+// with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	count, _, cumulative := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	for i, c := range cumulative {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo, loCount := int64(0), uint64(0)
+		if i > 0 {
+			lo, loCount = h.bounds[i-1], cumulative[i-1]
+		}
+		inBucket := float64(c - loCount)
+		if inBucket == 0 {
+			return h.bounds[i]
+		}
+		frac := (rank - float64(loCount)) / inBucket
+		return lo + int64(frac*float64(h.bounds[i]-lo)+0.5)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations recorded so far.
 func (h *Histogram) Count() uint64 {
 	c, _, _ := h.snapshot()

@@ -75,6 +75,34 @@ func TestHistogramBucketsAndSum(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]int64{10, 20, 40, 80})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	// 100 uniform observations in (0,100]: quantiles track the values up
+	// to bucket granularity, capped at the last finite bound.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q      float64
+		lo, hi int64
+	}{
+		{0.10, 8, 12},  // true 10
+		{0.50, 48, 52}, // true 50, interpolated inside (40,80]
+		{0.79, 76, 80}, // true 79
+		{0.99, 80, 80}, // +Inf bucket → last finite bound
+		{1.00, 80, 80},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%v) = %d, want in [%d,%d]", c.q, got, c.lo, c.hi)
+		}
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := newHistogram(HopBuckets)
 	var wg sync.WaitGroup

@@ -148,6 +148,67 @@ func TestChaosDeterminismReplicated(t *testing.T) {
 	}
 }
 
+// TestChaosPooledLoadDuringChurn is the transport-upgrade stress run:
+// every member uses pooled, multiplexed wire connections, replication
+// keeps crashes below R, and load workers drive gets and lookups
+// concurrently with every membership event and stabilization sweep.
+// Required: every invariant holds (no lost keys — invariant 1b checks
+// each tracked key from every live node — and a bounded error rate on
+// the racing traffic), and the load actually ran.
+func TestChaosPooledLoadDuringChurn(t *testing.T) {
+	for s := 0; s < *chaosSeeds; s++ {
+		seed := int64(201 + s)
+		t.Run(string(rune('A'+s)), func(t *testing.T) {
+			t.Parallel()
+			cfg := chaosrunner.Config{
+				Seed:        seed,
+				Rounds:      6,
+				Replicas:    3,
+				Pooled:      true,
+				LoadClients: 4,
+			}
+			res, err := chaosrunner.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			loadOps := 0
+			for _, rep := range res.Rounds {
+				loadOps += rep.LoadOps
+			}
+			if want := 6 * 4 * 8; loadOps != want {
+				t.Errorf("seed %d: %d load ops ran, want %d", seed, loadOps, want)
+			}
+			// Crashes stay below R = 3 (MultiCrash defaults to 1), so the
+			// run must forfeit nothing: 16 seeded keys plus every
+			// concurrent put still tracked at the end.
+			if want := 16 + 6*4*3; res.FinalKeys != want {
+				t.Errorf("seed %d: %d keys tracked at the end, want %d", seed, res.FinalKeys, want)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminismPooled pins that the pooled transport preserves
+// the harness's determinism contract: same seed, same run, byte for
+// byte (load disabled — racing traffic is exempt by design).
+func TestChaosDeterminismPooled(t *testing.T) {
+	cfg := chaosrunner.Config{Seed: 3, Pooled: true}
+	a, err := chaosrunner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosrunner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("pooled chaos results differ across identically seeded runs:\n%+v\n%+v", a, b)
+	}
+}
+
 // TestChaosDefaultScheduleUnchanged pins that the replication knobs do
 // not perturb default schedules: a config that leaves Replicas and
 // MultiCrash at their defaults must generate the exact schedule the

@@ -56,6 +56,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -73,18 +74,22 @@ type Network struct {
 
 type linkKey struct{ src, dst string }
 
+// blocked and blackholed are atomics so established connections
+// (fabricConn) can consult the current fault state on every Read/Write
+// without serializing all fabric I/O on the network mutex; writers
+// still update them under nw.mu like every other knob.
 type linkState struct {
 	drop    float64
 	hasDrop bool
 	lat     time.Duration
 	hasLat  bool
-	blocked bool
+	blocked atomic.Bool
 	rng     *rand.Rand
 }
 
 type hostState struct {
 	nextPort    int
-	blackholed  bool
+	blackholed  atomic.Bool
 	failAccepts int
 	acceptCalls int
 }
@@ -170,14 +175,14 @@ func (nw *Network) SetDefaultLatency(d time.Duration) {
 func (nw *Network) Block(src, dst string) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.linkLocked(src, dst).blocked = true
+	nw.linkLocked(src, dst).blocked.Store(true)
 }
 
 // Unblock restores the directed link src→dst.
 func (nw *Network) Unblock(src, dst string) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.linkLocked(src, dst).blocked = false
+	nw.linkLocked(src, dst).blocked.Store(false)
 }
 
 // Partition blocks every link between group a and group b, in both
@@ -188,8 +193,8 @@ func (nw *Network) Partition(a, b []string) {
 	defer nw.mu.Unlock()
 	for _, x := range a {
 		for _, y := range b {
-			nw.linkLocked(x, y).blocked = true
-			nw.linkLocked(y, x).blocked = true
+			nw.linkLocked(x, y).blocked.Store(true)
+			nw.linkLocked(y, x).blocked.Store(true)
 		}
 	}
 }
@@ -199,14 +204,14 @@ func (nw *Network) Partition(a, b []string) {
 func (nw *Network) Blackhole(name string) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.hostLocked(name).blackholed = true
+	nw.hostLocked(name).blackholed.Store(true)
 }
 
 // Restore reverses Blackhole.
 func (nw *Network) Restore(name string) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.hostLocked(name).blackholed = false
+	nw.hostLocked(name).blackholed.Store(false)
 }
 
 // FailAccepts makes the host's listeners fail their next k Accept calls
@@ -236,10 +241,10 @@ func (nw *Network) HealAll() {
 	for _, l := range nw.links {
 		l.drop, l.hasDrop = 0, false
 		l.lat, l.hasLat = 0, false
-		l.blocked = false
+		l.blocked.Store(false)
 	}
 	for _, h := range nw.hosts {
-		h.blackholed = false
+		h.blackholed.Store(false)
 	}
 }
 
@@ -286,12 +291,12 @@ func (h *Host) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	nw := h.nw
 	nw.mu.Lock()
 	dstHost := hostOf(addr)
-	if nw.hostLocked(h.name).blackholed || nw.hostLocked(dstHost).blackholed {
+	if nw.hostLocked(h.name).blackholed.Load() || nw.hostLocked(dstHost).blackholed.Load() {
 		nw.mu.Unlock()
 		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: host unreachable (blackholed)", addr)}
 	}
 	l := nw.linkLocked(h.name, dstHost)
-	if l.blocked {
+	if l.blocked.Load() {
 		nw.mu.Unlock()
 		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: link partitioned", addr)}
 	}
@@ -322,7 +327,17 @@ func (h *Host) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	defer t.Stop()
 	select {
 	case ln.queue <- server:
-		return client, nil
+		nw.mu.Lock()
+		fc := &fabricConn{
+			Conn:  client,
+			src:   h.name,
+			dst:   dstHost,
+			srcBH: &nw.hostLocked(h.name).blackholed,
+			dstBH: &nw.hostLocked(dstHost).blackholed,
+			cut:   &nw.linkLocked(h.name, dstHost).blocked,
+		}
+		nw.mu.Unlock()
+		return fc, nil
 	case <-ln.closed:
 		client.Close()
 		server.Close()
@@ -332,6 +347,48 @@ func (h *Host) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 		server.Close()
 		return nil, errTimeout{fmt.Sprintf("memnet: dial %s: accept queue full", addr)}
 	}
+}
+
+// fabricConn is the dialer's end of an established connection, kept
+// subject to the fabric's *current* hard faults: once the link is
+// blocked or either host blackholed, every Read and Write fails with a
+// timeout, so persistent (pooled) connections lose their peer exactly
+// like a fresh dial would — a long-lived connection must not tunnel
+// through a partition. Drop probability stays a dial-time event and
+// consumes no per-link randomness here, preserving the determinism
+// contract.
+type fabricConn struct {
+	net.Conn
+	src, dst string
+	// Cached fault flags of the endpoints and the directed link,
+	// resolved at dial time and read atomically per I/O call — no
+	// network-wide lock on the data path.
+	srcBH, dstBH *atomic.Bool
+	cut          *atomic.Bool
+}
+
+func (c *fabricConn) faulted() error {
+	if c.srcBH.Load() || c.dstBH.Load() {
+		return errTimeout{fmt.Sprintf("memnet: conn %s->%s: host unreachable (blackholed)", c.src, c.dst)}
+	}
+	if c.cut.Load() {
+		return errTimeout{fmt.Sprintf("memnet: conn %s->%s: link partitioned", c.src, c.dst)}
+	}
+	return nil
+}
+
+func (c *fabricConn) Read(p []byte) (int, error) {
+	if err := c.faulted(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *fabricConn) Write(p []byte) (int, error) {
+	if err := c.faulted(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
 }
 
 func hostOf(addr string) string {

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"cycloid/internal/telemetry"
+	"cycloid/p2p/pool"
 )
 
 // routePhases is the label set for per-phase hop counters — the paper's
@@ -41,6 +42,12 @@ type nodeMetrics struct {
 	dialLatency   *telemetry.Histogram
 	dialFailures  *telemetry.Counter
 	acceptBackoff *telemetry.Counter
+
+	// connection pool (p2p/pool, pooled transport mode)
+	poolDials     *telemetry.Counter
+	poolReuses    *telemetry.Counter
+	poolEvictions *telemetry.Counter
+	poolTeardowns *telemetry.Counter
 
 	// replication (p2p/replicate.go)
 	fanout      *telemetry.Histogram
@@ -89,6 +96,13 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		acceptBackoff: reg.Counter("accept_backoff_total",
 			"Transient listener Accept errors absorbed by exponential backoff."),
 
+		poolDials:  reg.Counter("pool_dials_total", "Pooled connections opened (pooled transport mode)."),
+		poolReuses: reg.Counter("pool_reuses_total", "Wire calls that rode an existing pooled connection."),
+		poolEvictions: reg.Counter("pool_evictions_total",
+			"Idle pooled connections evicted after the idle timeout."),
+		poolTeardowns: reg.Counter("pool_teardowns_total",
+			"Pooled connections torn down on failure, failing their pending calls."),
+
 		fanout:     reg.Histogram("replicate_fanout_size", "Replica targets per owner-side write fan-out.", telemetry.FanoutBuckets),
 		lwwRejects: reg.Counter("lww_rejects_total", "Replicated copies rejected because a local copy was at least as new."),
 		promotions: reg.Counter("replica_promotions_total",
@@ -126,6 +140,20 @@ func (m *nodeMetrics) hopPhase(phase string) {
 		return
 	}
 	m.phaseOther.Inc()
+}
+
+// poolEvent counts one pool lifecycle event (pooled transport mode).
+func (m *nodeMetrics) poolEvent(e pool.Event) {
+	switch e {
+	case pool.EventDial:
+		m.poolDials.Inc()
+	case pool.EventReuse:
+		m.poolReuses.Inc()
+	case pool.EventEviction:
+		m.poolEvictions.Inc()
+	case pool.EventTeardown:
+		m.poolTeardowns.Inc()
+	}
 }
 
 // request counts one served wire request under its op label.

@@ -38,6 +38,7 @@ import (
 	"cycloid/internal/hashing"
 	"cycloid/internal/ids"
 	"cycloid/internal/telemetry"
+	"cycloid/p2p/pool"
 )
 
 // Config parameterizes a live node.
@@ -62,6 +63,18 @@ type Config struct {
 	// p2p/memnet for deterministic in-memory fabrics with fault
 	// injection.
 	Transport Transport
+	// PooledTransport routes outbound wire calls through per-peer
+	// persistent connections with request multiplexing (p2p/pool)
+	// instead of one dial per request. Failure semantics are unchanged —
+	// a dead pooled peer surfaces as the same timeout a failed dial
+	// would — but the per-request connection cost is gone. Default false
+	// (dial-per-request, the original wire behavior). Servers accept
+	// both kinds of traffic regardless of this setting.
+	PooledTransport bool
+	// MaxFrame caps one wire frame (a request line or a multiplexed
+	// envelope, in either direction); oversized frames are rejected with
+	// a wire error instead of buffered unboundedly. Default 1 MiB.
+	MaxFrame int
 	// Replicas is the replication factor R: every key is stored on its
 	// owner plus up to R-1 leaf-set neighbors, so any f < R simultaneous
 	// crashes between stabilization windows lose no data. Default 1
@@ -96,6 +109,9 @@ func (c *Config) defaults() {
 	}
 	if c.Transport == nil {
 		c.Transport = TCP
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = pool.DefaultMaxFrame
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 1
@@ -165,6 +181,13 @@ type Node struct {
 	wg       sync.WaitGroup
 	rng      *rand.Rand
 
+	// pool is the outbound connection pool, nil in dial-per-request
+	// mode. muxConns tracks inbound multiplexed connections so Close can
+	// unblock their readers and drain in-flight requests.
+	pool     *pool.Pool
+	muxMu    sync.Mutex
+	muxConns map[net.Conn]struct{}
+
 	tel    *nodeMetrics
 	log    *slog.Logger
 	traces *telemetry.TraceRing
@@ -213,6 +236,14 @@ func Start(cfg Config) (*Node, error) {
 		rng:      rand.New(rand.NewSource(int64(space.Linear(id)) + 1)),
 		tel:      newNodeMetrics(cfg.Telemetry),
 		traces:   telemetry.NewTraceRing(cfg.TraceBuffer),
+		muxConns: make(map[net.Conn]struct{}),
+	}
+	if cfg.PooledTransport {
+		n.pool = pool.New(pool.Config{
+			Dial:     cfg.Transport.Dial,
+			MaxFrame: cfg.MaxFrame,
+			OnEvent:  n.tel.poolEvent,
+		})
 	}
 	n.log = cfg.Logger.With("node", id.String(), "addr", ln.Addr().String())
 	self := entry{ID: id, Addr: n.Addr()}
@@ -238,13 +269,27 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 func (n *Node) Dim() int { return n.space.Dim() }
 
 // Close stops serving without running the departure protocol (an
-// ungraceful exit); use Leave for a graceful departure.
+// ungraceful exit); use Leave for a graceful departure. In-flight
+// requests drain: handlers already dispatched complete and write their
+// responses, requests arriving after the stop get an explicit error
+// frame, and only then are connections (inbound mux streams and the
+// outbound pool) torn down.
 func (n *Node) Close() error {
 	n.stopOnce.Do(func() {
 		close(n.stopped)
 		n.ln.Close()
+		// Unblock inbound mux readers parked on idle streams; their
+		// handlers finish in-flight dispatches before closing.
+		n.muxMu.Lock()
+		for c := range n.muxConns {
+			_ = c.SetReadDeadline(time.Now())
+		}
+		n.muxMu.Unlock()
 	})
 	n.wg.Wait()
+	if n.pool != nil {
+		n.pool.Close()
+	}
 	return nil
 }
 

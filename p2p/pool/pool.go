@@ -1,0 +1,541 @@
+// Package pool provides persistent, multiplexed wire connections for
+// the p2p layer: instead of one TCP dial per request (the seed wire
+// protocol), each peer gets a small set of long-lived connections over
+// which many concurrent request/response exchanges are in flight at
+// once, correlated by envelope IDs.
+//
+// # Framing
+//
+// A pooled connection opens with the fixed preamble line (Preamble), so
+// a server can tell a multiplexed stream from a legacy one-shot request
+// by peeking at the first bytes. After the preamble both directions
+// carry newline-delimited JSON envelopes:
+//
+//	{"id":7,"p":{...payload...}}
+//
+// The payload is the caller's business (the p2p layer keeps its
+// existing JSON request/response messages verbatim); the pool only adds
+// the correlation ID. An envelope with a non-empty "err" carries a
+// peer-side failure for that ID; an envelope with ID 0 is a
+// connection-level protocol error and tears the connection down.
+//
+// Every frame — in either direction — is capped at MaxFrame bytes; an
+// oversized frame is a protocol error, never an unbounded buffer.
+//
+// # Lifecycle
+//
+// Connections are created on demand (at most MaxPerPeer per peer,
+// preferring the least-loaded one), evicted after IdleTimeout of
+// disuse, and torn down on any read, write, decode or per-call timeout
+// failure. A teardown fails every call pending on the connection, and
+// the caller's error handling (timeout accounting, the suspicion list)
+// sees exactly what a failed dial would have shown it — so the overlay's
+// failure semantics are unchanged, only the per-request dial cost is
+// gone.
+package pool
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Preamble is the line a pooled client writes immediately after
+// dialing, letting servers distinguish a multiplexed stream from a
+// legacy one-shot request.
+const Preamble = "CYCLOID-MUX/1\n"
+
+// DefaultMaxFrame caps a single envelope (either direction) at 1 MiB.
+const DefaultMaxFrame = 1 << 20
+
+// ErrFrameTooLarge reports a frame exceeding the configured cap.
+var ErrFrameTooLarge = errors.New("pool: frame exceeds size limit")
+
+// ErrClosed reports a call on a closed pool.
+var ErrClosed = errors.New("pool: closed")
+
+// Envelope is one multiplexed frame: a correlation ID plus either a
+// payload or a peer-side error for that ID.
+type Envelope struct {
+	ID  uint64          `json:"id"`
+	P   json.RawMessage `json:"p,omitempty"`
+	Err string          `json:"err,omitempty"`
+}
+
+// ReadFrame reads one newline-delimited frame of at most max bytes from
+// br. It returns ErrFrameTooLarge as soon as the accumulated line
+// exceeds max, without buffering the remainder.
+func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > max {
+			return nil, ErrFrameTooLarge
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			return buf, err
+		}
+		return buf, nil
+	}
+}
+
+// DialFunc opens a transport connection, failing after at most timeout
+// (the p2p Transport.Dial signature).
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// Event identifies a pool state change, for the owner's metrics.
+type Event int
+
+// Pool events, reported through Config.OnEvent.
+const (
+	EventDial     Event = iota // a new pooled connection was dialed
+	EventReuse                 // a call rode an existing connection
+	EventEviction              // an idle connection was evicted
+	EventTeardown              // a connection failed and was torn down
+)
+
+// Config parameterizes a Pool. Dial is required; everything else
+// defaults sensibly.
+type Config struct {
+	// Dial opens the underlying transport connections.
+	Dial DialFunc
+	// MaxPerPeer caps the connections kept per peer address. Default 2.
+	MaxPerPeer int
+	// MaxInflight is the per-connection in-flight call count above which
+	// the pool prefers opening another connection (up to MaxPerPeer).
+	// Default 32.
+	MaxInflight int
+	// MaxFrame caps one envelope in either direction. Default
+	// DefaultMaxFrame.
+	MaxFrame int
+	// IdleTimeout evicts connections with no traffic for this long.
+	// Default 60s.
+	IdleTimeout time.Duration
+	// OnEvent, when non-nil, receives pool lifecycle events (dials,
+	// reuses, evictions, teardowns) for the owner's telemetry. Called
+	// synchronously; must not block.
+	OnEvent func(Event)
+}
+
+func (c *Config) defaults() {
+	if c.MaxPerPeer == 0 {
+		c.MaxPerPeer = 2
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 32
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+}
+
+// Stats is a cumulative snapshot of pool activity.
+type Stats struct {
+	Dials     uint64 // pooled connections opened
+	Reuses    uint64 // calls that rode an existing connection
+	Evictions uint64 // idle connections evicted
+	Teardowns uint64 // connections torn down on failure
+	OpenConns int    // connections currently open
+}
+
+// Pool multiplexes request/response calls over per-peer persistent
+// connections. All methods are safe for concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu        sync.Mutex
+	peers     map[string][]*conn
+	closed    bool
+	lastSweep time.Time
+
+	dials, reuses, evictions, teardowns atomic.Uint64
+}
+
+// New creates a pool dialing through cfg.Dial.
+func New(cfg Config) *Pool {
+	cfg.defaults()
+	if cfg.Dial == nil {
+		panic("pool: Config.Dial is required")
+	}
+	return &Pool{cfg: cfg, peers: make(map[string][]*conn), lastSweep: time.Now()}
+}
+
+func (p *Pool) event(e Event) {
+	switch e {
+	case EventDial:
+		p.dials.Add(1)
+	case EventReuse:
+		p.reuses.Add(1)
+	case EventEviction:
+		p.evictions.Add(1)
+	case EventTeardown:
+		p.teardowns.Add(1)
+	}
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(e)
+	}
+}
+
+// Stats returns a cumulative activity snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	open := 0
+	for _, conns := range p.peers {
+		open += len(conns)
+	}
+	p.mu.Unlock()
+	return Stats{
+		Dials:     p.dials.Load(),
+		Reuses:    p.reuses.Load(),
+		Evictions: p.evictions.Load(),
+		Teardowns: p.teardowns.Load(),
+		OpenConns: open,
+	}
+}
+
+// result is one call's outcome, delivered by the reader goroutine.
+type result struct {
+	payload json.RawMessage
+	err     error
+}
+
+// conn is one pooled connection and its multiplexing state.
+type conn struct {
+	p    *Pool
+	addr string
+	nc   net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu       sync.Mutex
+	pending  map[uint64]chan result
+	nextID   uint64
+	inflight int
+	lastUse  time.Time
+	closed   bool
+	closeErr error
+}
+
+// Do performs one request/response exchange with the peer at addr,
+// reusing a pooled connection or dialing one. The exchange fails after
+// at most timeout, additionally capped by ctx's deadline. The returned
+// payload is the peer's response frame, verbatim.
+func (p *Pool) Do(ctx context.Context, addr string, payload []byte, timeout time.Duration) (json.RawMessage, error) {
+	if len(payload)+1 > p.cfg.MaxFrame {
+		return nil, fmt.Errorf("pool: request to %s: %w", addr, ErrFrameTooLarge)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if rem := time.Until(d); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		err := ctx.Err()
+		if err == nil {
+			err = context.DeadlineExceeded
+		}
+		return nil, fmt.Errorf("pool: call %s: %w", addr, err)
+	}
+	c, err := p.acquire(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register the call before writing so a fast response cannot race
+	// the pending map.
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("pool: call %s: %w", addr, err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.inflight++
+	c.lastUse = time.Now()
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.inflight--
+		c.lastUse = time.Now()
+		c.mu.Unlock()
+	}()
+
+	frame, err := json.Marshal(Envelope{ID: id, P: payload})
+	if err != nil {
+		return nil, fmt.Errorf("pool: encode for %s: %w", addr, err)
+	}
+	frame = append(frame, '\n')
+	c.wmu.Lock()
+	_ = c.nc.SetWriteDeadline(time.Now().Add(timeout))
+	_, werr := c.nc.Write(frame)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.teardown(fmt.Errorf("pool: write %s: %w", addr, werr))
+		return nil, fmt.Errorf("pool: write %s: %w", addr, werr)
+	}
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, fmt.Errorf("pool: call %s: %w", addr, res.err)
+		}
+		return res.payload, nil
+	case <-ctx.Done():
+		// The response may still arrive, but the caller is gone; a
+		// connection carrying an abandoned exchange is suspect, and
+		// keeping it would let one stalled peer absorb calls forever.
+		c.teardown(fmt.Errorf("pool: call %s: %w", addr, ctx.Err()))
+		return nil, fmt.Errorf("pool: call %s: %w", addr, ctx.Err())
+	case <-t.C:
+		c.teardown(fmt.Errorf("pool: call %s: timed out after %v", addr, timeout))
+		return nil, timeoutError{fmt.Sprintf("pool: call %s: no response within %v", addr, timeout)}
+	}
+}
+
+// timeoutError satisfies net.Error, matching what a dial timeout
+// returns so callers treat a hung pooled peer exactly like an
+// unreachable one.
+type timeoutError struct{ msg string }
+
+func (e timeoutError) Error() string   { return e.msg }
+func (e timeoutError) Timeout() bool   { return true }
+func (e timeoutError) Temporary() bool { return true }
+
+// acquire returns a live connection to addr, dialing one if the
+// existing connections are absent or saturated.
+func (p *Pool) acquire(addr string, timeout time.Duration) (*conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.sweepLocked()
+	var best *conn
+	bestLoad := 0
+	for _, c := range p.peers[addr] {
+		c.mu.Lock()
+		load, dead := c.inflight, c.closed
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		if best == nil || load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	if best != nil && (bestLoad < p.cfg.MaxInflight || len(p.peers[addr]) >= p.cfg.MaxPerPeer) {
+		p.mu.Unlock()
+		p.event(EventReuse)
+		return best, nil
+	}
+	p.mu.Unlock()
+
+	nc, err := p.cfg.Dial(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("pool: dial %s: %w", addr, err)
+	}
+	_ = nc.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write([]byte(Preamble)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("pool: preamble to %s: %w", addr, err)
+	}
+	_ = nc.SetWriteDeadline(time.Time{})
+	c := &conn{p: p, addr: addr, nc: nc, pending: make(map[uint64]chan result), lastUse: time.Now()}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		nc.Close()
+		return nil, ErrClosed
+	}
+	if len(p.peers[addr]) >= p.cfg.MaxPerPeer {
+		// A racing caller filled the cap while we dialed; ride the
+		// least-loaded existing connection instead.
+		var alt *conn
+		altLoad := 0
+		for _, ec := range p.peers[addr] {
+			ec.mu.Lock()
+			load, dead := ec.inflight, ec.closed
+			ec.mu.Unlock()
+			if !dead && (alt == nil || load < altLoad) {
+				alt, altLoad = ec, load
+			}
+		}
+		if alt != nil {
+			p.mu.Unlock()
+			nc.Close()
+			p.event(EventReuse)
+			return alt, nil
+		}
+	}
+	p.peers[addr] = append(p.peers[addr], c)
+	p.mu.Unlock()
+	p.event(EventDial)
+	go c.readLoop()
+	return c, nil
+}
+
+// sweepLocked evicts idle connections; callers hold p.mu.
+func (p *Pool) sweepLocked() {
+	now := time.Now()
+	if now.Sub(p.lastSweep) < p.cfg.IdleTimeout/4 {
+		return
+	}
+	p.lastSweep = now
+	for addr, conns := range p.peers {
+		kept := conns[:0]
+		for _, c := range conns {
+			c.mu.Lock()
+			idle := !c.closed && c.inflight == 0 && now.Sub(c.lastUse) > p.cfg.IdleTimeout
+			c.mu.Unlock()
+			if idle {
+				c.close(errors.New("pool: connection evicted (idle)"))
+				p.event(EventEviction)
+				continue
+			}
+			kept = append(kept, c)
+		}
+		if len(kept) == 0 {
+			delete(p.peers, addr)
+		} else {
+			p.peers[addr] = kept
+		}
+	}
+}
+
+// EvictIdle force-runs the idle sweep regardless of the sweep interval,
+// for tests and shutdown paths.
+func (p *Pool) EvictIdle() {
+	p.mu.Lock()
+	p.lastSweep = time.Time{}
+	p.sweepLocked()
+	p.mu.Unlock()
+}
+
+// Close tears down every connection and fails all pending calls.
+// Subsequent Do calls return ErrClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	var all []*conn
+	for _, conns := range p.peers {
+		all = append(all, conns...)
+	}
+	p.peers = make(map[string][]*conn)
+	p.mu.Unlock()
+	for _, c := range all {
+		c.close(ErrClosed)
+	}
+	return nil
+}
+
+// teardown removes the connection from the pool and closes it, failing
+// every pending call — the failure-aware path that makes a pooled peer
+// death look exactly like a dial failure to the p2p layer.
+func (c *conn) teardown(err error) {
+	p := c.p
+	p.mu.Lock()
+	conns := p.peers[c.addr]
+	kept := conns[:0]
+	found := false
+	for _, ec := range conns {
+		if ec == c {
+			found = true
+			continue
+		}
+		kept = append(kept, ec)
+	}
+	if len(kept) == 0 {
+		delete(p.peers, c.addr)
+	} else {
+		p.peers[c.addr] = kept
+	}
+	p.mu.Unlock()
+	if found {
+		p.event(EventTeardown)
+	}
+	c.close(err)
+}
+
+// close marks the connection dead and fails its pending calls.
+func (c *conn) close(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	pending := c.pending
+	c.pending = make(map[uint64]chan result)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}
+
+// readLoop decodes response envelopes and routes them to pending calls.
+// Any failure — I/O error, malformed or oversized frame — tears the
+// connection down.
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		line, err := ReadFrame(br, c.p.cfg.MaxFrame)
+		if err != nil {
+			c.teardown(fmt.Errorf("pool: read %s: %w", c.addr, err))
+			return
+		}
+		var env Envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			c.teardown(fmt.Errorf("pool: malformed frame from %s: %w", c.addr, err))
+			return
+		}
+		if env.ID == 0 {
+			// Connection-level error from the peer (oversized frame,
+			// protocol violation): nothing on this stream can be trusted.
+			msg := env.Err
+			if msg == "" {
+				msg = "protocol error"
+			}
+			c.teardown(fmt.Errorf("pool: %s: %s", c.addr, msg))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[env.ID]
+		delete(c.pending, env.ID)
+		c.lastUse = time.Now()
+		c.mu.Unlock()
+		if ch == nil {
+			continue // response to a call that already timed out
+		}
+		if env.Err != "" {
+			ch <- result{err: errors.New(env.Err)}
+			continue
+		}
+		ch <- result{payload: env.P}
+	}
+}

@@ -1,0 +1,331 @@
+package pool
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer runs a minimal mux peer on a TCP loopback listener:
+// every accepted connection must open with the preamble, then each
+// inbound envelope is answered by handler (nil return = stay silent,
+// for timeout tests). Returns the address and a stop func.
+func startServer(t *testing.T, handler func(env Envelope) *Envelope) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				pre := make([]byte, len(Preamble))
+				if _, err := readFull(br, pre); err != nil || string(pre) != Preamble {
+					return
+				}
+				var wmu sync.Mutex
+				for {
+					line, err := ReadFrame(br, DefaultMaxFrame)
+					if err != nil {
+						return
+					}
+					var env Envelope
+					if err := json.Unmarshal(line, &env); err != nil {
+						return
+					}
+					go func() {
+						if out := handler(env); out != nil {
+							frame, _ := json.Marshal(out)
+							frame = append(frame, '\n')
+							wmu.Lock()
+							conn.Write(frame)
+							wmu.Unlock()
+						}
+					}()
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func readFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// echo answers every envelope with its own payload.
+func echo(env Envelope) *Envelope { return &Envelope{ID: env.ID, P: env.P} }
+
+func tcpDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+func TestDoReusesConnection(t *testing.T) {
+	addr, stop := startServer(t, echo)
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+	defer p.Close()
+
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf(`{"i":%d}`, i)
+		got, err := p.Do(context.Background(), addr, []byte(want), time.Second)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("call %d: got %s, want %s", i, got, want)
+		}
+	}
+	s := p.Stats()
+	if s.Dials != 1 {
+		t.Fatalf("expected exactly 1 dial for sequential calls, got %d", s.Dials)
+	}
+	if s.Reuses != 9 {
+		t.Fatalf("expected 9 reuses, got %d", s.Reuses)
+	}
+	if s.OpenConns != 1 {
+		t.Fatalf("expected 1 open conn, got %d", s.OpenConns)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	addr, stop := startServer(t, echo)
+	defer stop()
+	p := New(Config{Dial: tcpDial, MaxPerPeer: 2})
+	defer p.Close()
+
+	const workers, calls = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*calls)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := fmt.Sprintf(`{"w":%d,"i":%d}`, w, i)
+				got, err := p.Do(context.Background(), addr, []byte(want), 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(got) != want {
+					errs <- fmt.Errorf("got %s, want %s", got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Dials > 2 {
+		t.Fatalf("dials %d exceed MaxPerPeer 2", s.Dials)
+	}
+}
+
+func TestTimeoutTearsDownAndRecovers(t *testing.T) {
+	var silent bool
+	var mu sync.Mutex
+	addr, stop := startServer(t, func(env Envelope) *Envelope {
+		mu.Lock()
+		s := silent
+		mu.Unlock()
+		if s {
+			return nil
+		}
+		return echo(env)
+	})
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+	defer p.Close()
+
+	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	silent = true
+	mu.Unlock()
+	_, err := p.Do(context.Background(), addr, []byte(`{}`), 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout from silent peer")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("timeout should satisfy net.Error Timeout(), got %T: %v", err, err)
+	}
+	if s := p.Stats(); s.Teardowns != 1 {
+		t.Fatalf("expected 1 teardown after timeout, got %d", s.Teardowns)
+	}
+	// The pool must recover by re-dialing.
+	mu.Lock()
+	silent = false
+	mu.Unlock()
+	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err != nil {
+		t.Fatalf("call after teardown: %v", err)
+	}
+	if s := p.Stats(); s.Dials != 2 {
+		t.Fatalf("expected a fresh dial after teardown, got %d dials", s.Dials)
+	}
+}
+
+func TestPeerErrorEnvelopeKeepsConnection(t *testing.T) {
+	addr, stop := startServer(t, func(env Envelope) *Envelope {
+		return &Envelope{ID: env.ID, Err: "no such op"}
+	})
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+	defer p.Close()
+
+	_, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second)
+	if err == nil || !strings.Contains(err.Error(), "no such op") {
+		t.Fatalf("expected peer error, got %v", err)
+	}
+	// A per-call error is not a connection failure: the conn survives.
+	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err == nil {
+		t.Fatal("expected peer error on second call too")
+	}
+	s := p.Stats()
+	if s.Dials != 1 || s.Teardowns != 0 {
+		t.Fatalf("per-call errors must not tear down: dials=%d teardowns=%d", s.Dials, s.Teardowns)
+	}
+}
+
+func TestProtocolErrorTearsDown(t *testing.T) {
+	addr, stop := startServer(t, func(env Envelope) *Envelope {
+		return &Envelope{Err: "frame exceeds size limit"} // ID 0: connection-level
+	})
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+	defer p.Close()
+
+	_, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second)
+	if err == nil {
+		t.Fatal("expected error from protocol-level envelope")
+	}
+	if s := p.Stats(); s.Teardowns != 1 {
+		t.Fatalf("expected teardown on protocol error, got %d", s.Teardowns)
+	}
+}
+
+func TestOversizedRequestRejectedLocally(t *testing.T) {
+	dialed := false
+	p := New(Config{
+		Dial:     func(addr string, timeout time.Duration) (net.Conn, error) { dialed = true; return nil, errors.New("no") },
+		MaxFrame: 128,
+	})
+	defer p.Close()
+	_, err := p.Do(context.Background(), "nowhere:1", make([]byte, 256), time.Second)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+	if dialed {
+		t.Fatal("oversized request must be rejected before dialing")
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	addr, stop := startServer(t, echo)
+	defer stop()
+	p := New(Config{Dial: tcpDial, IdleTimeout: time.Nanosecond})
+	defer p.Close()
+
+	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	p.EvictIdle()
+	s := p.Stats()
+	if s.Evictions != 1 || s.OpenConns != 0 {
+		t.Fatalf("expected idle conn evicted: evictions=%d open=%d", s.Evictions, s.OpenConns)
+	}
+}
+
+func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
+	addr, stop := startServer(t, func(Envelope) *Envelope { return nil })
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Do(context.Background(), addr, []byte(`{}`), 10*time.Second)
+		done <- err
+	}()
+	// Wait for the call to be in flight, then close under it.
+	for {
+		if p.Stats().OpenConns == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending call should fail with ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not failed by Close")
+	}
+	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close should return ErrClosed, got %v", err)
+	}
+}
+
+func TestContextDeadlineCapsCall(t *testing.T) {
+	addr, stop := startServer(t, func(Envelope) *Envelope { return nil })
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	began := time.Now()
+	_, err := p.Do(ctx, addr, []byte(`{}`), 10*time.Second)
+	if err == nil {
+		t.Fatal("expected context deadline to fail the call")
+	}
+	if took := time.Since(began); took > 2*time.Second {
+		t.Fatalf("context deadline not honored: call took %v", took)
+	}
+}
+
+func TestReadFrameCapsLine(t *testing.T) {
+	long := strings.Repeat("x", 100) + "\n"
+	br := bufio.NewReaderSize(strings.NewReader(long), 16)
+	if _, err := ReadFrame(br, 32); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+	br = bufio.NewReaderSize(strings.NewReader(long), 16)
+	got, err := ReadFrame(br, 256)
+	if err != nil || string(got) != long {
+		t.Fatalf("frame under cap should pass: %q %v", got, err)
+	}
+}

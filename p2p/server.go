@@ -4,11 +4,15 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net"
+	"sync"
 	"time"
 
 	"cycloid/internal/cycloid"
 	"cycloid/internal/ids"
+	"cycloid/p2p/pool"
 )
 
 func deadline(d time.Duration) time.Time { return time.Now().Add(d) }
@@ -51,17 +55,131 @@ func (n *Node) serve() {
 	}
 }
 
-// handle serves one request/response exchange.
+// handle serves one inbound connection. A connection opening with the
+// pool preamble is a multiplexed stream carrying many concurrent
+// exchanges (serveMux); anything else is the original one-shot
+// protocol: one request, one response, close. Either way a single
+// inbound frame is capped at MaxFrame bytes — an oversized request gets
+// a wire error instead of an unbounded buffer.
 func (n *Node) handle(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(deadline(n.cfg.DialTimeout))
+	br := bufio.NewReader(conn)
+	if pre, err := br.Peek(len(pool.Preamble)); err == nil && string(pre) == pool.Preamble {
+		_, _ = br.Discard(len(pool.Preamble))
+		n.serveMux(conn, br)
+		return
+	}
 	var req request
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+	if err := json.NewDecoder(&cappedReader{r: br, rem: n.cfg.MaxFrame}).Decode(&req); err != nil {
+		if errors.Is(err, pool.ErrFrameTooLarge) {
+			resp := response{Err: "request exceeds frame limit"}
+			_ = json.NewEncoder(conn).Encode(resp)
+		}
 		return
 	}
 	resp := n.dispatch(req)
 	resp.OK = resp.Err == ""
 	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+// cappedReader fails with pool.ErrFrameTooLarge once more than rem
+// bytes have been read through it, bounding what a single request may
+// make the decoder buffer.
+type cappedReader struct {
+	r   io.Reader
+	rem int
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.rem <= 0 {
+		return 0, pool.ErrFrameTooLarge
+	}
+	if len(p) > c.rem {
+		p = p[:c.rem]
+	}
+	nr, err := c.r.Read(p)
+	c.rem -= nr
+	return nr, err
+}
+
+// serveMux serves one multiplexed connection: newline-delimited pool
+// envelopes, each request dispatched concurrently and answered under
+// its correlation ID. The stream lives until the peer closes it, a
+// protocol error occurs, or the node stops — and on stop, every request
+// already read is answered (in-flight dispatches complete, later frames
+// get an explicit error envelope) before the connection drops.
+func (n *Node) serveMux(conn net.Conn, br *bufio.Reader) {
+	n.muxMu.Lock()
+	n.muxConns[conn] = struct{}{}
+	n.muxMu.Unlock()
+	defer func() {
+		n.muxMu.Lock()
+		delete(n.muxConns, conn)
+		n.muxMu.Unlock()
+	}()
+
+	// A mux stream idles between requests; replace the per-request
+	// deadline with none, then re-check stopped — Close may have swept
+	// the mux set concurrently with registration above, and its
+	// read-deadline nudge must not be erased silently.
+	_ = conn.SetDeadline(time.Time{})
+	if n.isStopped() {
+		return
+	}
+
+	var wmu sync.Mutex
+	writeEnv := func(env pool.Envelope) {
+		frame, err := json.Marshal(env)
+		if err != nil {
+			return
+		}
+		frame = append(frame, '\n')
+		wmu.Lock()
+		_ = conn.SetWriteDeadline(deadline(n.cfg.DialTimeout))
+		_, _ = conn.Write(frame)
+		wmu.Unlock()
+	}
+
+	var inflight sync.WaitGroup
+	defer inflight.Wait() // drain dispatched handlers before closing
+	for {
+		line, err := pool.ReadFrame(br, n.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, pool.ErrFrameTooLarge) {
+				// ID 0 = connection-level error: framing is lost, so the
+				// peer must tear the stream down.
+				writeEnv(pool.Envelope{Err: "frame exceeds size limit"})
+			}
+			return
+		}
+		var env pool.Envelope
+		if err := json.Unmarshal(line, &env); err != nil || env.ID == 0 {
+			writeEnv(pool.Envelope{Err: "malformed envelope"})
+			return
+		}
+		if n.isStopped() {
+			writeEnv(pool.Envelope{ID: env.ID, Err: ErrStopped.Error()})
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(env.P, &req); err != nil {
+			writeEnv(pool.Envelope{ID: env.ID, Err: "malformed request"})
+			continue
+		}
+		inflight.Add(1)
+		go func(id uint64, req request) {
+			defer inflight.Done()
+			resp := n.dispatch(req)
+			resp.OK = resp.Err == ""
+			p, err := json.Marshal(resp)
+			if err != nil {
+				writeEnv(pool.Envelope{ID: id, Err: "encode response: " + err.Error()})
+				return
+			}
+			writeEnv(pool.Envelope{ID: id, P: p})
+		}(env.ID, req)
+	}
 }
 
 func (n *Node) dispatch(req request) response {

@@ -145,6 +145,9 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 		}
 	}
 	req.From = WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
+	if n.pool != nil {
+		return n.callPooled(ctx, addr, req, timeout)
+	}
 	began := time.Now()
 	conn, err := n.cfg.Transport.Dial(addr, timeout)
 	if err != nil {
@@ -167,6 +170,34 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 	}
 	n.tel.dialLatency.Observe(time.Since(began).Microseconds())
 	// A completed exchange proves the peer is alive, whatever it said.
+	n.unsuspect(addr)
+	if !resp.OK {
+		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// callPooled performs the exchange over the connection pool. Telemetry
+// and failure semantics mirror the dial-per-request path exactly: any
+// pool failure (dial, write, peer teardown, per-call timeout) counts as
+// a dial failure, and a completed exchange clears the peer's suspicion.
+func (n *Node) callPooled(ctx context.Context, addr string, req request, timeout time.Duration) (response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return response{}, fmt.Errorf("p2p: encode for %s: %w", addr, err)
+	}
+	began := time.Now()
+	raw, err := n.pool.Do(ctx, addr, payload, timeout)
+	if err != nil {
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: call %s: %w", addr, err)
+	}
+	var resp response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
+	}
+	n.tel.dialLatency.Observe(time.Since(began).Microseconds())
 	n.unsuspect(addr)
 	if !resp.OK {
 		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)

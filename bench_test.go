@@ -36,6 +36,7 @@ func BenchmarkJoinLeave(b *testing.B)             { bench.Run(b, "JoinLeave") }
 func BenchmarkReplicatedPut(b *testing.B)         { bench.Run(b, "ReplicatedPut") }
 func BenchmarkGetWithOwnerDown(b *testing.B)      { bench.Run(b, "GetWithOwnerDown") }
 func BenchmarkPooledLookup(b *testing.B)          { bench.Run(b, "PooledLookup") }
+func BenchmarkPooledLookupJSON(b *testing.B)      { bench.Run(b, "PooledLookupJSON") }
 func BenchmarkLookupDialPerRequest(b *testing.B)  { bench.Run(b, "LookupDialPerRequest") }
 
 // TestBenchWrappersCoverRegistry keeps the wrapper list above in sync
@@ -50,7 +51,7 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"UngracefulFailures": true, "Lookup": true,
 		"LookupInstrumented": true, "PutGet": true,
 		"JoinLeave": true, "ReplicatedPut": true, "GetWithOwnerDown": true,
-		"PooledLookup": true, "LookupDialPerRequest": true,
+		"PooledLookup": true, "PooledLookupJSON": true, "LookupDialPerRequest": true,
 	}
 	cases := bench.Cases()
 	if len(cases) != len(want) {

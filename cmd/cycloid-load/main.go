@@ -41,6 +41,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "seed for fabric, membership and workload")
 		transport   = flag.String("transport", "memnet", "transport fabric: memnet (deterministic) or tcp (loopback)")
 		pooled      = flag.Bool("pooled", true, "use pooled, multiplexed wire connections")
+		wireCodec   = flag.String("wire-codec", "auto", "outbound wire codec: auto, json (v1), binary (v2), or mixed (alternate json/binary per node)")
 		replicas    = flag.Int("replicas", 1, "replication factor R")
 		mix         = flag.String("mix", "0:0:1", "put:get:lookup weights")
 		keys        = flag.Int("keys", 64, "distinct key population")
@@ -55,7 +56,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cluster, cleanup, err := boot(*transport, *nodes, *dim, *seed, *pooled, *replicas, *dialTimeout)
+	cluster, cleanup, err := boot(*transport, *nodes, *dim, *seed, *pooled, *wireCodec, *replicas, *dialTimeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cycloid-load:", err)
 		os.Exit(1)
@@ -105,7 +106,7 @@ func main() {
 
 // boot brings up an n-node overlay on the chosen fabric, joined and
 // stabilized, with seeded distinct IDs.
-func boot(transport string, n, dim int, seed int64, pooled bool, replicas int, dialTimeout time.Duration) ([]*p2p.Node, func(), error) {
+func boot(transport string, n, dim int, seed int64, pooled bool, wireCodec string, replicas int, dialTimeout time.Duration) ([]*p2p.Node, func(), error) {
 	var nw *memnet.Network
 	switch transport {
 	case "memnet":
@@ -130,11 +131,20 @@ func boot(transport string, n, dim int, seed int64, pooled bool, replicas int, d
 		}
 		taken[v] = true
 		id := space.FromLinear(v)
+		wc := wireCodec
+		if wc == "mixed" {
+			if len(nodes)%2 == 0 {
+				wc = "json"
+			} else {
+				wc = "binary"
+			}
+		}
 		cfg := p2p.Config{
 			Dim:             dim,
 			ID:              &id,
 			DialTimeout:     dialTimeout,
 			PooledTransport: pooled,
+			WireCodec:       wc,
 			Replicas:        replicas,
 		}
 		if nw != nil {

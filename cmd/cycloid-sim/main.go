@@ -66,6 +66,7 @@ func main() {
 		replicas = flag.Int("replicas", 1, "chaos: replication factor R (keys survive f < R simultaneous crashes)")
 		crashes  = flag.Int("crashes", 1, "chaos: max simultaneous crashes per crash event")
 		pooled   = flag.Bool("pooled", false, "chaos: run members on pooled, multiplexed wire connections")
+		wcodec   = flag.String("wire-codec", "auto", "chaos: members' outbound wire codec: auto, json, binary, or mixed (alternate json/binary per member)")
 		loaders  = flag.Int("load-clients", 0, "chaos: load-during-churn workers (0 = off)")
 	)
 	flag.Usage = usage
@@ -76,7 +77,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "chaos" {
-		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *loaders)
+		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *wcodec, *loaders)
 		return
 	}
 	if flag.Arg(0) == "metrics" {
@@ -191,7 +192,7 @@ func main() {
 // then reports the per-round timeout counts and invariant violations.
 // The defaults for -nodes (500) and -dim (8) suit the simulator; chaos
 // runs live nodes, so clamp to the harness's scale when unchanged.
-func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, loaders int) {
+func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, wireCodec string, loaders int) {
 	rounds := 8
 	if flag.NArg() >= 2 {
 		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
@@ -207,13 +208,13 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, poo
 	cfg := chaosrunner.Config{
 		Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds,
 		Replicas: replicas, MultiCrash: crashes,
-		Pooled: pooled, LoadClients: loaders,
+		Pooled: pooled, WireCodec: wireCodec, LoadClients: loaders,
 	}
 	if trace {
 		cfg.Trace = os.Stderr
 	}
-	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, load-clients=%d\n",
-		seed, nodes, dim, rounds, replicas, crashes, pooled, loaders)
+	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, wire-codec=%s, load-clients=%d\n",
+		seed, nodes, dim, rounds, replicas, crashes, pooled, wireCodec, loaders)
 	for _, ev := range chaosrunner.GenerateSchedule(cfg) {
 		fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
 	}

@@ -43,6 +43,7 @@ func main() {
 		stabilize = flag.Duration("stabilize", 30*time.Second, "periodic stabilization interval")
 		replicas  = flag.Int("replicas", 1, "replication factor R: keys survive f < R simultaneous crashes (all overlay members must agree)")
 		pooled    = flag.Bool("pooled", false, "use pooled, multiplexed wire connections for outbound requests (interoperates with dial-per-request members)")
+		wireCodec = flag.String("wire-codec", "auto", "outbound wire codec: auto (negotiate binary, fall back to json per peer), json (v1), or binary (v2 only); inbound always auto-detects")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this HTTP address (empty = off)")
 		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
@@ -63,6 +64,7 @@ func main() {
 		StabilizeEvery:  *stabilize,
 		Replicas:        *replicas,
 		PooledTransport: *pooled,
+		WireCodec:       *wireCodec,
 		Telemetry:       reg,
 		Logger:          logger,
 		TraceBuffer:     *traceBuf,

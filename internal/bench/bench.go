@@ -48,6 +48,7 @@ func Cases() []Case {
 		{"ReplicatedPut", benchReplicatedPut},
 		{"GetWithOwnerDown", benchGetWithOwnerDown},
 		{"PooledLookup", benchPooledLookup},
+		{"PooledLookupJSON", benchPooledLookupJSON},
 		{"LookupDialPerRequest", benchLookupDialPerRequest},
 	}
 }

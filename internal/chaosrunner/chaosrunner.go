@@ -78,6 +78,13 @@ type Config struct {
 	// schedule and every invariant are transport-independent, so the
 	// same seeds must pass in both modes.
 	Pooled bool
+	// WireCodec pins the members' outbound wire codec: "" or "auto"
+	// (negotiate), "json" (v1), "binary" (v2), or "mixed", which
+	// alternates json/binary by member ordinal so every membership
+	// event and probe keeps crossing a codec boundary. Servers always
+	// auto-detect, so mixed overlays must satisfy the same invariants
+	// as homogeneous ones.
+	WireCodec string
 	// LoadClients > 0 enables load-during-churn: that many workers
 	// drive Gets on tracked keys and fresh lookups concurrently with
 	// the round's membership events and stabilization sweeps — the
@@ -371,6 +378,14 @@ func assignIDs(seed int64, space ids.Space, n int) map[int]ids.CycloidID {
 func (r *runner) startMember(ord int) error {
 	name := fmt.Sprintf("n%03d", ord)
 	id := r.idFor[ord]
+	wireCodec := r.cfg.WireCodec
+	if wireCodec == "mixed" {
+		if ord%2 == 0 {
+			wireCodec = "json"
+		} else {
+			wireCodec = "binary"
+		}
+	}
 	nd, err := p2p.Start(p2p.Config{
 		Dim:             r.cfg.Dim,
 		ID:              &id,
@@ -378,6 +393,7 @@ func (r *runner) startMember(ord int) error {
 		Transport:       r.nw.Host(name),
 		Replicas:        r.cfg.Replicas,
 		PooledTransport: r.cfg.Pooled,
+		WireCodec:       wireCodec,
 	})
 	if err != nil {
 		return fmt.Errorf("chaosrunner: start %s: %w", name, err)

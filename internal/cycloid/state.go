@@ -66,13 +66,26 @@ type Step struct {
 // independent of any shared buffer — the value semantics package p2p
 // relies on.
 func DecideStep(space ids.Space, s NodeState, t ids.CycloidID, greedyOnly bool) Step {
-	var sc scratch
-	v := stateViewOf(&s)
-	step := decide(space, &v, t, greedyOnly, &sc)
+	var sc Scratch
+	step := DecideStepScratch(space, &s, t, greedyOnly, &sc)
 	if step.Candidates != nil {
 		step.Candidates = append([]ids.CycloidID(nil), step.Candidates...)
 	}
 	return step
+}
+
+// Scratch is a reusable working buffer for DecideStepScratch. The zero
+// value is ready to use; a Scratch may be reused across calls but not
+// concurrently.
+type Scratch struct{ sc scratch }
+
+// DecideStepScratch is DecideStep with caller-provided working buffers:
+// it performs no heap allocation, and the returned candidates alias sc —
+// they are valid only until the next decision through the same Scratch.
+// Callers that keep candidates must copy them out (or use DecideStep).
+func DecideStepScratch(space ids.Space, s *NodeState, t ids.CycloidID, greedyOnly bool, sc *Scratch) Step {
+	v := stateViewOf(s)
+	return decide(space, &v, t, greedyOnly, &sc.sc)
 }
 
 // decideStep makes one routing decision at live node n through the

@@ -18,6 +18,10 @@ var (
 	// RedirectBuckets covers store redirect-chain depths (the put path
 	// follows at most 3 redirects).
 	RedirectBuckets = []int64{0, 1, 2, 3}
+	// CodecLatencyBucketsNS covers wire codec encode/decode times in
+	// nanoseconds: sub-microsecond for the fixed-width binary codec,
+	// one to tens of microseconds for encoding/json envelopes.
+	CodecLatencyBucketsNS = []int64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000, 1000000}
 )
 
 // LookupStats is the allocation-free instrument bundle for a lookup

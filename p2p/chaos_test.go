@@ -191,6 +191,45 @@ func TestChaosPooledLoadDuringChurn(t *testing.T) {
 	}
 }
 
+// TestChaosMixedCodecLoadDuringChurn is the wire-codec interop chaos
+// gate: half the members speak v1 JSON outbound, half v2 binary, on
+// pooled connections, with load racing the churn. Key retention and
+// the load-error bound must hold exactly as in a homogeneous overlay —
+// a codec-negotiation bug under membership change surfaces here.
+func TestChaosMixedCodecLoadDuringChurn(t *testing.T) {
+	for s := 0; s < *chaosSeeds; s++ {
+		seed := int64(301 + s)
+		t.Run(string(rune('A'+s)), func(t *testing.T) {
+			t.Parallel()
+			cfg := chaosrunner.Config{
+				Seed:        seed,
+				Rounds:      6,
+				Replicas:    3,
+				Pooled:      true,
+				WireCodec:   "mixed",
+				LoadClients: 4,
+			}
+			res, err := chaosrunner.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			loadOps := 0
+			for _, rep := range res.Rounds {
+				loadOps += rep.LoadOps
+			}
+			if want := 6 * 4 * 8; loadOps != want {
+				t.Errorf("seed %d: %d load ops ran, want %d", seed, loadOps, want)
+			}
+			if want := 16 + 6*4*3; res.FinalKeys != want {
+				t.Errorf("seed %d: %d keys tracked at the end, want %d", seed, res.FinalKeys, want)
+			}
+		})
+	}
+}
+
 // TestChaosDeterminismPooled pins that the pooled transport preserves
 // the harness's determinism contract: same seed, same run, byte for
 // byte (load disabled — racing traffic is exempt by design).

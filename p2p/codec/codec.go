@@ -1,0 +1,145 @@
+// Package codec defines the wire envelope types shared by every
+// connection of the p2p layer and the two encodings they travel in:
+//
+//   - v1, newline-delimited JSON — the seed protocol, kept verbatim for
+//     interoperability with older peers;
+//   - v2, a compact length-prefixed binary layout (binary.go) built on
+//     stdlib encoding/binary only, with fixed-width fields, presence
+//     bitmaps for optional pointers and small code tables for the
+//     protocol's enumerated strings.
+//
+// Which encoding a connection speaks is decided per connection by its
+// opening bytes (see the Preamble* constants): servers auto-detect, and
+// clients in Auto mode try binary first and remember, per peer, when the
+// other side turned out to speak only v1. The package also carries the
+// supporting machinery both codecs' hot paths share — a sync.Pool of
+// encode/decode buffers (Buffer) and a bounded string interner that
+// makes repeated wire strings (peer addresses, hot keys) decode without
+// allocating.
+package codec
+
+import (
+	"errors"
+	"sync"
+)
+
+// Codec identifies one of the two wire encodings.
+type Codec uint8
+
+const (
+	// Auto is not an encoding: it selects binary with per-peer fallback
+	// to JSON when the peer rejects the v2 preamble.
+	Auto Codec = iota
+	// JSON is the v1 encoding: newline-delimited encoding/json.
+	JSON
+	// Binary is the v2 encoding: length-prefixed fixed-width binary.
+	Binary
+)
+
+// String returns the flag spelling of the codec selection.
+func (c Codec) String() string {
+	switch c {
+	case JSON:
+		return "json"
+	case Binary:
+		return "binary"
+	default:
+		return "auto"
+	}
+}
+
+// Parse maps a -wire-codec flag value onto a Codec selection.
+func Parse(s string) (Codec, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "json":
+		return JSON, nil
+	case "binary":
+		return Binary, nil
+	}
+	return Auto, errors.New("codec: unknown wire codec " + s + " (want auto, json or binary)")
+}
+
+// Connection preambles. All three are exactly PreambleLen bytes so a
+// server classifies any connection with a single Peek: a v1 pooled
+// stream, a v2 pooled stream, a v2 one-shot request — anything else is
+// a legacy one-shot JSON request (which always starts with '{').
+//
+// Negotiation rides on the preamble alone: a v2 mux client waits for
+// the server to echo PreambleMuxV2 before sending frames. A v1-only
+// server instead tries to parse the preamble as a JSON request, fails,
+// and closes the connection without writing a byte — the client reads a
+// clean EOF and falls back to v1 for that peer. One-shot v2 requests
+// need no ack round trip: the binary response itself is the proof, and
+// the same clean-EOF signature triggers the same per-peer fallback.
+const (
+	PreambleMuxV1 = "CYCLOID-MUX/1\n" // v1 multiplexed stream (JSON envelopes)
+	PreambleMuxV2 = "CYCLOID-MUX/2\n" // v2 multiplexed stream (binary frames)
+	PreambleBinV2 = "CYCLOID-BIN/2\n" // v2 one-shot request (one binary frame each way)
+	PreambleLen   = len(PreambleMuxV1)
+)
+
+// ErrTruncated reports a binary payload that ended before its declared
+// field lengths were satisfied.
+var ErrTruncated = errors.New("codec: truncated binary payload")
+
+// maxPooledBuf caps the capacity of buffers returned to the pool, so
+// one oversized frame does not pin megabytes behind the free list.
+const maxPooledBuf = 1 << 16
+
+// Buffer is a reusable encode/decode byte buffer. Get one with
+// GetBuffer, use B (appending or resizing freely), and return it with
+// PutBuffer once no decoded value aliases it. The indirection through a
+// struct keeps checkout and return allocation-free.
+type Buffer struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+
+// GetBuffer checks a buffer out of the shared pool, length 0.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuffer returns a buffer to the shared pool. Buffers grown past the
+// retention cap are dropped for the garbage collector instead.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// intern is a bounded global string cache. Wire strings with small
+// live cardinality — peer addresses, hot keys — hit the read-locked
+// fast path and decode with zero allocations; once the cache is full,
+// new strings are simply allocated without being cached, so adversarial
+// traffic can cost speed but never unbounded memory.
+var (
+	internMu  sync.RWMutex
+	interned  = make(map[string]string)
+	internCap = 4096
+)
+
+// Intern returns b as a string, reusing a previously-returned string
+// with the same bytes when one is cached.
+func Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	internMu.RLock()
+	s, ok := interned[string(b)] // no allocation: map lookup by converted key
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(interned) < internCap {
+		interned[s] = s
+	}
+	internMu.Unlock()
+	return s
+}

@@ -1,0 +1,91 @@
+package codec
+
+// The wire envelope types. These are the single source of truth for
+// both codecs: the JSON codec (v1) marshals them with encoding/json
+// using the struct tags below, and the binary codec (v2) with the
+// hand-rolled fixed-width layout in binary.go. The p2p package aliases
+// them (WireEntry = codec.Entry, ...), so the overlay code constructs
+// and consumes the same structs whichever codec a connection speaks.
+
+// Entry is an overlay node reference on the wire.
+type Entry struct {
+	K    uint8  `json:"k"`
+	A    uint32 `json:"a"`
+	Addr string `json:"addr"`
+}
+
+// Item is one stored value with its replication metadata: the per-key
+// logical version and the linear ID of the node that assigned it, for
+// last-writer-wins conflict resolution at the receiver.
+type Item struct {
+	V   []byte `json:"v"`
+	Ver uint64 `json:"ver"`
+	Src uint64 `json:"src,omitempty"`
+}
+
+// State is a node's full routing state on the wire, the payload the
+// join procedure derives the newcomer's leaf sets from.
+type State struct {
+	Self     Entry  `json:"self"`
+	Cubical  *Entry `json:"cubical,omitempty"`
+	CyclicL  *Entry `json:"cyclicL,omitempty"`
+	CyclicS  *Entry `json:"cyclicS,omitempty"`
+	InsideL  *Entry `json:"insideL,omitempty"`
+	InsideR  *Entry `json:"insideR,omitempty"`
+	OutsideL *Entry `json:"outsideL,omitempty"`
+	OutsideR *Entry `json:"outsideR,omitempty"`
+}
+
+// Request is the single message type; Op selects the operation.
+type Request struct {
+	Op   string `json:"op"`
+	From Entry  `json:"from"`
+
+	// step
+	Target     *Entry `json:"target,omitempty"`
+	GreedyOnly bool   `json:"greedyOnly,omitempty"`
+
+	// store / fetch / replicate
+	Key   string `json:"key,omitempty"`
+	Value []byte `json:"value,omitempty"`
+	Ver   uint64 `json:"ver,omitempty"` // replicate: the copy's version
+	Src   uint64 `json:"src,omitempty"` // replicate: version tie-breaker
+
+	// handoff
+	Items map[string]Item `json:"items,omitempty"`
+
+	// update (membership notification)
+	Event     string `json:"event,omitempty"` // "join" or "leave"
+	Subject   *Entry `json:"subject,omitempty"`
+	Departed  *State `json:"departed,omitempty"` // leaver's state, for splicing
+	Propagate bool   `json:"propagate,omitempty"`
+	Origin    *Entry `json:"origin,omitempty"`
+	TTL       int    `json:"ttl,omitempty"`
+}
+
+// Response is the single reply type.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	// step
+	Phase      string  `json:"phase,omitempty"`
+	Candidates []Entry `json:"candidates,omitempty"`
+	Done       bool    `json:"done,omitempty"`
+
+	// state
+	State *State `json:"state,omitempty"`
+
+	// fetch
+	Value []byte `json:"value,omitempty"`
+	Found bool   `json:"found,omitempty"`
+	Ver   uint64 `json:"ver,omitempty"` // fetch/replicate: receiver's stored version
+
+	// store/replicate rejection: where the receiver believes the key
+	// belongs, so the sender can follow instead of stranding the value.
+	Redirect *Entry `json:"redirect,omitempty"`
+	// replicate: the receiver's current replica set (itself plus its
+	// replica targets); senders use it to garbage-collect copies they
+	// should no longer hold.
+	Replicas []Entry `json:"replicas,omitempty"`
+}

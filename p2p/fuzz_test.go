@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"io"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"cycloid/internal/ids"
+	"cycloid/p2p/codec"
 	"cycloid/p2p/memnet"
 )
 
@@ -76,6 +78,34 @@ func FuzzWireDecode(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	// Binary v2 one-shot and mux openings, so mutations explore the
+	// length-prefixed decode paths too: well-formed frames, a truncated
+	// frame, an oversized length claim, and a corrupt body.
+	binFrame := func(preamble string, envelope []byte, req request) []byte {
+		body, err := codec.AppendRequest(nil, &req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out := []byte(preamble)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(envelope)+len(body)))
+		out = append(out, envelope...)
+		return append(out, body...)
+	}
+	from := WireEntry{K: 1, A: 3, Addr: "peer:1"}
+	binSeeds := [][]byte{
+		binFrame(codec.PreambleBinV2, nil, request{Op: "ping", From: from}),
+		binFrame(codec.PreambleBinV2, nil, request{Op: "step", From: from, Target: &WireEntry{K: 4, A: 21}}),
+		binFrame(codec.PreambleBinV2, nil, request{Op: "store", From: from, Key: "doc", Value: []byte("hello")}),
+		binFrame(codec.PreambleBinV2, nil,
+			request{Op: "handoff", From: from, Items: map[string]WireItem{"a": {V: []byte{0}, Ver: 3, Src: 7}}}),
+		binFrame(codec.PreambleMuxV2, []byte{7, 0, 0, 0, 0, 0, 0, 0, 0}, request{Op: "fetch", From: from, Key: "doc"}),
+		binFrame(codec.PreambleBinV2, nil, request{Op: "ping", From: from})[:20], // truncated mid-frame
+		append([]byte(codec.PreambleBinV2), 0xff, 0xff, 0xff, 0xff),              // absurd length claim
+		append([]byte(codec.PreambleMuxV2), 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0), // mux frame, id 0
+	}
+	for _, s := range binSeeds {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n := fuzzTarget(t)
 
@@ -100,10 +130,12 @@ func FuzzWireDecode(f *testing.F) {
 			t.Fatalf("handle hung on %d-byte input", len(data))
 		}
 
-		// Client side: the same bytes as a peer's reply and as a reclaim
-		// payload.
+		// Client side: the same bytes as a peer's reply — in both codecs
+		// — and as a reclaim payload.
 		var resp response
 		_ = json.Unmarshal(data, &resp)
+		var bresp response
+		_ = codec.DecodeResponse(data, &bresp)
 		_, _ = decodeReclaim(data)
 	})
 }

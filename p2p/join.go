@@ -23,10 +23,10 @@ func (n *Node) Join(bootstrap string) error {
 	if err != nil {
 		return fmt.Errorf("p2p: join: bootstrap: %w", err)
 	}
-	if boot.Self.entry().ID == n.id {
+	if toEntry(boot.Self).ID == n.id {
 		return fmt.Errorf("p2p: join: ID collision with bootstrap node %v", n.id)
 	}
-	route, err := n.routeTraced(context.Background(), boot.Self.entry(), n.id, "join", nil)
+	route, err := n.routeTraced(context.Background(), toEntry(boot.Self), n.id, "join", nil)
 	if err != nil {
 		return fmt.Errorf("p2p: join: locating closest node: %w", err)
 	}
@@ -78,7 +78,7 @@ func (n *Node) stateOfOrLocalCtx(ctx context.Context, e entry) (*WireState, erro
 // deriveLeafSets builds this node's leaf sets from the closest node Z's
 // neighborhood, the two cases of Section 3.3.1.
 func (n *Node) deriveLeafSets(z *WireState) error {
-	zself := z.Self.entry()
+	zself := toEntry(z.Self)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if zself.ID.A == n.id.A {
@@ -326,7 +326,7 @@ func entryOr(w *WireEntry, fallback entry) entry {
 	if w == nil {
 		return fallback
 	}
-	return w.entry()
+	return toEntry(*w)
 }
 
 func clone(e entry) *entry {

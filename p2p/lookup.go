@@ -66,7 +66,7 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 		}
 		n.tel.putRedirects.Inc()
 		n.log.Debug("store redirected", "key", key, "from", addr, "to", resp.Redirect.Addr)
-		red := resp.Redirect.entry()
+		red := toEntry(*resp.Redirect)
 		if red.ID == n.id {
 			n.putOwner(ctx, key, value)
 			n.tel.redirectDepth.Observe(int64(hop + 1))
@@ -205,7 +205,7 @@ func (n *Node) replicaProbes(ctx context.Context, term entry, kp ids.CycloidID, 
 		if w == nil {
 			continue
 		}
-		e := w.entry()
+		e := toEntry(*w)
 		if e.ID == n.id || e.Addr == term.Addr || tried[e.Addr] || seen[e.Addr] {
 			continue
 		}
@@ -268,9 +268,14 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 	window := 4*d + 16
 	budget := 64*d + 128
 	greedyOnly := false
-	dead := make(map[string]bool) // addresses that failed during this route
-	for a := range avoid {
-		dead[a] = true
+	// dead holds addresses that failed during this route; allocated
+	// lazily since a clean route (the common case) never writes it.
+	var dead map[string]bool
+	if len(avoid) > 0 {
+		dead = make(map[string]bool, len(avoid))
+		for a := range avoid {
+			dead[a] = true
+		}
 	}
 
 	var tr *telemetry.Trace
@@ -312,7 +317,7 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 		hopTimeouts, hopDemoted, hopSkipped := 0, 0, 0
 		for pass := 0; pass < 2 && !moved; pass++ {
 			for ci, w := range step.Candidates {
-				cand := w.entry()
+				cand := toEntry(w)
 				if dead[cand.Addr] {
 					continue // already found unreachable during this route
 				}
@@ -334,6 +339,9 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 					r.Timeouts++
 					n.tel.timeouts.Inc()
 					hopTimeouts++
+					if dead == nil {
+						dead = make(map[string]bool)
+					}
 					dead[cand.Addr] = true
 					n.suspect(cand.Addr)
 					continue

@@ -15,6 +15,12 @@ var routePhases = []string{"ascending", "descending", "traverse"}
 // dispatch table in server.go.
 var wireOps = []string{"ping", "state", "step", "store", "replicate", "fetch", "handoff", "reclaim", "update"}
 
+// Help strings for the per-codec wire latency families.
+const (
+	codecEncHelp = "Per-message wire encode time in nanoseconds, by codec."
+	codecDecHelp = "Per-message wire decode time in nanoseconds, by codec."
+)
+
 // nodeMetrics bundles one node's instruments. Every field is registered
 // at Start, so recording is a single atomic operation with no map
 // lookups on shared registry state.
@@ -42,6 +48,14 @@ type nodeMetrics struct {
 	dialLatency   *telemetry.Histogram
 	dialFailures  *telemetry.Counter
 	acceptBackoff *telemetry.Counter
+
+	// wire codecs (p2p/codec): per-message encode/decode latencies by
+	// codec, and v2→v1 downgrades decided by negotiation.
+	codecEncodeJSON *telemetry.Histogram
+	codecEncodeBin  *telemetry.Histogram
+	codecDecodeJSON *telemetry.Histogram
+	codecDecodeBin  *telemetry.Histogram
+	codecFallbacks  *telemetry.Counter
 
 	// connection pool (p2p/pool, pooled transport mode)
 	poolDials     *telemetry.Counter
@@ -95,6 +109,13 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		dialFailures: reg.Counter("dial_failures_total", "Contacts that failed to dial or complete the exchange."),
 		acceptBackoff: reg.Counter("accept_backoff_total",
 			"Transient listener Accept errors absorbed by exponential backoff."),
+
+		codecEncodeJSON: reg.Histogram("codec_encode_ns", codecEncHelp, telemetry.CodecLatencyBucketsNS, telemetry.L("codec", "json")),
+		codecEncodeBin:  reg.Histogram("codec_encode_ns", codecEncHelp, telemetry.CodecLatencyBucketsNS, telemetry.L("codec", "binary")),
+		codecDecodeJSON: reg.Histogram("codec_decode_ns", codecDecHelp, telemetry.CodecLatencyBucketsNS, telemetry.L("codec", "json")),
+		codecDecodeBin:  reg.Histogram("codec_decode_ns", codecDecHelp, telemetry.CodecLatencyBucketsNS, telemetry.L("codec", "binary")),
+		codecFallbacks: reg.Counter("wire_codec_fallbacks_total",
+			"Peers downgraded from the v2 binary codec to v1 JSON after negotiation."),
 
 		poolDials:  reg.Counter("pool_dials_total", "Pooled connections opened (pooled transport mode)."),
 		poolReuses: reg.Counter("pool_reuses_total", "Wire calls that rode an existing pooled connection."),
@@ -153,6 +174,8 @@ func (m *nodeMetrics) poolEvent(e pool.Event) {
 		m.poolEvictions.Inc()
 	case pool.EventTeardown:
 		m.poolTeardowns.Inc()
+	case pool.EventCodecFallback:
+		m.codecFallbacks.Inc()
 	}
 }
 

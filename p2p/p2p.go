@@ -38,6 +38,7 @@ import (
 	"cycloid/internal/hashing"
 	"cycloid/internal/ids"
 	"cycloid/internal/telemetry"
+	"cycloid/p2p/codec"
 	"cycloid/p2p/pool"
 )
 
@@ -71,6 +72,14 @@ type Config struct {
 	// (dial-per-request, the original wire behavior). Servers accept
 	// both kinds of traffic regardless of this setting.
 	PooledTransport bool
+	// WireCodec selects the encoding of outbound wire calls: "auto"
+	// (default, also "") speaks the v2 binary protocol and transparently
+	// falls back — once, remembered per peer — when a peer turns out to
+	// understand only v1 JSON; "json" forces the v1 protocol; "binary"
+	// forces v2 and treats a v1-only peer as a dial failure. Servers
+	// always auto-detect the codec per inbound connection, so nodes with
+	// different settings interoperate on one overlay.
+	WireCodec string
 	// MaxFrame caps one wire frame (a request line or a multiplexed
 	// envelope, in either direction); oversized frames are rejected with
 	// a wire error instead of buffered unboundedly. Default 1 MiB.
@@ -176,6 +185,7 @@ type Node struct {
 	suspects map[string]int
 
 	ln       net.Listener
+	addr     string // ln.Addr().String(), cached: it never changes and is on the per-call path
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -187,6 +197,12 @@ type Node struct {
 	pool     *pool.Pool
 	muxMu    sync.Mutex
 	muxConns map[net.Conn]struct{}
+
+	// wireCodec is the parsed Config.WireCodec; peerCodec caches, per
+	// peer address, the codec learned by the unpooled auto-negotiation
+	// path (the pool keeps its own per-peer memory).
+	wireCodec codec.Codec
+	peerCodec sync.Map
 
 	tel    *nodeMetrics
 	log    *slog.Logger
@@ -210,6 +226,10 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Replicas < 1 || cfg.Replicas > 8 {
 		return nil, fmt.Errorf("p2p: replication factor %d out of range [1,8]", cfg.Replicas)
 	}
+	wireCodec, err := codec.Parse(cfg.WireCodec)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: %w", err)
+	}
 	ln, err := cfg.Transport.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
@@ -232,15 +252,19 @@ func Start(cfg Config) (*Node, error) {
 		store:    make(map[string]item),
 		suspects: make(map[string]int),
 		ln:       ln,
+		addr:     ln.Addr().String(),
 		stopped:  make(chan struct{}),
 		rng:      rand.New(rand.NewSource(int64(space.Linear(id)) + 1)),
 		tel:      newNodeMetrics(cfg.Telemetry),
 		traces:   telemetry.NewTraceRing(cfg.TraceBuffer),
 		muxConns: make(map[net.Conn]struct{}),
+
+		wireCodec: wireCodec,
 	}
 	if cfg.PooledTransport {
 		n.pool = pool.New(pool.Config{
 			Dial:     cfg.Transport.Dial,
+			Codec:    wireCodec,
 			MaxFrame: cfg.MaxFrame,
 			OnEvent:  n.tel.poolEvent,
 		})
@@ -263,7 +287,7 @@ func Start(cfg Config) (*Node, error) {
 func (n *Node) ID() ids.CycloidID { return n.id }
 
 // Addr returns the node's listen address.
-func (n *Node) Addr() string { return n.ln.Addr().String() }
+func (n *Node) Addr() string { return n.addr }
 
 // Dim returns the overlay dimension.
 func (n *Node) Dim() int { return n.space.Dim() }
@@ -311,28 +335,39 @@ func (n *Node) snapshot() cycloid.NodeState {
 }
 
 func (n *Node) snapshotLocked() cycloid.NodeState {
+	return n.snapshotLockedInto(new([7]ids.CycloidID))
+}
+
+// snapshotLockedInto builds the snapshot with every slot backed by buf,
+// so the whole conversion costs the caller at most one allocation (zero
+// when buf comes from a pool, as on the step hot path). The returned
+// state aliases buf and is valid only while the caller owns it.
+func (n *Node) snapshotLockedInto(buf *[7]ids.CycloidID) cycloid.NodeState {
 	s := cycloid.NodeState{ID: n.id}
-	if n.rs.cubical != nil {
-		c := n.rs.cubical.ID
-		s.Cubical = &c
-	}
-	if n.rs.cyclicL != nil {
-		c := n.rs.cyclicL.ID
-		s.CyclicL = &c
-	}
-	if n.rs.cyclicS != nil {
-		c := n.rs.cyclicS.ID
-		s.CyclicS = &c
-	}
-	add := func(dst *[]ids.CycloidID, e *entry) {
-		if e != nil {
-			*dst = append(*dst, e.ID)
+	i := 0
+	ptr := func(e *entry) *ids.CycloidID {
+		if e == nil {
+			return nil
 		}
+		buf[i] = e.ID
+		i++
+		return &buf[i-1]
 	}
-	add(&s.InsideL, n.rs.insideL)
-	add(&s.InsideR, n.rs.insideR)
-	add(&s.OutsideL, n.rs.outsideL)
-	add(&s.OutsideR, n.rs.outsideR)
+	s.Cubical = ptr(n.rs.cubical)
+	s.CyclicL = ptr(n.rs.cyclicL)
+	s.CyclicS = ptr(n.rs.cyclicS)
+	one := func(e *entry) []ids.CycloidID {
+		if e == nil {
+			return nil
+		}
+		buf[i] = e.ID
+		i++
+		return buf[i-1 : i : i]
+	}
+	s.InsideL = one(n.rs.insideL)
+	s.InsideR = one(n.rs.insideR)
+	s.OutsideL = one(n.rs.outsideL)
+	s.OutsideR = one(n.rs.outsideR)
 	return s
 }
 
@@ -359,7 +394,17 @@ func (n *Node) Keys() []string {
 func (n *Node) addrOf(id ids.CycloidID) (string, bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	for _, e := range n.entriesLocked() {
+	return n.addrOfLocked(id)
+}
+
+// addrOfLocked is addrOf for callers already holding n.mu; it walks the
+// routing-state slots directly so the per-candidate resolution on the
+// step hot path does not allocate.
+func (n *Node) addrOfLocked(id ids.CycloidID) (string, bool) {
+	for _, e := range [...]*entry{
+		n.rs.insideL, n.rs.insideR, n.rs.outsideL, n.rs.outsideR,
+		n.rs.cubical, n.rs.cyclicL, n.rs.cyclicS,
+	} {
 		if e != nil && e.ID == id {
 			return e.Addr, true
 		}

@@ -6,21 +6,37 @@
 //
 // # Framing
 //
-// A pooled connection opens with the fixed preamble line (Preamble), so
-// a server can tell a multiplexed stream from a legacy one-shot request
-// by peeking at the first bytes. After the preamble both directions
-// carry newline-delimited JSON envelopes:
+// A pooled connection opens with a fixed preamble line, so a server can
+// tell a multiplexed stream from a legacy one-shot request by peeking
+// at the first bytes — and can tell which codec the stream speaks:
 //
-//	{"id":7,"p":{...payload...}}
+//   - v1 (Preamble, "CYCLOID-MUX/1\n"): both directions carry
+//     newline-delimited JSON envelopes, {"id":7,"p":{...payload...}}.
+//     An envelope with a non-empty "err" carries a peer-side failure
+//     for that ID; ID 0 is a connection-level protocol error.
 //
-// The payload is the caller's business (the p2p layer keeps its
-// existing JSON request/response messages verbatim); the pool only adds
-// the correlation ID. An envelope with a non-empty "err" carries a
-// peer-side failure for that ID; an envelope with ID 0 is a
-// connection-level protocol error and tears the connection down.
+//   - v2 (codec.PreambleMuxV2, "CYCLOID-MUX/2\n"): the server echoes
+//     the preamble back as the negotiation ack, then both directions
+//     carry length-prefixed binary frames:
 //
-// Every frame — in either direction — is capped at MaxFrame bytes; an
-// oversized frame is a protocol error, never an unbounded buffer.
+//	u32 length | u64 id | u8 status | body
+//
+//     where length counts everything after itself, status 0 marks a
+//     payload body and status 1 an error-message body, and id 0 is a
+//     connection-level protocol error. A v1-only server cannot ack — it
+//     parses the preamble as JSON, fails, and closes without writing a
+//     byte — so a clean zero-byte EOF identifies it, and the pool
+//     remembers per peer to speak v1 from then on.
+//
+// The payload is the caller's business (the p2p layer's request and
+// response messages in the connection's codec); the pool only adds the
+// correlation ID. Every frame — in either direction — is capped at
+// MaxFrame bytes; an oversized frame is a protocol error, never an
+// unbounded buffer.
+//
+// Writes on a connection go through a batching Writer (writer.go):
+// under concurrent load, frames from many callers coalesce into fewer
+// syscalls without adding latency to an idle connection.
 //
 // # Lifecycle
 //
@@ -37,19 +53,23 @@ package pool
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cycloid/p2p/codec"
 )
 
-// Preamble is the line a pooled client writes immediately after
-// dialing, letting servers distinguish a multiplexed stream from a
-// legacy one-shot request.
-const Preamble = "CYCLOID-MUX/1\n"
+// Preamble is the v1 preamble line, kept under its seed name; the v2
+// preambles live in the codec package (codec.PreambleMuxV2).
+const Preamble = codec.PreambleMuxV1
 
 // DefaultMaxFrame caps a single envelope (either direction) at 1 MiB.
 const DefaultMaxFrame = 1 << 20
@@ -60,7 +80,10 @@ var ErrFrameTooLarge = errors.New("pool: frame exceeds size limit")
 // ErrClosed reports a call on a closed pool.
 var ErrClosed = errors.New("pool: closed")
 
-// Envelope is one multiplexed frame: a correlation ID plus either a
+// binEnvelopeLen is the fixed id+status header inside every v2 frame.
+const binEnvelopeLen = 9
+
+// Envelope is one multiplexed v1 frame: a correlation ID plus either a
 // payload or a peer-side error for that ID.
 type Envelope struct {
 	ID  uint64          `json:"id"`
@@ -68,8 +91,8 @@ type Envelope struct {
 	Err string          `json:"err,omitempty"`
 }
 
-// ReadFrame reads one newline-delimited frame of at most max bytes from
-// br. It returns ErrFrameTooLarge as soon as the accumulated line
+// ReadFrame reads one newline-delimited v1 frame of at most max bytes
+// from br. It returns ErrFrameTooLarge as soon as the accumulated line
 // exceeds max, without buffering the remainder.
 func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
 	var buf []byte
@@ -98,10 +121,11 @@ type Event int
 
 // Pool events, reported through Config.OnEvent.
 const (
-	EventDial     Event = iota // a new pooled connection was dialed
-	EventReuse                 // a call rode an existing connection
-	EventEviction              // an idle connection was evicted
-	EventTeardown              // a connection failed and was torn down
+	EventDial          Event = iota // a new pooled connection was dialed
+	EventReuse                      // a call rode an existing connection
+	EventEviction                   // an idle connection was evicted
+	EventTeardown                   // a connection failed and was torn down
+	EventCodecFallback              // a peer rejected v2; the pool fell back to v1 for it
 )
 
 // Config parameterizes a Pool. Dial is required; everything else
@@ -109,6 +133,16 @@ const (
 type Config struct {
 	// Dial opens the underlying transport connections.
 	Dial DialFunc
+	// Codec selects the wire encoding for outbound connections:
+	// codec.Auto (the zero value) negotiates v2 binary and falls back
+	// to v1 JSON per peer; codec.JSON forces v1; codec.Binary forces v2
+	// and treats a v1-only peer as a dial failure.
+	Codec codec.Codec
+	// FlushWindow, when positive, holds each outbound write batch open
+	// that long to coalesce more frames per syscall, at the cost of that
+	// much added latency. The default 0 batches adaptively: frames
+	// queued while a write is in progress ride the next one.
+	FlushWindow time.Duration
 	// MaxPerPeer caps the connections kept per peer address. Default 2.
 	MaxPerPeer int
 	// MaxInflight is the per-connection in-flight call count above which
@@ -122,8 +156,8 @@ type Config struct {
 	// Default 60s.
 	IdleTimeout time.Duration
 	// OnEvent, when non-nil, receives pool lifecycle events (dials,
-	// reuses, evictions, teardowns) for the owner's telemetry. Called
-	// synchronously; must not block.
+	// reuses, evictions, teardowns, codec fallbacks) for the owner's
+	// telemetry. Called synchronously; must not block.
 	OnEvent func(Event)
 }
 
@@ -148,6 +182,7 @@ type Stats struct {
 	Reuses    uint64 // calls that rode an existing connection
 	Evictions uint64 // idle connections evicted
 	Teardowns uint64 // connections torn down on failure
+	Fallbacks uint64 // peers downgraded from v2 to v1
 	OpenConns int    // connections currently open
 }
 
@@ -158,10 +193,12 @@ type Pool struct {
 
 	mu        sync.Mutex
 	peers     map[string][]*conn
+	peerCodec map[string]codec.Codec // learned per-peer codec (Auto mode)
 	closed    bool
 	lastSweep time.Time
+	sweepTick uint // acquires since the last sweep-interval check
 
-	dials, reuses, evictions, teardowns atomic.Uint64
+	dials, reuses, evictions, teardowns, fallbacks atomic.Uint64
 }
 
 // New creates a pool dialing through cfg.Dial.
@@ -170,7 +207,12 @@ func New(cfg Config) *Pool {
 	if cfg.Dial == nil {
 		panic("pool: Config.Dial is required")
 	}
-	return &Pool{cfg: cfg, peers: make(map[string][]*conn), lastSweep: time.Now()}
+	return &Pool{
+		cfg:       cfg,
+		peers:     make(map[string][]*conn),
+		peerCodec: make(map[string]codec.Codec),
+		lastSweep: time.Now(),
+	}
 }
 
 func (p *Pool) event(e Event) {
@@ -183,6 +225,8 @@ func (p *Pool) event(e Event) {
 		p.evictions.Add(1)
 	case EventTeardown:
 		p.teardowns.Add(1)
+	case EventCodecFallback:
+		p.fallbacks.Add(1)
 	}
 	if p.cfg.OnEvent != nil {
 		p.cfg.OnEvent(e)
@@ -202,13 +246,26 @@ func (p *Pool) Stats() Stats {
 		Reuses:    p.reuses.Load(),
 		Evictions: p.evictions.Load(),
 		Teardowns: p.teardowns.Load(),
+		Fallbacks: p.fallbacks.Load(),
 		OpenConns: open,
 	}
 }
 
-// result is one call's outcome, delivered by the reader goroutine.
+// PeerCodec reports the codec the pool has learned (or decided) for
+// addr: Binary after a successful v2 negotiation, JSON after a
+// fallback, Auto while undecided.
+func (p *Pool) PeerCodec(addr string) codec.Codec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerCodec[addr]
+}
+
+// result is one call's outcome, delivered by the reader goroutine. For
+// v2 connections the payload aliases buf, which the caller releases via
+// Reply.Release once decoded.
 type result struct {
-	payload json.RawMessage
+	payload []byte
+	buf     *codec.Buffer
 	err     error
 }
 
@@ -217,8 +274,8 @@ type conn struct {
 	p    *Pool
 	addr string
 	nc   net.Conn
-
-	wmu sync.Mutex // serializes frame writes
+	bin  bool // speaks the v2 binary framing
+	w    *Writer
 
 	mu       sync.Mutex
 	pending  map[uint64]chan result
@@ -229,14 +286,76 @@ type conn struct {
 	closeErr error
 }
 
-// Do performs one request/response exchange with the peer at addr,
-// reusing a pooled connection or dialing one. The exchange fails after
-// at most timeout, additionally capped by ctx's deadline. The returned
-// payload is the peer's response frame, verbatim.
-func (p *Pool) Do(ctx context.Context, addr string, payload []byte, timeout time.Duration) (json.RawMessage, error) {
-	if len(payload)+1 > p.cfg.MaxFrame {
-		return nil, fmt.Errorf("pool: request to %s: %w", addr, ErrFrameTooLarge)
+// EncodeFunc appends one request payload to buf in the codec the
+// connection turned out to speak — bin true for v2 binary, false for
+// v1 JSON (in which case the appended bytes must form one JSON value).
+// It returns the extended slice.
+type EncodeFunc func(bin bool, buf []byte) ([]byte, error)
+
+// Reply is a completed exchange's response payload, in the codec
+// reported by Binary. For binary connections the payload lives in a
+// pooled buffer: decode it, then call Release.
+type Reply struct {
+	Payload []byte
+	Binary  bool
+	buf     *codec.Buffer
+}
+
+// Release returns the reply's backing buffer (if any) to the shared
+// buffer pool. The payload must not be used afterwards.
+func (r *Reply) Release() {
+	if r.buf != nil {
+		codec.PutBuffer(r.buf)
+		r.buf = nil
+		r.Payload = nil
 	}
+}
+
+// encodeError wraps failures produced inside a Frame fill (encode
+// errors, oversized requests): the connection is still healthy and must
+// not be torn down.
+type encodeError struct{ err error }
+
+func (e *encodeError) Error() string { return e.err.Error() }
+func (e *encodeError) Unwrap() error { return e.err }
+
+// chanPool recycles the per-call result channels. A channel is returned
+// to the pool only when its one pending send can no longer happen: either
+// the call consumed the result, or the channel was never registered in
+// the pending map. Error paths that leave a registered channel behind
+// abandon it to the garbage collector instead — a stale send into a
+// reused channel would corrupt an unrelated call.
+var chanPool sync.Pool
+
+func getChan() chan result {
+	if ch, ok := chanPool.Get().(chan result); ok {
+		return ch
+	}
+	return make(chan result, 1)
+}
+
+// timerPool recycles the per-call timeout timers on the Do hot path.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+// Do performs one request/response exchange with the peer at addr,
+// reusing a pooled connection or dialing (and codec-negotiating) one.
+// The request payload is produced by enc in the connection's codec. The
+// exchange fails after at most timeout, additionally capped by ctx's
+// deadline.
+func (p *Pool) Do(ctx context.Context, addr string, enc EncodeFunc, timeout time.Duration) (Reply, error) {
 	if d, ok := ctx.Deadline(); ok {
 		if rem := time.Until(d); rem < timeout {
 			timeout = rem
@@ -247,27 +366,97 @@ func (p *Pool) Do(ctx context.Context, addr string, payload []byte, timeout time
 		if err == nil {
 			err = context.DeadlineExceeded
 		}
-		return nil, fmt.Errorf("pool: call %s: %w", addr, err)
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, err)
 	}
 	c, err := p.acquire(addr, timeout)
 	if err != nil {
-		return nil, err
+		return Reply{}, err
 	}
+	return p.exchange(ctx, c, addr, enc, nil, timeout)
+}
 
+// CodecFor reports the codec the pool would speak on a new connection to
+// addr right now: the configured codec, narrowed by per-peer fallback
+// memory in Auto mode (binary until the peer proves to be a v1-only
+// build). Callers that pre-encode payloads for DoBytes use it to pick
+// the codec, and handle CodecMismatchError if a concurrent call learns
+// otherwise in between.
+func (p *Pool) CodecFor(addr string) codec.Codec {
+	want := p.cfg.Codec
+	if want == codec.Auto {
+		p.mu.Lock()
+		if learned, ok := p.peerCodec[addr]; ok {
+			want = learned
+		} else {
+			want = codec.Binary
+		}
+		p.mu.Unlock()
+	}
+	return want
+}
+
+// CodecMismatchError reports a DoBytes payload encoded in a different
+// codec than the connection speaks. Nothing was written; the caller
+// re-encodes in the codec indicated by Binary and retries.
+type CodecMismatchError struct{ Binary bool }
+
+func (e *CodecMismatchError) Error() string {
+	if e.Binary {
+		return "pool: connection speaks v2 binary, payload is v1 JSON"
+	}
+	return "pool: connection speaks v1 JSON, payload is v2 binary"
+}
+
+// DoBytes is Do for callers that already hold an encoded request payload
+// (bin says in which codec): the hot-path variant that moves the encode
+// out of the pool so no per-call closure or re-encode machinery rides
+// the exchange. If the pooled connection negotiated the other codec —
+// possible only in the window where a concurrent call just learned the
+// peer is v1-only — it fails with *CodecMismatchError before writing
+// anything, and the caller re-encodes and retries.
+func (p *Pool) DoBytes(ctx context.Context, addr string, payload []byte, bin bool, timeout time.Duration) (Reply, error) {
+	if d, ok := ctx.Deadline(); ok {
+		if rem := time.Until(d); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		err := ctx.Err()
+		if err == nil {
+			err = context.DeadlineExceeded
+		}
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, err)
+	}
+	c, err := p.acquire(addr, timeout)
+	if err != nil {
+		return Reply{}, err
+	}
+	if c.bin != bin {
+		return Reply{}, &CodecMismatchError{Binary: c.bin}
+	}
+	return p.exchange(ctx, c, addr, nil, payload, timeout)
+}
+
+// exchange registers one call on c, writes the request (via enc when
+// non-nil, else the pre-encoded payload) and waits for the correlated
+// response, the timeout, or the context.
+func (p *Pool) exchange(ctx context.Context, c *conn, addr string, enc EncodeFunc, payload []byte, timeout time.Duration) (Reply, error) {
 	// Register the call before writing so a fast response cannot race
 	// the pending map.
-	ch := make(chan result, 1)
+	ch := getChan()
 	c.mu.Lock()
 	if c.closed {
 		err := c.closeErr
 		c.mu.Unlock()
-		return nil, fmt.Errorf("pool: call %s: %w", addr, err)
+		chanPool.Put(ch) // never registered: no send can reach it
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, err)
 	}
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = ch
 	c.inflight++
-	c.lastUse = time.Now()
+	// lastUse is refreshed only on completion (the deferred cleanup):
+	// while the call is in flight, inflight > 0 already blocks eviction.
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
@@ -277,38 +466,121 @@ func (p *Pool) Do(ctx context.Context, addr string, payload []byte, timeout time
 		c.mu.Unlock()
 	}()
 
-	frame, err := json.Marshal(Envelope{ID: id, P: payload})
-	if err != nil {
-		return nil, fmt.Errorf("pool: encode for %s: %w", addr, err)
+	var werr error
+	if enc != nil {
+		werr = c.writeRequest(id, enc)
+	} else {
+		werr = c.writeBytes(id, payload)
 	}
-	frame = append(frame, '\n')
-	c.wmu.Lock()
-	_ = c.nc.SetWriteDeadline(time.Now().Add(timeout))
-	_, werr := c.nc.Write(frame)
-	c.wmu.Unlock()
 	if werr != nil {
+		var ee *encodeError
+		if errors.As(werr, &ee) {
+			// Local encode failure or oversized request: nothing was
+			// queued, the connection is fine.
+			return Reply{}, fmt.Errorf("pool: request to %s: %w", addr, ee.err)
+		}
 		c.teardown(fmt.Errorf("pool: write %s: %w", addr, werr))
-		return nil, fmt.Errorf("pool: write %s: %w", addr, werr)
+		return Reply{}, fmt.Errorf("pool: write %s: %w", addr, werr)
 	}
 
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	t := getTimer(timeout)
+	defer putTimer(t)
 	select {
 	case res := <-ch:
+		chanPool.Put(ch) // unique send consumed: safe to recycle
 		if res.err != nil {
-			return nil, fmt.Errorf("pool: call %s: %w", addr, res.err)
+			return Reply{}, fmt.Errorf("pool: call %s: %w", addr, res.err)
 		}
-		return res.payload, nil
+		return Reply{Payload: res.payload, Binary: c.bin, buf: res.buf}, nil
 	case <-ctx.Done():
 		// The response may still arrive, but the caller is gone; a
 		// connection carrying an abandoned exchange is suspect, and
 		// keeping it would let one stalled peer absorb calls forever.
 		c.teardown(fmt.Errorf("pool: call %s: %w", addr, ctx.Err()))
-		return nil, fmt.Errorf("pool: call %s: %w", addr, ctx.Err())
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, ctx.Err())
 	case <-t.C:
 		c.teardown(fmt.Errorf("pool: call %s: timed out after %v", addr, timeout))
-		return nil, timeoutError{fmt.Sprintf("pool: call %s: no response within %v", addr, timeout)}
+		return Reply{}, timeoutError{fmt.Sprintf("pool: call %s: no response within %v", addr, timeout)}
 	}
+}
+
+// writeRequest frames one request in the connection's codec and hands
+// it to the batching writer.
+func (c *conn) writeRequest(id uint64, enc EncodeFunc) error {
+	max := c.p.cfg.MaxFrame
+	if c.bin {
+		return c.w.Frame(func(buf []byte) ([]byte, error) {
+			start := len(buf)
+			buf = append(buf, 0, 0, 0, 0) // length, backfilled below
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+			buf = append(buf, 0) // status: request payload
+			out, err := enc(true, buf)
+			if err != nil {
+				return buf[:start], &encodeError{err}
+			}
+			l := len(out) - start - 4
+			if l > max {
+				return out[:start], &encodeError{ErrFrameTooLarge}
+			}
+			binary.LittleEndian.PutUint32(out[start:], uint32(l))
+			return out, nil
+		})
+	}
+	fb := codec.GetBuffer()
+	payload, err := enc(false, fb.B)
+	if payload != nil {
+		fb.B = payload
+	}
+	if err == nil && len(payload)+1 > max {
+		err = ErrFrameTooLarge
+	}
+	if err != nil {
+		codec.PutBuffer(fb)
+		return &encodeError{err}
+	}
+	werr := c.w.Frame(func(buf []byte) ([]byte, error) {
+		buf = append(buf, `{"id":`...)
+		buf = strconv.AppendUint(buf, id, 10)
+		if len(payload) > 0 {
+			buf = append(buf, `,"p":`...)
+			buf = append(buf, payload...)
+		}
+		return append(buf, "}\n"...), nil
+	})
+	codec.PutBuffer(fb)
+	return werr
+}
+
+// writeBytes frames one pre-encoded request payload in the connection's
+// codec and hands it to the batching writer. The payload is copied into
+// the writer's batch buffer during the call, so the caller may reuse it
+// as soon as writeBytes returns.
+func (c *conn) writeBytes(id uint64, payload []byte) error {
+	max := c.p.cfg.MaxFrame
+	if c.bin {
+		l := binEnvelopeLen + len(payload)
+		if l > max {
+			return &encodeError{ErrFrameTooLarge}
+		}
+		return c.w.Frame(func(buf []byte) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+			buf = append(buf, 0) // status: request payload
+			return append(buf, payload...), nil
+		})
+	}
+	if len(payload)+1 > max {
+		return &encodeError{ErrFrameTooLarge}
+	}
+	return c.w.Frame(func(buf []byte) ([]byte, error) {
+		buf = append(buf, `{"id":`...)
+		buf = strconv.AppendUint(buf, id, 10)
+		if len(payload) > 0 {
+			buf = append(buf, `,"p":`...)
+			buf = append(buf, payload...)
+		}
+		return append(buf, "}\n"...), nil
+	})
 }
 
 // timeoutError satisfies net.Error, matching what a dial timeout
@@ -342,6 +614,14 @@ func (p *Pool) acquire(addr string, timeout time.Duration) (*conn, error) {
 			best, bestLoad = c, load
 		}
 	}
+	want := p.cfg.Codec
+	if want == codec.Auto {
+		if learned, ok := p.peerCodec[addr]; ok {
+			want = learned
+		} else {
+			want = codec.Binary
+		}
+	}
 	if best != nil && (bestLoad < p.cfg.MaxInflight || len(p.peers[addr]) >= p.cfg.MaxPerPeer) {
 		p.mu.Unlock()
 		p.event(EventReuse)
@@ -353,13 +633,46 @@ func (p *Pool) acquire(addr string, timeout time.Duration) (*conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pool: dial %s: %w", addr, err)
 	}
-	_ = nc.SetWriteDeadline(time.Now().Add(timeout))
-	if _, err := nc.Write([]byte(Preamble)); err != nil {
-		nc.Close()
-		return nil, fmt.Errorf("pool: preamble to %s: %w", addr, err)
+	bin := want == codec.Binary
+	if bin {
+		ok, nerr := negotiateBin(nc, timeout)
+		if nerr != nil {
+			nc.Close()
+			return nil, fmt.Errorf("pool: negotiate %s: %w", addr, nerr)
+		}
+		if !ok {
+			// The peer speaks only v1: remember that, and either fail
+			// (codec forced) or redial in v1.
+			nc.Close()
+			p.mu.Lock()
+			p.peerCodec[addr] = codec.JSON
+			p.mu.Unlock()
+			p.event(EventCodecFallback)
+			if p.cfg.Codec == codec.Binary {
+				return nil, fmt.Errorf("pool: %s speaks only the v1 wire protocol", addr)
+			}
+			bin = false
+			if nc, err = p.cfg.Dial(addr, timeout); err != nil {
+				return nil, fmt.Errorf("pool: dial %s: %w", addr, err)
+			}
+		} else {
+			p.mu.Lock()
+			p.peerCodec[addr] = codec.Binary
+			p.mu.Unlock()
+		}
 	}
-	_ = nc.SetWriteDeadline(time.Time{})
-	c := &conn{p: p, addr: addr, nc: nc, pending: make(map[uint64]chan result), lastUse: time.Now()}
+	if !bin {
+		_ = nc.SetWriteDeadline(time.Now().Add(timeout))
+		if _, err := nc.Write([]byte(Preamble)); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("pool: preamble to %s: %w", addr, err)
+		}
+		_ = nc.SetWriteDeadline(time.Time{})
+	}
+	c := &conn{p: p, addr: addr, nc: nc, bin: bin, pending: make(map[uint64]chan result), lastUse: time.Now()}
+	c.w = NewWriter(nc, timeout, p.cfg.FlushWindow, func(err error) {
+		c.teardown(fmt.Errorf("pool: write %s: %w", addr, err))
+	})
 
 	p.mu.Lock()
 	if p.closed {
@@ -394,8 +707,38 @@ func (p *Pool) acquire(addr string, timeout time.Duration) (*conn, error) {
 	return c, nil
 }
 
-// sweepLocked evicts idle connections; callers hold p.mu.
+// negotiateBin performs the v2 preamble exchange on a fresh connection:
+// write codec.PreambleMuxV2, wait for the echo. ok=false with a nil
+// error identifies a v1-only peer — it tried to parse our preamble as a
+// JSON request, failed, and closed without writing a byte, so the read
+// comes back as a clean zero-byte EOF.
+func negotiateBin(nc net.Conn, timeout time.Duration) (bool, error) {
+	_ = nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write([]byte(codec.PreambleMuxV2)); err != nil {
+		return false, err
+	}
+	var ack [codec.PreambleLen]byte
+	n, err := io.ReadFull(nc, ack[:])
+	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return false, nil
+		}
+		return false, err
+	}
+	if string(ack[:]) != codec.PreambleMuxV2 {
+		return false, fmt.Errorf("unexpected negotiation ack %q", ack[:])
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return true, nil
+}
+
+// sweepLocked evicts idle connections; callers hold p.mu. The clock is
+// consulted only every 64th call — reading it per acquire is measurable
+// on the call hot path, and eviction deadlines are minutes-coarse.
 func (p *Pool) sweepLocked() {
+	if p.sweepTick++; p.sweepTick&63 != 0 {
+		return
+	}
 	now := time.Now()
 	if now.Sub(p.lastSweep) < p.cfg.IdleTimeout/4 {
 		return
@@ -427,6 +770,7 @@ func (p *Pool) sweepLocked() {
 func (p *Pool) EvictIdle() {
 	p.mu.Lock()
 	p.lastSweep = time.Time{}
+	p.sweepTick = 63 // the next increment passes the tick gate
 	p.sweepLocked()
 	p.mu.Unlock()
 }
@@ -498,11 +842,15 @@ func (c *conn) close(err error) {
 	}
 }
 
-// readLoop decodes response envelopes and routes them to pending calls.
+// readLoop decodes response frames and routes them to pending calls.
 // Any failure — I/O error, malformed or oversized frame — tears the
 // connection down.
 func (c *conn) readLoop() {
 	br := bufio.NewReader(c.nc)
+	if c.bin {
+		c.readLoopBin(br)
+		return
+	}
 	for {
 		line, err := ReadFrame(br, c.p.cfg.MaxFrame)
 		if err != nil {
@@ -524,18 +872,74 @@ func (c *conn) readLoop() {
 			c.teardown(fmt.Errorf("pool: %s: %s", c.addr, msg))
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[env.ID]
-		delete(c.pending, env.ID)
-		c.lastUse = time.Now()
-		c.mu.Unlock()
-		if ch == nil {
-			continue // response to a call that already timed out
-		}
 		if env.Err != "" {
-			ch <- result{err: errors.New(env.Err)}
+			c.route(env.ID, result{err: errors.New(env.Err)})
 			continue
 		}
-		ch <- result{payload: env.P}
+		c.route(env.ID, result{payload: env.P})
 	}
+}
+
+// readLoopBin is the v2 framing read loop: u32 length, u64 id, u8
+// status, body. Response bodies land in pooled buffers that travel to
+// the caller and come back via Reply.Release.
+func (c *conn) readLoopBin(br *bufio.Reader) {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.teardown(fmt.Errorf("pool: read %s: %w", c.addr, err))
+			return
+		}
+		l := int(binary.LittleEndian.Uint32(hdr[:]))
+		if l < binEnvelopeLen || l > c.p.cfg.MaxFrame {
+			c.teardown(fmt.Errorf("pool: read %s: %w", c.addr, ErrFrameTooLarge))
+			return
+		}
+		fb := codec.GetBuffer()
+		if cap(fb.B) < l {
+			fb.B = make([]byte, l)
+		} else {
+			fb.B = fb.B[:l]
+		}
+		if _, err := io.ReadFull(br, fb.B); err != nil {
+			codec.PutBuffer(fb)
+			c.teardown(fmt.Errorf("pool: read %s: %w", c.addr, err))
+			return
+		}
+		id := binary.LittleEndian.Uint64(fb.B)
+		status := fb.B[8]
+		body := fb.B[binEnvelopeLen:]
+		if id == 0 {
+			msg := "protocol error"
+			if status != 0 && len(body) > 0 {
+				msg = string(body)
+			}
+			codec.PutBuffer(fb)
+			c.teardown(fmt.Errorf("pool: %s: %s", c.addr, msg))
+			return
+		}
+		if status != 0 {
+			err := errors.New(string(body))
+			codec.PutBuffer(fb)
+			c.route(id, result{err: err})
+			continue
+		}
+		c.route(id, result{payload: body, buf: fb})
+	}
+}
+
+// route delivers one result to the pending call registered under id, or
+// discards it (releasing any buffer) when the call already timed out.
+func (c *conn) route(id uint64, res result) {
+	c.mu.Lock()
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ch == nil {
+		if res.buf != nil {
+			codec.PutBuffer(res.buf)
+		}
+		return
+	}
+	ch <- res
 }

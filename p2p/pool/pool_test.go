@@ -3,20 +3,27 @@ package pool
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"cycloid/p2p/codec"
 )
 
-// startServer runs a minimal mux peer on a TCP loopback listener:
-// every accepted connection must open with the preamble, then each
-// inbound envelope is answered by handler (nil return = stay silent,
-// for timeout tests). Returns the address and a stop func.
+// startServer runs a minimal v1-only mux peer on a TCP loopback
+// listener: every accepted connection must open with the v1 preamble
+// (anything else — including a v2 negotiation attempt — is dropped
+// without a byte written, exactly like the legacy server's failed JSON
+// parse), then each inbound envelope is answered by handler (nil
+// return = stay silent, for timeout tests). Returns the address and a
+// stop func.
 func startServer(t *testing.T, handler func(env Envelope) *Envelope) (string, func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -38,7 +45,7 @@ func startServer(t *testing.T, handler func(env Envelope) *Envelope) (string, fu
 				defer conn.Close()
 				br := bufio.NewReader(conn)
 				pre := make([]byte, len(Preamble))
-				if _, err := readFull(br, pre); err != nil || string(pre) != Preamble {
+				if _, err := io.ReadFull(br, pre); err != nil || string(pre) != Preamble {
 					return
 				}
 				var wmu sync.Mutex
@@ -67,16 +74,74 @@ func startServer(t *testing.T, handler func(env Envelope) *Envelope) (string, fu
 	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
 }
 
-func readFull(br *bufio.Reader, p []byte) (int, error) {
-	n := 0
-	for n < len(p) {
-		m, err := br.Read(p[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
+// startBinServer runs a minimal v2-only mux peer: it acks the v2
+// preamble and echoes every frame verbatim.
+func startBinServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
-	return n, nil
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				pre := make([]byte, codec.PreambleLen)
+				if _, err := io.ReadFull(br, pre); err != nil || string(pre) != codec.PreambleMuxV2 {
+					return
+				}
+				if _, err := conn.Write([]byte(codec.PreambleMuxV2)); err != nil {
+					return
+				}
+				var wmu sync.Mutex
+				for {
+					var hdr [4]byte
+					if _, err := io.ReadFull(br, hdr[:]); err != nil {
+						return
+					}
+					l := int(binary.LittleEndian.Uint32(hdr[:]))
+					if l < binEnvelopeLen || l > DefaultMaxFrame {
+						return
+					}
+					frame := make([]byte, 4+l)
+					copy(frame, hdr[:])
+					if _, err := io.ReadFull(br, frame[4:]); err != nil {
+						return
+					}
+					go func() {
+						wmu.Lock()
+						conn.Write(frame)
+						wmu.Unlock()
+					}()
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// do performs one exchange with a raw payload in whichever codec the
+// connection speaks, copying the reply out of its pooled buffer.
+func do(p *Pool, ctx context.Context, addr string, payload []byte, timeout time.Duration) ([]byte, error) {
+	rep, err := p.Do(ctx, addr, func(bin bool, buf []byte) ([]byte, error) {
+		return append(buf, payload...), nil
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), rep.Payload...)
+	rep.Release()
+	return out, nil
 }
 
 // echo answers every envelope with its own payload.
@@ -94,7 +159,7 @@ func TestDoReusesConnection(t *testing.T) {
 
 	for i := 0; i < 10; i++ {
 		want := fmt.Sprintf(`{"i":%d}`, i)
-		got, err := p.Do(context.Background(), addr, []byte(want), time.Second)
+		got, err := do(p, context.Background(), addr, []byte(want), time.Second)
 		if err != nil {
 			t.Fatalf("call %d: %v", i, err)
 		}
@@ -111,6 +176,53 @@ func TestDoReusesConnection(t *testing.T) {
 	}
 	if s.OpenConns != 1 {
 		t.Fatalf("expected 1 open conn, got %d", s.OpenConns)
+	}
+	// The v1-only server also exercised the auto-negotiation fallback.
+	if s.Fallbacks != 1 {
+		t.Fatalf("expected 1 codec fallback against a v1-only peer, got %d", s.Fallbacks)
+	}
+	if c := p.PeerCodec(addr); c != codec.JSON {
+		t.Fatalf("peer codec after fallback = %v, want json", c)
+	}
+}
+
+func TestBinaryNegotiationAndEcho(t *testing.T) {
+	addr, stop := startBinServer(t)
+	defer stop()
+	p := New(Config{Dial: tcpDial})
+	defer p.Close()
+
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf("binary payload %d", i)
+		got, err := do(p, context.Background(), addr, []byte(want), time.Second)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("call %d: got %q, want %q", i, got, want)
+		}
+	}
+	s := p.Stats()
+	if s.Dials != 1 || s.Fallbacks != 0 {
+		t.Fatalf("v2 peer should negotiate on the first dial: dials=%d fallbacks=%d", s.Dials, s.Fallbacks)
+	}
+	if c := p.PeerCodec(addr); c != codec.Binary {
+		t.Fatalf("peer codec after negotiation = %v, want binary", c)
+	}
+}
+
+func TestForcedBinaryAgainstV1PeerFails(t *testing.T) {
+	addr, stop := startServer(t, echo)
+	defer stop()
+	p := New(Config{Dial: tcpDial, Codec: codec.Binary})
+	defer p.Close()
+
+	_, err := do(p, context.Background(), addr, []byte(`{}`), time.Second)
+	if err == nil || !strings.Contains(err.Error(), "v1 wire protocol") {
+		t.Fatalf("forced binary against a v1-only peer should fail, got %v", err)
+	}
+	if s := p.Stats(); s.Fallbacks != 1 || s.OpenConns != 0 {
+		t.Fatalf("fallbacks=%d open=%d after forced-binary refusal", s.Fallbacks, s.OpenConns)
 	}
 }
 
@@ -129,7 +241,44 @@ func TestConcurrentCallsMultiplex(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < calls; i++ {
 				want := fmt.Sprintf(`{"w":%d,"i":%d}`, w, i)
-				got, err := p.Do(context.Background(), addr, []byte(want), 5*time.Second)
+				got, err := do(p, context.Background(), addr, []byte(want), 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(got) != want {
+					errs <- fmt.Errorf("got %s, want %s", got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Dials > 2 {
+		t.Fatalf("dials %d exceed MaxPerPeer 2", s.Dials)
+	}
+}
+
+func TestConcurrentCallsMultiplexBinary(t *testing.T) {
+	addr, stop := startBinServer(t)
+	defer stop()
+	p := New(Config{Dial: tcpDial, MaxPerPeer: 2})
+	defer p.Close()
+
+	const workers, calls = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*calls)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := fmt.Sprintf("w=%d i=%d", w, i)
+				got, err := do(p, context.Background(), addr, []byte(want), 5*time.Second)
 				if err != nil {
 					errs <- err
 					return
@@ -167,13 +316,13 @@ func TestTimeoutTearsDownAndRecovers(t *testing.T) {
 	p := New(Config{Dial: tcpDial})
 	defer p.Close()
 
-	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err != nil {
+	if _, err := do(p, context.Background(), addr, []byte(`{}`), time.Second); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
 	silent = true
 	mu.Unlock()
-	_, err := p.Do(context.Background(), addr, []byte(`{}`), 50*time.Millisecond)
+	_, err := do(p, context.Background(), addr, []byte(`{}`), 50*time.Millisecond)
 	if err == nil {
 		t.Fatal("expected timeout from silent peer")
 	}
@@ -188,7 +337,7 @@ func TestTimeoutTearsDownAndRecovers(t *testing.T) {
 	mu.Lock()
 	silent = false
 	mu.Unlock()
-	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err != nil {
+	if _, err := do(p, context.Background(), addr, []byte(`{}`), time.Second); err != nil {
 		t.Fatalf("call after teardown: %v", err)
 	}
 	if s := p.Stats(); s.Dials != 2 {
@@ -204,12 +353,12 @@ func TestPeerErrorEnvelopeKeepsConnection(t *testing.T) {
 	p := New(Config{Dial: tcpDial})
 	defer p.Close()
 
-	_, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second)
+	_, err := do(p, context.Background(), addr, []byte(`{}`), time.Second)
 	if err == nil || !strings.Contains(err.Error(), "no such op") {
 		t.Fatalf("expected peer error, got %v", err)
 	}
 	// A per-call error is not a connection failure: the conn survives.
-	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err == nil {
+	if _, err := do(p, context.Background(), addr, []byte(`{}`), time.Second); err == nil {
 		t.Fatal("expected peer error on second call too")
 	}
 	s := p.Stats()
@@ -226,7 +375,7 @@ func TestProtocolErrorTearsDown(t *testing.T) {
 	p := New(Config{Dial: tcpDial})
 	defer p.Close()
 
-	_, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second)
+	_, err := do(p, context.Background(), addr, []byte(`{}`), time.Second)
 	if err == nil {
 		t.Fatal("expected error from protocol-level envelope")
 	}
@@ -235,20 +384,43 @@ func TestProtocolErrorTearsDown(t *testing.T) {
 	}
 }
 
+// TestOversizedRequestRejectedLocally pins the outbound MaxFrame check
+// for both codecs: the request fails with ErrFrameTooLarge before any
+// bytes hit the wire, and the connection stays healthy.
 func TestOversizedRequestRejectedLocally(t *testing.T) {
-	dialed := false
-	p := New(Config{
-		Dial:     func(addr string, timeout time.Duration) (net.Conn, error) { dialed = true; return nil, errors.New("no") },
-		MaxFrame: 128,
+	big := []byte(`"` + strings.Repeat("x", 256) + `"`)
+	small := []byte(`"ok"`)
+
+	t.Run("json", func(t *testing.T) {
+		addr, stop := startServer(t, echo)
+		defer stop()
+		p := New(Config{Dial: tcpDial, MaxFrame: 128, Codec: codec.JSON})
+		defer p.Close()
+		if _, err := do(p, context.Background(), addr, big, time.Second); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+		}
+		if _, err := do(p, context.Background(), addr, small, time.Second); err != nil {
+			t.Fatalf("connection should survive a rejected oversized request: %v", err)
+		}
+		if s := p.Stats(); s.Teardowns != 0 {
+			t.Fatalf("oversized request must not tear down, got %d teardowns", s.Teardowns)
+		}
 	})
-	defer p.Close()
-	_, err := p.Do(context.Background(), "nowhere:1", make([]byte, 256), time.Second)
-	if !errors.Is(err, ErrFrameTooLarge) {
-		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
-	}
-	if dialed {
-		t.Fatal("oversized request must be rejected before dialing")
-	}
+	t.Run("binary", func(t *testing.T) {
+		addr, stop := startBinServer(t)
+		defer stop()
+		p := New(Config{Dial: tcpDial, MaxFrame: 128, Codec: codec.Binary})
+		defer p.Close()
+		if _, err := do(p, context.Background(), addr, big, time.Second); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+		}
+		if _, err := do(p, context.Background(), addr, small, time.Second); err != nil {
+			t.Fatalf("connection should survive a rejected oversized request: %v", err)
+		}
+		if s := p.Stats(); s.Teardowns != 0 {
+			t.Fatalf("oversized request must not tear down, got %d teardowns", s.Teardowns)
+		}
+	})
 }
 
 func TestIdleEviction(t *testing.T) {
@@ -257,7 +429,7 @@ func TestIdleEviction(t *testing.T) {
 	p := New(Config{Dial: tcpDial, IdleTimeout: time.Nanosecond})
 	defer p.Close()
 
-	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); err != nil {
+	if _, err := do(p, context.Background(), addr, []byte(`{}`), time.Second); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(time.Millisecond)
@@ -275,7 +447,7 @@ func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := p.Do(context.Background(), addr, []byte(`{}`), 10*time.Second)
+		_, err := do(p, context.Background(), addr, []byte(`{}`), 10*time.Second)
 		done <- err
 	}()
 	// Wait for the call to be in flight, then close under it.
@@ -294,7 +466,7 @@ func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("pending call not failed by Close")
 	}
-	if _, err := p.Do(context.Background(), addr, []byte(`{}`), time.Second); !errors.Is(err, ErrClosed) {
+	if _, err := do(p, context.Background(), addr, []byte(`{}`), time.Second); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Do after Close should return ErrClosed, got %v", err)
 	}
 }
@@ -308,7 +480,7 @@ func TestContextDeadlineCapsCall(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	began := time.Now()
-	_, err := p.Do(ctx, addr, []byte(`{}`), 10*time.Second)
+	_, err := do(p, ctx, addr, []byte(`{}`), 10*time.Second)
 	if err == nil {
 		t.Fatal("expected context deadline to fail the call")
 	}
@@ -327,5 +499,97 @@ func TestReadFrameCapsLine(t *testing.T) {
 	got, err := ReadFrame(br, 256)
 	if err != nil || string(got) != long {
 		t.Fatalf("frame under cap should pass: %q %v", got, err)
+	}
+}
+
+// TestWriterBatches checks the adaptive coalescing: frames queued while
+// a write is stalled ride one later Write call.
+func TestWriterBatches(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	w := NewWriter(c1, time.Second, 0, nil)
+
+	reads := make(chan []byte, 16)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := c2.Read(buf)
+			if err != nil {
+				close(reads)
+				return
+			}
+			reads <- append([]byte(nil), buf[:n]...)
+		}
+	}()
+
+	// First frame occupies the (synchronous) pipe write; the rest queue
+	// behind it and must coalesce.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := w.Frame(func(buf []byte) ([]byte, error) {
+				return append(buf, fmt.Sprintf("frame-%d;", i)...), nil
+			})
+			if err != nil {
+				t.Errorf("frame %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var all []byte
+	deadline := time.After(time.Second)
+	for len(all) < len("frame-0;")*4 {
+		select {
+		case b := <-reads:
+			all = append(all, b...)
+		case <-deadline:
+			t.Fatalf("frames not delivered, got %q", all)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(string(all), fmt.Sprintf("frame-%d;", i)) {
+			t.Fatalf("frame %d missing from %q", i, all)
+		}
+	}
+}
+
+// TestWriterFillErrorRollsBack checks a failed fill leaves no partial
+// bytes behind.
+func TestWriterFillErrorRollsBack(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	w := NewWriter(c1, time.Second, 0, nil)
+
+	boom := errors.New("encode failed")
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- w.Frame(func(buf []byte) ([]byte, error) {
+			return append(buf, "partial garbage"...), boom
+		})
+	}()
+	if err := <-errCh; !errors.Is(err, boom) {
+		t.Fatalf("fill error not returned: %v", err)
+	}
+
+	go func() {
+		errCh <- w.Frame(func(buf []byte) ([]byte, error) {
+			return append(buf, "clean frame"...), nil
+		})
+	}()
+	buf := make([]byte, 64)
+	_ = c2.SetReadDeadline(time.Now().Add(time.Second))
+	n, err := c2.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); got != "clean frame" {
+		t.Fatalf("rolled-back bytes leaked onto the wire: %q", got)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,140 @@
+package pool
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Writer coalesces concurrent frame writes on one connection into as
+// few Write syscalls as possible. Callers append complete frames under
+// the writer's lock; the first appender becomes the flusher and keeps
+// writing until the batch buffer is drained, while later appenders just
+// queue their bytes and return. Under concurrent load many frames ride
+// one syscall; with a single caller every frame is written immediately,
+// so batching never adds latency to an idle connection. The flush
+// window is therefore adaptive by default — it stays open exactly as
+// long as the in-progress Write keeps the flusher busy — and a fixed
+// window can be layered on top for syscall-starved fabrics.
+type Writer struct {
+	nc      net.Conn
+	timeout time.Duration // per-Write deadline
+	window  time.Duration // fixed extra gathering delay, usually 0
+	onErr   func(error)   // invoked (without the lock) on write failure
+
+	mu       sync.Mutex
+	buf      []byte // frames queued for the next Write
+	spare    []byte // double buffer, swapped with buf around each Write
+	flushing bool
+	err      error // sticky: first write failure poisons the writer
+}
+
+// NewWriter wraps nc. timeout bounds each underlying Write; window, when
+// positive, holds every batch open that long before writing (trading
+// latency for fewer syscalls — leave it 0 for adaptive batching); onErr,
+// when non-nil, is called once with the first write failure so the owner
+// can tear the connection down.
+func NewWriter(nc net.Conn, timeout, window time.Duration, onErr func(error)) *Writer {
+	return &Writer{nc: nc, timeout: timeout, window: window, onErr: onErr}
+}
+
+// Frame appends one frame via fill, which must append exactly one
+// complete frame to the given buffer and return the extended slice. A
+// fill error rolls the buffer back and is returned with the connection
+// still healthy; a nil return means the frame was queued or written. If
+// a previous Write failed, Frame fails fast with that sticky error
+// (onErr has already run).
+func (w *Writer) Frame(fill func([]byte) ([]byte, error)) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	pre := len(w.buf)
+	b, err := fill(w.buf)
+	if err != nil {
+		w.buf = w.buf[:pre]
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = b
+	if w.flushing {
+		// An active flusher will pick these bytes up on its next swap.
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushLocked()
+	err = w.err
+	w.mu.Unlock()
+	return err
+}
+
+// Queue appends one frame via fill like Frame, but never starts a flush
+// itself: the bytes ride an already-active flusher's next swap, or wait
+// for a later Frame or Flush call. Callers that know more frames are
+// imminent (a server draining a burst of pipelined requests) use it to
+// put many responses into one Write.
+func (w *Writer) Queue(fill func([]byte) ([]byte, error)) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	pre := len(w.buf)
+	b, err := fill(w.buf)
+	if err != nil {
+		w.buf = w.buf[:pre]
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = b
+	w.mu.Unlock()
+	return nil
+}
+
+// Flush writes any queued frames now, unless an active flusher will
+// pick them up anyway. It returns the writer's sticky error, if any.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	if w.err == nil && !w.flushing && len(w.buf) > 0 {
+		w.flushLocked()
+	}
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// flushLocked drains the batch buffer, releasing the lock around each
+// Write (and around the optional fixed window) so concurrent Frame
+// calls keep appending into the other buffer of the double-buffer pair.
+func (w *Writer) flushLocked() {
+	w.flushing = true
+	var failed error
+	for len(w.buf) > 0 && w.err == nil {
+		if w.window > 0 {
+			w.mu.Unlock()
+			time.Sleep(w.window)
+			w.mu.Lock()
+		}
+		out := w.buf
+		w.buf = w.spare[:0:cap(w.spare)]
+		w.spare = nil
+		w.mu.Unlock()
+		_ = w.nc.SetWriteDeadline(time.Now().Add(w.timeout))
+		_, err := w.nc.Write(out)
+		w.mu.Lock()
+		w.spare = out[:0]
+		if err != nil {
+			w.err = err
+			failed = err
+		}
+	}
+	w.flushing = false
+	if failed != nil && w.onErr != nil {
+		w.mu.Unlock()
+		w.onErr(failed)
+		w.mu.Lock()
+	}
+}

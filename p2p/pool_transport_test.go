@@ -2,14 +2,17 @@ package p2p
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
 	"cycloid/internal/ids"
+	"cycloid/p2p/codec"
 	"cycloid/p2p/memnet"
 	"cycloid/p2p/pool"
 )
@@ -404,5 +407,180 @@ func TestMuxFrameCap(t *testing.T) {
 	}
 	if _, err := pool.ReadFrame(br, pool.DefaultMaxFrame); err == nil {
 		t.Fatal("stream should be closed after a frame overrun")
+	}
+}
+
+// TestOneShotFrameCapBinary: the CYCLOID-BIN/2 one-shot path enforces
+// MaxFrame from the length prefix alone — the server answers with a
+// wire error before a single payload byte arrives, so a hostile prefix
+// cannot force an allocation.
+func TestOneShotFrameCapBinary(t *testing.T) {
+	nw := memnet.New(35)
+	cfg := memConfig(nw, "srv", 5, ids.CycloidID{K: 1, A: 3})
+	cfg.MaxFrame = 4 << 10
+	nd, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+
+	conn, err := nw.Host("cli").Dial(nd.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Preamble plus an oversized length claim; no payload follows.
+	var frame []byte
+	frame = append(frame, codec.PreambleBinV2...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(cfg.MaxFrame+1))
+	// The fabric's pipes are unbuffered, so the write must run alongside
+	// the read below.
+	go func() { _, _ = conn.Write(frame) }()
+
+	br := bufio.NewReader(conn)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatalf("expected a binary wire error response, got %v", err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := codec.DecodeResponse(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Err, "frame limit") {
+		t.Fatalf("expected frame-limit rejection, got %+v", resp)
+	}
+
+	// The same server still answers a well-formed request.
+	if _, err := nd.call(nd.Addr(), request{Op: "ping"}); err != nil {
+		t.Fatalf("normal request after oversized one: %v", err)
+	}
+}
+
+// TestMuxFrameCapBinary: an oversized CYCLOID-MUX/2 frame draws a
+// connection-level binary error frame (ID 0, status 1) and the stream
+// is dropped, mirroring the JSON mux behavior; the length prefix is
+// rejected before any payload allocation.
+func TestMuxFrameCapBinary(t *testing.T) {
+	nw := memnet.New(36)
+	cfg := memConfig(nw, "srv", 5, ids.CycloidID{K: 1, A: 3})
+	cfg.MaxFrame = 1 << 10
+	nd, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+
+	conn, err := nw.Host("cli").Dial(nd.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() { _, _ = conn.Write([]byte(codec.PreambleMuxV2)) }()
+	br := bufio.NewReader(conn)
+	ack := make([]byte, codec.PreambleLen)
+	if _, err := io.ReadFull(br, ack); err != nil || string(ack) != codec.PreambleMuxV2 {
+		t.Fatalf("negotiation echo = %q, %v", ack, err)
+	}
+	go func() {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(cfg.MaxFrame+1))
+		_, _ = conn.Write(hdr[:])
+	}()
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatalf("expected a connection-level error frame, got %v", err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body) < 9 {
+		t.Fatalf("error frame too short: %d bytes", len(body))
+	}
+	id, status, msg := binary.LittleEndian.Uint64(body), body[8], string(body[9:])
+	if id != 0 || status != 1 || !strings.Contains(msg, "size limit") {
+		t.Fatalf("expected connection-level frame error, got id=%d status=%d msg=%q", id, status, msg)
+	}
+	if _, err := io.ReadFull(br, hdr[:]); err == nil {
+		t.Fatal("stream should be closed after a frame overrun")
+	}
+}
+
+// TestMixedCodecClusterInterop boots one pooled overlay whose members
+// are pinned to different wire codecs — v1 JSON, v2 binary, and
+// auto-negotiating — and drives joins, puts, gets and exact lookups
+// across every pairing. Servers auto-detect the codec per connection,
+// so the overlay must behave identically to a homogeneous one.
+func TestMixedCodecClusterInterop(t *testing.T) {
+	nw := memnet.New(37)
+	dim, n := 5, 9
+	codecs := []string{"json", "binary", "auto"}
+	space := ids.NewSpace(dim)
+	rng := rand.New(rand.NewSource(44))
+	taken := make(map[uint64]bool)
+	nodes := make([]*Node, 0, n)
+	for len(nodes) < n {
+		v := uint64(rng.Int63n(int64(space.Size())))
+		if taken[v] {
+			continue
+		}
+		taken[v] = true
+		cfg := pooledMemConfig(nw, fmt.Sprintf("m%d", len(nodes)), dim, space.FromLinear(v))
+		cfg.WireCodec = codecs[len(nodes)%len(codecs)]
+		nd, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) > 0 {
+			// Join through the previous node, so every join crosses a
+			// codec boundary (the codec list has no repeats mod 3).
+			if err := nd.Join(nodes[len(nodes)-1].Addr()); err != nil {
+				t.Fatalf("%s node join: %v", cfg.WireCodec, err)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		for _, nd := range nodes {
+			nd.Stabilize()
+		}
+	}
+
+	for i := 0; i < 27; i++ {
+		key := fmt.Sprintf("mixed-%d", i)
+		if err := nodes[i%n].Put(key, []byte(key)); err != nil {
+			t.Fatalf("put via %s node: %v", codecs[i%n%len(codecs)], err)
+		}
+	}
+	for i := 0; i < 27; i++ {
+		key := fmt.Sprintf("mixed-%d", i)
+		reader := (i*7 + 1) % n
+		val, _, err := nodes[reader].Get(key)
+		if err != nil {
+			t.Fatalf("get %q via %s node: %v", key, codecs[reader%len(codecs)], err)
+		}
+		if string(val) != key {
+			t.Fatalf("get %q = %q", key, val)
+		}
+		want, err := nodes[0].Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nodes[reader].Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Terminal != got.Terminal {
+			t.Fatalf("lookup %q disagrees across codecs: %v vs %v", key, want.Terminal, got.Terminal)
+		}
 	}
 }

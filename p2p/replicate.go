@@ -174,7 +174,7 @@ func (n *Node) handleReplicate(req request) response {
 	kp := n.keyPoint(req.Key)
 	// The sender (normally the key's owner) counts toward the scope
 	// ranking even when this node's leaf set has not adopted it yet.
-	if !n.localStep(kp, false).Done && !n.inScope(kp, req.From.entry().ID) {
+	if !n.localStep(kp, false).Done && !n.inScope(kp, toEntry(req.From).ID) {
 		resp := response{Err: "not owner or replica for key"}
 		if s := n.localStep(kp, false); len(s.Candidates) > 0 {
 			resp.Redirect = &s.Candidates[0]
@@ -253,7 +253,7 @@ func (n *Node) syncReplicas() {
 		}
 		keep := resp.Ver < it.ver
 		for _, w := range resp.Replicas {
-			if w.entry().ID == n.id {
+			if toEntry(w).ID == n.id {
 				keep = true
 			}
 		}

@@ -3,6 +3,7 @@ package p2p
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"cycloid/internal/cycloid"
 	"cycloid/internal/ids"
+	"cycloid/p2p/codec"
 	"cycloid/p2p/pool"
 )
 
@@ -55,20 +57,42 @@ func (n *Node) serve() {
 	}
 }
 
-// handle serves one inbound connection. A connection opening with the
-// pool preamble is a multiplexed stream carrying many concurrent
-// exchanges (serveMux); anything else is the original one-shot
-// protocol: one request, one response, close. Either way a single
-// inbound frame is capped at MaxFrame bytes — an oversized request gets
-// a wire error instead of an unbounded buffer.
+// handle serves one inbound connection, auto-detecting its protocol
+// from the opening bytes so differently-configured nodes interoperate:
+//
+//	CYCLOID-MUX/1\n  v1 multiplexed stream, JSON envelopes (serveMux)
+//	CYCLOID-MUX/2\n  v2 multiplexed stream, binary frames (serveMuxBin)
+//	CYCLOID-BIN/2\n  v2 one-shot: one binary request, one response
+//	anything else    v1 one-shot: one JSON request, one response
+//
+// Either way a single inbound frame is capped at MaxFrame bytes — an
+// oversized request gets a wire error instead of an unbounded buffer,
+// and on the binary paths the length prefix is checked before any
+// payload allocation.
 func (n *Node) handle(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(deadline(n.cfg.DialTimeout))
 	br := bufio.NewReader(conn)
-	if pre, err := br.Peek(len(pool.Preamble)); err == nil && string(pre) == pool.Preamble {
-		_, _ = br.Discard(len(pool.Preamble))
-		n.serveMux(conn, br)
-		return
+	if pre, err := br.Peek(codec.PreambleLen); err == nil {
+		switch string(pre) {
+		case pool.Preamble:
+			_, _ = br.Discard(codec.PreambleLen)
+			n.serveMux(conn, br)
+			return
+		case codec.PreambleMuxV2:
+			_, _ = br.Discard(codec.PreambleLen)
+			// Echo the preamble as the negotiation ack — a v1-only
+			// server would have closed without writing a byte.
+			if _, err := conn.Write([]byte(codec.PreambleMuxV2)); err != nil {
+				return
+			}
+			n.serveMuxBin(conn, br)
+			return
+		case codec.PreambleBinV2:
+			_, _ = br.Discard(codec.PreambleLen)
+			n.handleBinOneShot(conn, br)
+			return
+		}
 	}
 	var req request
 	if err := json.NewDecoder(&cappedReader{r: br, rem: n.cfg.MaxFrame}).Decode(&req); err != nil {
@@ -103,6 +127,222 @@ func (c *cappedReader) Read(p []byte) (int, error) {
 	return nr, err
 }
 
+// handleBinOneShot serves one CYCLOID-BIN/2 exchange: a u32
+// length-prefixed binary request, one binary response, close. The
+// length prefix is validated against MaxFrame before the payload buffer
+// is sized, so a hostile prefix cannot force an allocation; an
+// oversized claim is answered with the same wire error as the JSON
+// path. Malformed payloads close silently, mirroring the JSON one-shot.
+func (n *Node) handleBinOneShot(conn net.Conn, br *bufio.Reader) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return
+	}
+	l := int(binary.LittleEndian.Uint32(hdr[:]))
+	if l <= 0 || l > n.cfg.MaxFrame {
+		n.writeBinOneShot(conn, &response{Err: "request exceeds frame limit"})
+		return
+	}
+	fb := codec.GetBuffer()
+	if cap(fb.B) < l {
+		fb.B = make([]byte, l)
+	} else {
+		fb.B = fb.B[:l]
+	}
+	if _, err := io.ReadFull(br, fb.B); err != nil {
+		codec.PutBuffer(fb)
+		return
+	}
+	var req request
+	decStart := time.Now()
+	err := codec.DecodeRequest(fb.B, &req)
+	n.tel.codecDecodeBin.Observe(time.Since(decStart).Nanoseconds())
+	codec.PutBuffer(fb)
+	if err != nil {
+		return
+	}
+	resp := n.dispatch(req)
+	resp.OK = resp.Err == ""
+	n.writeBinOneShot(conn, &resp)
+}
+
+// writeBinOneShot sends one length-prefixed binary response from a
+// pooled buffer.
+func (n *Node) writeBinOneShot(conn net.Conn, resp *response) {
+	fb := codec.GetBuffer()
+	fb.B = append(fb.B, 0, 0, 0, 0) // frame length, backfilled below
+	encStart := time.Now()
+	out, err := codec.AppendResponse(fb.B, resp)
+	n.tel.codecEncodeBin.Observe(time.Since(encStart).Nanoseconds())
+	if err != nil {
+		codec.PutBuffer(fb)
+		return
+	}
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(out)-4))
+	fb.B = out
+	_, _ = conn.Write(out)
+	codec.PutBuffer(fb)
+}
+
+// serveMuxBin serves one CYCLOID-MUX/2 connection: binary frames of
+// the form u32 len | u64 id | u8 status | body, each request
+// dispatched and answered under its correlation ID. Responses ride a
+// batching writer, so bursts of concurrent replies coalesce into
+// single writes. Read-only ops that complete under one short lock
+// (ping/state/step/fetch) are answered inline on the read loop; the
+// rest dispatch on goroutines, drained before the connection closes.
+// As on the one-shot path, a frame's length prefix is validated
+// against MaxFrame before any payload allocation.
+func (n *Node) serveMuxBin(conn net.Conn, br *bufio.Reader) {
+	n.muxMu.Lock()
+	n.muxConns[conn] = struct{}{}
+	n.muxMu.Unlock()
+	defer func() {
+		n.muxMu.Lock()
+		delete(n.muxConns, conn)
+		n.muxMu.Unlock()
+	}()
+
+	// Same idle/stop handshake as serveMux: drop the per-request
+	// deadline, then re-check stopped in case Close swept the mux set
+	// concurrently with registration above.
+	_ = conn.SetDeadline(time.Time{})
+	if n.isStopped() {
+		return
+	}
+
+	w := pool.NewWriter(conn, n.cfg.DialTimeout, 0, func(error) {
+		// A failed write poisons the stream; closing the connection
+		// unblocks the read loop, which ends the handler.
+		_ = conn.Close()
+	})
+	writeErr := func(id uint64, msg string) {
+		_ = w.Frame(func(buf []byte) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(9+len(msg)))
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+			buf = append(buf, 1)
+			return append(buf, msg...), nil
+		})
+	}
+	// writeResp appends one response frame. With defer set the frame is
+	// only queued: the caller knows another complete request is already
+	// buffered, so its response will ride the same Write — under
+	// pipelining, a burst of requests costs one response syscall.
+	writeResp := func(id uint64, resp *response, deferFlush bool) {
+		fill := func(buf []byte) ([]byte, error) {
+			start := len(buf)
+			buf = append(buf, 0, 0, 0, 0) // frame length, backfilled below
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+			buf = append(buf, 0)
+			encStart := time.Now()
+			out, err := codec.AppendResponse(buf, resp)
+			n.tel.codecEncodeBin.Observe(time.Since(encStart).Nanoseconds())
+			if err != nil {
+				return buf[:start], err
+			}
+			l := len(out) - start - 4
+			if l > n.cfg.MaxFrame {
+				return out[:start], pool.ErrFrameTooLarge
+			}
+			binary.LittleEndian.PutUint32(out[start:], uint32(l))
+			return out, nil
+		}
+		var err error
+		if deferFlush {
+			err = w.Queue(fill)
+		} else {
+			err = w.Frame(fill)
+		}
+		if err != nil {
+			// The frame was rolled back, so the stream is still framed;
+			// answer the call with an error envelope instead.
+			writeErr(id, "response exceeds frame limit")
+		}
+	}
+	// nextFrameBuffered reports whether br already holds one complete
+	// request frame — the signal that the current response can be queued
+	// instead of flushed, because this loop will append another response
+	// (or flush) before it next blocks on the socket.
+	nextFrameBuffered := func() bool {
+		if br.Buffered() < 4 {
+			return false
+		}
+		peek, err := br.Peek(4)
+		if err != nil {
+			return false
+		}
+		l := int(binary.LittleEndian.Uint32(peek))
+		return l >= 9 && l <= n.cfg.MaxFrame && br.Buffered() >= 4+l
+	}
+
+	var inflight sync.WaitGroup
+	defer inflight.Wait() // drain dispatched handlers before closing
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		l := int(binary.LittleEndian.Uint32(hdr[:]))
+		if l < 9 || l > n.cfg.MaxFrame {
+			// ID 0 = connection-level error: framing is lost, so the
+			// peer must tear the stream down. The check precedes the
+			// payload allocation below.
+			writeErr(0, "frame exceeds size limit")
+			return
+		}
+		fb := codec.GetBuffer()
+		if cap(fb.B) < l {
+			fb.B = make([]byte, l)
+		} else {
+			fb.B = fb.B[:l]
+		}
+		if _, err := io.ReadFull(br, fb.B); err != nil {
+			codec.PutBuffer(fb)
+			return
+		}
+		id := binary.LittleEndian.Uint64(fb.B)
+		status := fb.B[8]
+		if id == 0 || status != 0 {
+			codec.PutBuffer(fb)
+			writeErr(0, "malformed envelope")
+			return
+		}
+		if n.isStopped() {
+			codec.PutBuffer(fb)
+			writeErr(id, ErrStopped.Error())
+			continue
+		}
+		var req request
+		decStart := time.Now()
+		err := codec.DecodeRequest(fb.B[9:], &req)
+		n.tel.codecDecodeBin.Observe(time.Since(decStart).Nanoseconds())
+		codec.PutBuffer(fb)
+		if err != nil {
+			writeErr(id, "malformed request")
+			continue
+		}
+		switch req.Op {
+		case "ping", "state", "step", "fetch":
+			// Short read-only ops answer inline, skipping the
+			// per-request goroutine on the lookup hot path.
+			resp := n.dispatch(req)
+			resp.OK = resp.Err == ""
+			writeResp(id, &resp, nextFrameBuffered())
+		default:
+			inflight.Add(1)
+			go func(id uint64, req request) {
+				defer inflight.Done()
+				resp := n.dispatch(req)
+				resp.OK = resp.Err == ""
+				writeResp(id, &resp, false)
+			}(id, req)
+			// The dispatched handler may take arbitrarily long; don't
+			// let responses queued by the inline path wait on it.
+			_ = w.Flush()
+		}
+	}
+}
+
 // serveMux serves one multiplexed connection: newline-delimited pool
 // envelopes, each request dispatched concurrently and answered under
 // its correlation ID. The stream lives until the peer closes it, a
@@ -128,17 +368,20 @@ func (n *Node) serveMux(conn net.Conn, br *bufio.Reader) {
 		return
 	}
 
-	var wmu sync.Mutex
+	w := pool.NewWriter(conn, n.cfg.DialTimeout, 0, func(error) {
+		// A failed write poisons the stream; closing the connection
+		// unblocks the read loop, which ends the handler.
+		_ = conn.Close()
+	})
 	writeEnv := func(env pool.Envelope) {
 		frame, err := json.Marshal(env)
 		if err != nil {
 			return
 		}
-		frame = append(frame, '\n')
-		wmu.Lock()
-		_ = conn.SetWriteDeadline(deadline(n.cfg.DialTimeout))
-		_, _ = conn.Write(frame)
-		wmu.Unlock()
+		_ = w.Frame(func(buf []byte) ([]byte, error) {
+			buf = append(buf, frame...)
+			return append(buf, '\n'), nil
+		})
 	}
 
 	var inflight sync.WaitGroup
@@ -237,7 +480,7 @@ func (n *Node) handleStep(req request) response {
 	if req.Target == nil {
 		return response{Err: "step without target"}
 	}
-	t := req.Target.entry().ID
+	t := toEntry(*req.Target).ID
 	if !n.space.Contains(t) {
 		return response{Err: "target outside ID space"}
 	}
@@ -247,14 +490,34 @@ func (n *Node) handleStep(req request) response {
 
 // localStep runs the shared routing decision on this node's own state
 // and resolves each candidate ID to the address this node knows for it.
+// stepScratch bundles the reusable buffers of one local routing
+// decision — the snapshot backing and the decision working set — so the
+// per-request cost of a step is the candidate slice and nothing else.
+type stepScratch struct {
+	ids [7]ids.CycloidID
+	sc  cycloid.Scratch
+}
+
+var stepScratchPool = sync.Pool{New: func() any { return new(stepScratch) }}
+
 func (n *Node) localStep(t ids.CycloidID, greedyOnly bool) stepResult {
-	step := cycloid.DecideStep(n.space, n.snapshot(), t, greedyOnly)
+	ss := stepScratchPool.Get().(*stepScratch)
+	n.mu.RLock()
+	st := n.snapshotLockedInto(&ss.ids)
+	step := cycloid.DecideStepScratch(n.space, &st, t, greedyOnly, &ss.sc)
 	out := stepResult{Phase: step.Phase.String(), Done: len(step.Candidates) == 0}
-	for _, id := range step.Candidates {
-		if addr, ok := n.addrOf(id); ok {
-			out.Candidates = append(out.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
+	if len(step.Candidates) > 0 {
+		// Resolved under the same lock as the snapshot, so the addresses
+		// are consistent with the state the decision was made on.
+		out.Candidates = make([]WireEntry, 0, len(step.Candidates))
+		for _, id := range step.Candidates {
+			if addr, ok := n.addrOfLocked(id); ok {
+				out.Candidates = append(out.Candidates, WireEntry{K: id.K, A: id.A, Addr: addr})
+			}
 		}
 	}
+	n.mu.RUnlock()
+	stepScratchPool.Put(ss)
 	return out
 }
 
@@ -283,7 +546,7 @@ func (n *Node) handleStore(req request) response {
 // newcomer's leaf neighbor it usually stays inside the key's replica
 // scope, and the anti-entropy pass garbage-collects it if not.
 func (n *Node) handleReclaim(req request) response {
-	newcomer := req.From.entry().ID
+	newcomer := toEntry(req.From).ID
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	items := make(map[string]WireItem)

@@ -60,7 +60,7 @@ func (n *Node) correctOutsideRing() {
 			if w == nil {
 				return best
 			}
-			c := w.entry()
+			c := toEntry(*w)
 			if c.ID == cur.ID || c.ID == n.id || c.ID.A == n.id.A || !closer(c.ID.A, cur.ID.A) {
 				return best
 			}
@@ -232,7 +232,7 @@ func (n *Node) gatherNeighborhood() ([]entry, map[ids.CycloidID]bool) {
 		add(e.entryWithState(st))
 		for _, w := range []*WireEntry{st.InsideL, st.InsideR, st.OutsideL, st.OutsideR, st.Cubical, st.CyclicL, st.CyclicS} {
 			if w != nil {
-				add(w.entry())
+				add(toEntry(*w))
 			}
 		}
 	}

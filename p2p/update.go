@@ -10,7 +10,7 @@ func (n *Node) handleUpdate(req request) {
 	if req.Subject == nil {
 		return
 	}
-	subj := req.Subject.entry()
+	subj := toEntry(*req.Subject)
 	switch req.Event {
 	case "join":
 		n.applyJoin(subj)
@@ -78,7 +78,7 @@ func (n *Node) applyLeave(s entry, st *WireState) {
 		if w == nil {
 			return n.selfEntry()
 		}
-		e := w.entry()
+		e := toEntry(*w)
 		if e.ID == sid || e.ID == n.id {
 			return n.selfEntry()
 		}
@@ -96,13 +96,13 @@ func (n *Node) applyLeave(s entry, st *WireState) {
 	// next cycle over, taken from the leaver's own outside leaf set.
 	replacePrimary := func(sameSide *WireEntry) *entry {
 		if st.InsideL != nil {
-			p := st.InsideL.entry()
+			p := toEntry(*st.InsideL)
 			if p.ID != sid && p.ID.A == sid.A {
 				return &p
 			}
 		}
 		if sameSide != nil {
-			e := sameSide.entry()
+			e := toEntry(*sameSide)
 			if e.ID != sid && e.ID.A != n.id.A {
 				return &e
 			}
@@ -140,7 +140,7 @@ func (n *Node) propagate(req request) {
 	if req.Origin == nil {
 		self := WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
 		req.Origin = &self
-	} else if next.ID == req.Origin.entry().ID {
+	} else if next.ID == toEntry(*req.Origin).ID {
 		return
 	}
 	req.TTL--

@@ -157,7 +157,7 @@ func TestCallDeadAddress(t *testing.T) {
 
 func TestWireEntryRoundTrip(t *testing.T) {
 	e := entry{ID: ids.CycloidID{K: 3, A: 17}, Addr: "10.0.0.1:4001"}
-	if got := wireEntry(e).entry(); got != e {
+	if got := toEntry(wireEntry(e)); got != e {
 		t.Fatalf("round trip: %+v != %+v", got, e)
 	}
 	if wirePtr(nil) != nil || entryPtr(nil) != nil {

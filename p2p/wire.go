@@ -3,27 +3,54 @@ package p2p
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"cycloid/internal/ids"
+	"cycloid/p2p/codec"
+	"cycloid/p2p/pool"
 )
 
-// Wire protocol: one request per TCP connection, newline-delimited JSON.
-// Every message carries the sender's overlay identity so receivers can
-// learn addresses opportunistically.
+// Wire protocol. The envelope types live in p2p/codec (aliased below)
+// and travel in one of two codecs:
+//
+//   - v1: newline-delimited JSON, one request per connection (or JSON
+//     envelopes over a CYCLOID-MUX/1 pooled stream) — the seed
+//     protocol, still spoken for interoperability;
+//   - v2: length-prefixed fixed-width binary (p2p/codec/binary.go),
+//     opened with CYCLOID-BIN/2 for one-shot requests or CYCLOID-MUX/2
+//     for pooled streams.
+//
+// Servers auto-detect the codec per connection from the opening bytes,
+// so nodes configured differently interoperate on one overlay. Clients
+// follow Config.WireCodec: "auto" (default) speaks binary and falls
+// back — once, remembered per peer — when a peer turns out to be a
+// v1-only build, identified by it closing the probed connection without
+// writing a byte. Every message carries the sender's overlay identity
+// so receivers can learn addresses opportunistically.
 
-// WireEntry is an overlay node reference on the wire.
-type WireEntry struct {
-	K    uint8  `json:"k"`
-	A    uint32 `json:"a"`
-	Addr string `json:"addr"`
-}
+// Type aliases onto the shared codec envelope types: the overlay code
+// below constructs and consumes the same structs whichever codec a
+// connection speaks.
+type (
+	// WireEntry is an overlay node reference on the wire.
+	WireEntry = codec.Entry
+	// WireItem is one stored value with its replication metadata.
+	WireItem = codec.Item
+	// WireState is a node's full routing state on the wire.
+	WireState = codec.State
+
+	request  = codec.Request
+	response = codec.Response
+)
 
 func wireEntry(e entry) WireEntry { return WireEntry{K: e.ID.K, A: e.ID.A, Addr: e.Addr} }
 
-func (w WireEntry) entry() entry {
+func toEntry(w WireEntry) entry {
 	return entry{ID: ids.CycloidID{K: w.K, A: w.A}, Addr: w.Addr}
 }
 
@@ -39,85 +66,13 @@ func entryPtr(w *WireEntry) *entry {
 	if w == nil {
 		return nil
 	}
-	e := w.entry()
+	e := toEntry(*w)
 	return &e
 }
 
-// WireItem is one stored value with its replication metadata: the
-// per-key logical version and the linear ID of the node that assigned
-// it, for last-writer-wins conflict resolution at the receiver.
-type WireItem struct {
-	V   []byte `json:"v"`
-	Ver uint64 `json:"ver"`
-	Src uint64 `json:"src,omitempty"`
-}
-
-// WireState is a node's full routing state on the wire, the payload the
-// join procedure derives the newcomer's leaf sets from.
-type WireState struct {
-	Self     WireEntry  `json:"self"`
-	Cubical  *WireEntry `json:"cubical,omitempty"`
-	CyclicL  *WireEntry `json:"cyclicL,omitempty"`
-	CyclicS  *WireEntry `json:"cyclicS,omitempty"`
-	InsideL  *WireEntry `json:"insideL,omitempty"`
-	InsideR  *WireEntry `json:"insideR,omitempty"`
-	OutsideL *WireEntry `json:"outsideL,omitempty"`
-	OutsideR *WireEntry `json:"outsideR,omitempty"`
-}
-
-// request is the single message type; Op selects the operation.
-type request struct {
-	Op   string    `json:"op"`
-	From WireEntry `json:"from"`
-
-	// step
-	Target     *WireEntry `json:"target,omitempty"`
-	GreedyOnly bool       `json:"greedyOnly,omitempty"`
-
-	// store / fetch / replicate
-	Key   string `json:"key,omitempty"`
-	Value []byte `json:"value,omitempty"`
-	Ver   uint64 `json:"ver,omitempty"` // replicate: the copy's version
-	Src   uint64 `json:"src,omitempty"` // replicate: version tie-breaker
-
-	// handoff
-	Items map[string]WireItem `json:"items,omitempty"`
-
-	// update (membership notification)
-	Event     string     `json:"event,omitempty"` // "join" or "leave"
-	Subject   *WireEntry `json:"subject,omitempty"`
-	Departed  *WireState `json:"departed,omitempty"` // leaver's state, for splicing
-	Propagate bool       `json:"propagate,omitempty"`
-	Origin    *WireEntry `json:"origin,omitempty"`
-	TTL       int        `json:"ttl,omitempty"`
-}
-
-// response is the single reply type.
-type response struct {
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"`
-
-	// step
-	Phase      string      `json:"phase,omitempty"`
-	Candidates []WireEntry `json:"candidates,omitempty"`
-	Done       bool        `json:"done,omitempty"`
-
-	// state
-	State *WireState `json:"state,omitempty"`
-
-	// fetch
-	Value []byte `json:"value,omitempty"`
-	Found bool   `json:"found,omitempty"`
-	Ver   uint64 `json:"ver,omitempty"` // fetch/replicate: receiver's stored version
-
-	// store/replicate rejection: where the receiver believes the key
-	// belongs, so the sender can follow instead of stranding the value.
-	Redirect *WireEntry `json:"redirect,omitempty"`
-	// replicate: the receiver's current replica set (itself plus its
-	// replica targets); senders use it to garbage-collect copies they
-	// should no longer hold.
-	Replicas []WireEntry `json:"replicas,omitempty"`
-}
+// errPeerSpeaksV1 marks a one-shot binary probe answered by a clean
+// zero-byte close: the peer is a v1-only build, not a dead node.
+var errPeerSpeaksV1 = errors.New("p2p: peer speaks only the v1 wire protocol")
 
 // call performs one request/response exchange with a peer. A connection
 // or protocol failure is the live-network analogue of the paper's timeout.
@@ -148,6 +103,37 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 	if n.pool != nil {
 		return n.callPooled(ctx, addr, req, timeout)
 	}
+	mode := n.wireCodec
+	if mode == codec.Auto {
+		if learned, ok := n.peerCodec.Load(addr); ok {
+			mode = learned.(codec.Codec)
+		} else {
+			mode = codec.Binary
+		}
+	}
+	if mode == codec.Binary {
+		resp, err := n.callBinary(addr, req, timeout)
+		if !errors.Is(err, errPeerSpeaksV1) {
+			return resp, err
+		}
+		if n.wireCodec == codec.Binary {
+			// Binary forced: a v1-only peer is unusable.
+			n.tel.dialFailures.Inc()
+			return response{}, fmt.Errorf("p2p: call %s: %w", addr, err)
+		}
+		// The binary probe was answered by a clean close, so the peer
+		// never dispatched anything: retrying the same request in v1 is
+		// safe, and the peer's codec is remembered so future calls skip
+		// the probe.
+		n.peerCodec.Store(addr, codec.JSON)
+		n.tel.codecFallbacks.Inc()
+	}
+	return n.callJSON(addr, req, timeout)
+}
+
+// callJSON is the v1 dial-per-request exchange: one newline-delimited
+// JSON request, one JSON response.
+func (n *Node) callJSON(addr string, req request, timeout time.Duration) (response, error) {
 	began := time.Now()
 	conn, err := n.cfg.Transport.Dial(addr, timeout)
 	if err != nil {
@@ -159,7 +145,14 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 		n.tel.dialFailures.Inc()
 		return response{}, err
 	}
-	if err := json.NewEncoder(conn).Encode(req); err != nil {
+	encStart := time.Now()
+	payload, err := json.Marshal(&req)
+	n.tel.codecEncodeJSON.Observe(time.Since(encStart).Nanoseconds())
+	if err != nil {
+		return response{}, fmt.Errorf("p2p: encode for %s: %w", addr, err)
+	}
+	payload = append(payload, '\n')
+	if _, err := conn.Write(payload); err != nil {
 		n.tel.dialFailures.Inc()
 		return response{}, fmt.Errorf("p2p: send to %s: %w", addr, err)
 	}
@@ -177,27 +170,162 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 	return resp, nil
 }
 
-// callPooled performs the exchange over the connection pool. Telemetry
-// and failure semantics mirror the dial-per-request path exactly: any
-// pool failure (dial, write, peer teardown, per-call timeout) counts as
-// a dial failure, and a completed exchange clears the peer's suspicion.
-func (n *Node) callPooled(ctx context.Context, addr string, req request, timeout time.Duration) (response, error) {
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return response{}, fmt.Errorf("p2p: encode for %s: %w", addr, err)
-	}
+// callBinary is the v2 dial-per-request exchange: the CYCLOID-BIN/2
+// preamble followed by one length-prefixed binary frame each way, with
+// pooled encode/decode buffers. A zero-byte close instead of a response
+// returns errPeerSpeaksV1 (see callCtx).
+func (n *Node) callBinary(addr string, req request, timeout time.Duration) (response, error) {
 	began := time.Now()
-	raw, err := n.pool.Do(ctx, addr, payload, timeout)
+	conn, err := n.cfg.Transport.Dial(addr, timeout)
 	if err != nil {
 		n.tel.dialFailures.Inc()
-		return response{}, fmt.Errorf("p2p: call %s: %w", addr, err)
+		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
-	var resp response
-	if err := json.Unmarshal(raw, &resp); err != nil {
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline(timeout)); err != nil {
+		n.tel.dialFailures.Inc()
+		return response{}, err
+	}
+	fb := codec.GetBuffer()
+	fb.B = append(fb.B, codec.PreambleBinV2...)
+	fb.B = append(fb.B, 0, 0, 0, 0) // frame length, backfilled below
+	start := len(fb.B)
+	encStart := time.Now()
+	out, err := codec.AppendRequest(fb.B, &req)
+	n.tel.codecEncodeBin.Observe(time.Since(encStart).Nanoseconds())
+	if err != nil {
+		codec.PutBuffer(fb)
+		return response{}, fmt.Errorf("p2p: encode for %s: %w", addr, err)
+	}
+	fb.B = out
+	if l := len(out) - start; l > n.cfg.MaxFrame {
+		codec.PutBuffer(fb)
+		return response{}, fmt.Errorf("p2p: request to %s: %w", addr, pool.ErrFrameTooLarge)
+	} else {
+		binary.LittleEndian.PutUint32(out[start-4:], uint32(l))
+	}
+	_, werr := conn.Write(fb.B)
+	codec.PutBuffer(fb)
+	if werr != nil {
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: send to %s: %w", addr, werr)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			// Clean close before any response byte: a v1-only server
+			// failed to parse the preamble as JSON and hung up.
+			return response{}, errPeerSpeaksV1
+		}
 		n.tel.dialFailures.Inc()
 		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
 	}
+	rl := int(binary.LittleEndian.Uint32(hdr[:]))
+	if rl <= 0 || rl > n.cfg.MaxFrame {
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, pool.ErrFrameTooLarge)
+	}
+	rb := codec.GetBuffer()
+	if cap(rb.B) < rl {
+		rb.B = make([]byte, rl)
+	} else {
+		rb.B = rb.B[:rl]
+	}
+	if _, err := io.ReadFull(conn, rb.B); err != nil {
+		codec.PutBuffer(rb)
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
+	}
+	var resp response
+	decStart := time.Now()
+	derr := codec.DecodeResponse(rb.B, &resp)
+	n.tel.codecDecodeBin.Observe(time.Since(decStart).Nanoseconds())
+	codec.PutBuffer(rb)
+	if derr != nil {
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, derr)
+	}
 	n.tel.dialLatency.Observe(time.Since(began).Microseconds())
+	n.unsuspect(addr)
+	if !resp.OK {
+		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// callPooled performs the exchange over the connection pool, encoding
+// the request in whichever codec the pooled connection negotiated.
+// Telemetry and failure semantics mirror the dial-per-request path
+// exactly: any pool failure (dial, write, peer teardown, per-call
+// timeout) counts as a dial failure, and a completed exchange clears
+// the peer's suspicion.
+func (n *Node) callPooled(ctx context.Context, addr string, req request, timeout time.Duration) (response, error) {
+	began := time.Now()
+	// Encode before entering the pool, in the codec the pool expects to
+	// speak to this peer: the exchange then carries plain bytes, with no
+	// per-call encode closure. The expectation can be invalidated by a
+	// concurrent call learning the peer is v1-only; the mismatch error
+	// is returned before anything is written, so re-encoding and
+	// retrying once is safe.
+	bin := n.pool.CodecFor(addr) == codec.Binary
+	fb := codec.GetBuffer()
+	var rep pool.Reply
+	for attempt := 0; ; attempt++ {
+		var err error
+		fb.B = fb.B[:0]
+		encStart := time.Now()
+		if bin {
+			fb.B, err = codec.AppendRequest(fb.B, &req)
+			n.tel.codecEncodeBin.Observe(time.Since(encStart).Nanoseconds())
+		} else {
+			// Marshal a copy so the binary branch above keeps the request
+			// itself off the heap.
+			rcopy := req
+			var raw []byte
+			if raw, err = json.Marshal(&rcopy); err == nil {
+				fb.B = append(fb.B, raw...)
+				n.tel.codecEncodeJSON.Observe(time.Since(encStart).Nanoseconds())
+			}
+		}
+		if err != nil {
+			codec.PutBuffer(fb)
+			return response{}, fmt.Errorf("p2p: encode for %s: %w", addr, err)
+		}
+		rep, err = n.pool.DoBytes(ctx, addr, fb.B, bin, timeout)
+		if err == nil {
+			break
+		}
+		var mismatch *pool.CodecMismatchError
+		if attempt == 0 && errors.As(err, &mismatch) {
+			bin = mismatch.Binary
+			continue
+		}
+		codec.PutBuffer(fb)
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: call %s: %w", addr, err)
+	}
+	codec.PutBuffer(fb)
+	var resp response
+	var err error
+	decStart := time.Now()
+	if rep.Binary {
+		err = codec.DecodeResponse(rep.Payload, &resp)
+	} else {
+		err = json.Unmarshal(rep.Payload, &resp)
+	}
+	// One clock read closes both the decode and the whole-call window.
+	end := time.Now()
+	if rep.Binary {
+		n.tel.codecDecodeBin.Observe(end.Sub(decStart).Nanoseconds())
+	} else {
+		n.tel.codecDecodeJSON.Observe(end.Sub(decStart).Nanoseconds())
+	}
+	rep.Release()
+	if err != nil {
+		n.tel.dialFailures.Inc()
+		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
+	}
+	n.tel.dialLatency.Observe(end.Sub(began).Microseconds())
 	n.unsuspect(addr)
 	if !resp.OK {
 		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)

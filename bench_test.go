@@ -34,6 +34,8 @@ func BenchmarkLookupInstrumented(b *testing.B)    { bench.Run(b, "LookupInstrume
 func BenchmarkPutGet(b *testing.B)                { bench.Run(b, "PutGet") }
 func BenchmarkJoinLeave(b *testing.B)             { bench.Run(b, "JoinLeave") }
 func BenchmarkReplicatedPut(b *testing.B)         { bench.Run(b, "ReplicatedPut") }
+func BenchmarkPutDurable(b *testing.B)            { bench.Run(b, "PutDurable") }
+func BenchmarkPutDurableNoSync(b *testing.B)      { bench.Run(b, "PutDurableNoSync") }
 func BenchmarkGetWithOwnerDown(b *testing.B)      { bench.Run(b, "GetWithOwnerDown") }
 func BenchmarkPooledLookup(b *testing.B)          { bench.Run(b, "PooledLookup") }
 func BenchmarkPooledLookupJSON(b *testing.B)      { bench.Run(b, "PooledLookupJSON") }
@@ -50,7 +52,8 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"AblationLeafSet": true, "AblationStabilization": true,
 		"UngracefulFailures": true, "Lookup": true,
 		"LookupInstrumented": true, "PutGet": true,
-		"JoinLeave": true, "ReplicatedPut": true, "GetWithOwnerDown": true,
+		"JoinLeave": true, "ReplicatedPut": true, "PutDurable": true,
+		"PutDurableNoSync": true, "GetWithOwnerDown": true,
 		"PooledLookup": true, "PooledLookupJSON": true, "LookupDialPerRequest": true,
 	}
 	cases := bench.Cases()

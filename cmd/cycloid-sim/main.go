@@ -48,7 +48,8 @@ commands:
                    and print phase-annotated traces (the CI smoke check)
   chaos <rounds>   run live p2p nodes on the in-memory transport through
                    <rounds> of seeded faults and membership churn
-                   (-nodes, -dim, -seed apply; -chaos-trace dumps state)
+                   (-nodes, -dim, -seed apply; -chaos-trace dumps state;
+                   -restarts runs the kill/restart durability tier)
 
 flags:
 `)
@@ -68,6 +69,7 @@ func main() {
 		pooled   = flag.Bool("pooled", false, "chaos: run members on pooled, multiplexed wire connections")
 		wcodec   = flag.String("wire-codec", "auto", "chaos: members' outbound wire codec: auto, json, binary, or mixed (alternate json/binary per member)")
 		loaders  = flag.Int("load-clients", 0, "chaos: load-during-churn workers (0 = off)")
+		restarts = flag.Bool("restarts", false, "chaos: upgrade crashes to kill/restart cycles on durable disk-backed stores (temp data dirs; asserts the durability invariants)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -77,7 +79,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "chaos" {
-		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *wcodec, *loaders)
+		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *wcodec, *loaders, *restarts)
 		return
 	}
 	if flag.Arg(0) == "metrics" {
@@ -192,7 +194,7 @@ func main() {
 // then reports the per-round timeout counts and invariant violations.
 // The defaults for -nodes (500) and -dim (8) suit the simulator; chaos
 // runs live nodes, so clamp to the harness's scale when unchanged.
-func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, wireCodec string, loaders int) {
+func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, wireCodec string, loaders int, restarts bool) {
 	rounds := 8
 	if flag.NArg() >= 2 {
 		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
@@ -209,12 +211,13 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, poo
 		Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds,
 		Replicas: replicas, MultiCrash: crashes,
 		Pooled: pooled, WireCodec: wireCodec, LoadClients: loaders,
+		KillRestart: restarts,
 	}
 	if trace {
 		cfg.Trace = os.Stderr
 	}
-	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, wire-codec=%s, load-clients=%d\n",
-		seed, nodes, dim, rounds, replicas, crashes, pooled, wireCodec, loaders)
+	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, wire-codec=%s, load-clients=%d, kill-restart=%v\n",
+		seed, nodes, dim, rounds, replicas, crashes, pooled, wireCodec, loaders, restarts)
 	for _, ev := range chaosrunner.GenerateSchedule(cfg) {
 		fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
 	}
@@ -229,6 +232,9 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, poo
 			fmt.Printf(" load=%d/%d errors", r.LoadErrors, r.LoadOps)
 		}
 		fmt.Println()
+	}
+	if res.Kills > 0 || res.Restarts > 0 {
+		fmt.Printf("kill/restart cycles: %d kills, %d restarts\n", res.Kills, res.Restarts)
 	}
 	fmt.Printf("final: %d live nodes, %d keys tracked\n", res.FinalLive, res.FinalKeys)
 	if len(res.Violations) > 0 {

@@ -7,6 +7,8 @@
 //
 //	cycloidd -listen 127.0.0.1:4001                       # first node
 //	cycloidd -listen 127.0.0.1:4002 -join 127.0.0.1:4001  # join overlay
+//	cycloidd -listen 127.0.0.1:4003 -data-dir /var/lib/cycloid/n3  # durable node:
+//	                                  # a restart replays the WAL and rejoins
 //	cycloidd -join 127.0.0.1:4001 put greeting "hello"    # client put
 //	cycloidd -join 127.0.0.1:4001 get greeting            # client get
 //	cycloidd -join 127.0.0.1:4001 route greeting          # show the route
@@ -44,6 +46,8 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "replication factor R: keys survive f < R simultaneous crashes (all overlay members must agree)")
 		pooled    = flag.Bool("pooled", false, "use pooled, multiplexed wire connections for outbound requests (interoperates with dial-per-request members)")
 		wireCodec = flag.String("wire-codec", "auto", "outbound wire codec: auto (negotiate binary, fall back to json per peer), json (v1), or binary (v2 only); inbound always auto-detects")
+		dataDir   = flag.String("data-dir", "", "durable store directory: WAL + snapshots live here, a restart replays them and rejoins (empty = in-memory store)")
+		fsync     = flag.Bool("fsync", true, "with -data-dir, fsync the WAL before acknowledging a Put; -fsync=false trades crash durability for latency")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this HTTP address (empty = off)")
 		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
@@ -65,6 +69,8 @@ func main() {
 		Replicas:        *replicas,
 		PooledTransport: *pooled,
 		WireCodec:       *wireCodec,
+		DataDir:         *dataDir,
+		NoFsync:         !*fsync,
 		Telemetry:       reg,
 		Logger:          logger,
 		TraceBuffer:     *traceBuf,

@@ -46,6 +46,8 @@ func Cases() []Case {
 		{"PutGet", benchPutGet},
 		{"JoinLeave", benchJoinLeave},
 		{"ReplicatedPut", benchReplicatedPut},
+		{"PutDurable", benchPutDurable},
+		{"PutDurableNoSync", benchPutDurableNoSync},
 		{"GetWithOwnerDown", benchGetWithOwnerDown},
 		{"PooledLookup", benchPooledLookup},
 		{"PooledLookupJSON", benchPooledLookupJSON},

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -18,8 +19,10 @@ import (
 )
 
 // replCluster boots n live nodes with replication factor r on one
-// memnet fabric with deterministic IDs, fully stabilized.
-func replCluster(b *testing.B, nw *memnet.Network, dim, n int, seed int64, r int) []*p2p.Node {
+// memnet fabric with deterministic IDs, fully stabilized. A non-nil
+// mod edits each node's config before Start (the durable benchmarks
+// point DataDir at a per-node directory there).
+func replCluster(b *testing.B, nw *memnet.Network, dim, n int, seed int64, r int, mod func(i int, cfg *p2p.Config)) []*p2p.Node {
 	b.Helper()
 	space := ids.NewSpace(dim)
 	rng := rand.New(rand.NewSource(seed))
@@ -32,13 +35,17 @@ func replCluster(b *testing.B, nw *memnet.Network, dim, n int, seed int64, r int
 		}
 		taken[v] = true
 		id := space.FromLinear(v)
-		nd, err := p2p.Start(p2p.Config{
+		cfg := p2p.Config{
 			Dim:         dim,
 			ID:          &id,
 			DialTimeout: 200 * time.Millisecond,
 			Transport:   nw.Host(fmt.Sprintf("b%d", len(nodes))),
 			Replicas:    r,
-		})
+		}
+		if mod != nil {
+			mod(len(nodes), &cfg)
+		}
+		nd, err := p2p.Start(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +73,7 @@ func replCluster(b *testing.B, nw *memnet.Network, dim, n int, seed int64, r int
 // plus the synchronous fan-out to two replica targets.
 func benchReplicatedPut(b *testing.B) {
 	nw := memnet.New(Seed)
-	nodes := replCluster(b, nw, 6, 8, Seed, 3)
+	nodes := replCluster(b, nw, 6, 8, Seed, 3, nil)
 	keys := make([]string, 256)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("rput-%d", i)
@@ -86,7 +93,7 @@ func benchReplicatedPut(b *testing.B) {
 // it, and every Get resolves through a surviving replica.
 func benchGetWithOwnerDown(b *testing.B) {
 	nw := memnet.New(Seed + 1)
-	nodes := replCluster(b, nw, 6, 8, Seed+1, 3)
+	nodes := replCluster(b, nw, 6, 8, Seed+1, 3, nil)
 	const key = "owner-down"
 	if err := nodes[0].Put(key, []byte("v")); err != nil {
 		b.Fatal(err)
@@ -118,3 +125,36 @@ func benchGetWithOwnerDown(b *testing.B) {
 		}
 	}
 }
+
+// durablePut shares the measurement loop of the durable Put
+// benchmarks: a replicated overlay identical to BenchmarkReplicatedPut
+// except every node runs on a disk-backed store, so the delta prices
+// the WAL append plus (with fsync) the group-committed flush on the
+// acknowledgement path.
+func durablePut(b *testing.B, noFsync bool) {
+	nw := memnet.New(Seed)
+	root := b.TempDir()
+	nodes := replCluster(b, nw, 6, 8, Seed, 3, func(i int, cfg *p2p.Config) {
+		cfg.DataDir = filepath.Join(root, fmt.Sprintf("b%d", i))
+		cfg.NoFsync = noFsync
+	})
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dput-%d", i)
+	}
+	val := []byte("replicated-value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[i%len(nodes)].Put(keys[i%len(keys)], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPutDurable is the honest number: every acked Put is fsynced.
+func benchPutDurable(b *testing.B) { durablePut(b, false) }
+
+// benchPutDurableNoSync isolates the WAL bookkeeping from the fsync
+// syscall: records are appended and flushed but never fsynced.
+func benchPutDurableNoSync(b *testing.B) { durablePut(b, true) }

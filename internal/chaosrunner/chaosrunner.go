@@ -25,6 +25,11 @@
 //     or an ungraceful crash). With LoadClients > 0, load workers
 //     drive gets and lookups concurrently with this phase and the
 //     next, and their error rate must stay under MaxLoadErrorRate.
+//     With KillRestart, crashes become kill/restart cycles: the killed
+//     node's data directory survives, and a later round reboots the
+//     node from it — the reboot must replay every key the node held at
+//     the kill before rejoining, no acked write may vanish, and no
+//     key's logical version may regress fleet-wide.
 //  3. Stabilize: a quiescent window of synchronous stabilization
 //     sweeps.
 //  4. Verify: concurrent puts/gets/lookups followed by the invariant
@@ -32,9 +37,12 @@
 package chaosrunner
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,6 +50,7 @@ import (
 
 	"cycloid/internal/hashing"
 	"cycloid/internal/ids"
+	"cycloid/internal/telemetry"
 	"cycloid/p2p"
 	"cycloid/p2p/memnet"
 )
@@ -101,6 +110,30 @@ type Config struct {
 	// mid-request make occasional failures legitimate; a rate above the
 	// bound means churn is breaking routing rather than racing it.
 	MaxLoadErrorRate float64
+
+	// KillRestart upgrades crash events into kill/restart cycles: the
+	// schedule emits EvKill instead of EvCrash, the killed node's data
+	// directory survives, and after DowntimeRounds rounds the runner
+	// reboots the node from it — same ID, same address, same telemetry
+	// registry. Every member runs on a durable disk-backed store (a
+	// temporary directory is created unless DataDir is set), and the
+	// run asserts the durability invariants: the reboot replays every
+	// key the node held at the kill before rejoining, and no key's
+	// owner-assigned version regresses fleet-wide. Kill/restart runs
+	// should use Replicas greater than the simultaneous kill count so
+	// reads stay available during the downtime; the runner keeps
+	// expecting a killed node's keys regardless, because its disk — and
+	// therefore its copy — survives.
+	KillRestart bool
+	// DowntimeRounds is how many rounds a killed node stays down before
+	// its restart (default 1). A kill whose restart would land past the
+	// final round leaves the node down for good.
+	DowntimeRounds int
+	// DataDir, when set, roots every member's durable store at
+	// DataDir/<name>. Empty with KillRestart uses a run-scoped
+	// temporary directory removed when Run returns; empty without
+	// KillRestart keeps members on the in-memory store as before.
+	DataDir string
 }
 
 func (c *Config) defaults() {
@@ -149,6 +182,9 @@ func (c *Config) defaults() {
 			c.MaxLoadErrorRate = 0.2
 		}
 	}
+	if c.KillRestart && c.DowntimeRounds == 0 {
+		c.DowntimeRounds = 1
+	}
 }
 
 // Event kinds. Fault events run in phase 1, membership events in
@@ -163,6 +199,8 @@ const (
 	EvLeave     = "leave"       // Node departs gracefully
 	EvLossy     = "lossy-leave" // Node departs gracefully on a lossy fabric
 	EvCrash     = "crash"       // Node closes without notifications
+	EvKill      = "kill"        // Node closes without notifications; its data dir survives
+	EvRestart   = "restart"     // Node reboots from its surviving data dir and rejoins
 )
 
 // Event is one scheduled action. Node is a member ordinal (the i-th
@@ -198,6 +236,8 @@ type Result struct {
 	Violations []string // all rounds' violations, flattened
 	FinalLive  int
 	FinalKeys  int // expected keys tracked at the end
+	Kills      int // kill events in the schedule (KillRestart runs)
+	Restarts   int // restart events in the schedule (KillRestart runs)
 }
 
 // GenerateSchedule derives the run's event schedule from the seed
@@ -222,7 +262,17 @@ func GenerateSchedule(cfg Config) []Event {
 		}
 	}
 
+	// pendingRestart maps a round to the ordinals whose kill/restart
+	// downtime ends there. Restart events go at the head of their
+	// round's slice, so the runner reboots a node before processing that
+	// round's own membership events.
+	pendingRestart := make(map[int][]int)
+
 	for r := 0; r < cfg.Rounds; r++ {
+		for _, ord := range pendingRestart[r] {
+			sched = append(sched, Event{Round: r, Kind: EvRestart, Node: ord})
+			live = append(live, ord)
+		}
 		// Phase-1 fault.
 		switch f := rng.Float64(); {
 		case f < 0.20:
@@ -266,7 +316,19 @@ func GenerateSchedule(cfg Config) []Event {
 			}
 			for i := 0; i < k && len(live) > 4; i++ {
 				ord := pickLive()
-				sched = append(sched, Event{Round: r, Kind: EvCrash, Node: ord})
+				if cfg.KillRestart {
+					// Kill instead of crash: the node's disk survives and
+					// a restart is queued after the downtime, unless it
+					// would land past the end of the run. No extra RNG
+					// draw, so kill schedules mirror the crash schedules
+					// of the same seed event for event.
+					sched = append(sched, Event{Round: r, Kind: EvKill, Node: ord})
+					if rr := r + cfg.DowntimeRounds; rr < cfg.Rounds {
+						pendingRestart[rr] = append(pendingRestart[rr], ord)
+					}
+				} else {
+					sched = append(sched, Event{Round: r, Kind: EvCrash, Node: ord})
+				}
 				remove(ord)
 			}
 		default:
@@ -278,13 +340,23 @@ func GenerateSchedule(cfg Config) []Event {
 	return sched
 }
 
-// member is one overlay participant across its lifetime.
+// member is one overlay participant across its lifetime — including,
+// under KillRestart, across kill/restart cycles, which reuse the
+// member's address, data directory and telemetry registry.
 type member struct {
-	ord  int
-	name string
-	id   ids.CycloidID
-	node *p2p.Node
-	live bool
+	ord     int
+	name    string
+	id      ids.CycloidID
+	node    *p2p.Node
+	live    bool
+	addr    string               // listen address, pinned across restarts
+	dataDir string               // durable store root; "" for in-memory members
+	reg     *telemetry.Registry  // survives restarts so counters stay cumulative
+
+	// keysAtKill / famsAtKill snapshot what the node held and exposed
+	// when an EvKill took it down; the restart asserts both recover.
+	keysAtKill []string
+	famsAtKill []string
 }
 
 type runner struct {
@@ -294,10 +366,18 @@ type runner struct {
 	members  []*member
 	expected map[string][]byte // keys the invariants assert retrievable
 	idFor    map[int]ids.CycloidID
+	dataRoot string // parent of all member data dirs, "" for in-memory runs
 
 	// prevCounters holds each member's cumulative telemetry snapshot
-	// from the previous round, for the monotonicity invariant.
+	// from the previous round, for the monotonicity invariant. Entries
+	// of permanently crashed members are pruned: their registries are
+	// retired with them, and only kill/restart members carry counters
+	// across a downtime.
 	prevCounters map[int]map[string]uint64
+	// maxVer tracks the highest owner-assigned version ever observed
+	// for each key across the whole fleet, for the no-version-regress
+	// durability invariant.
+	maxVer map[string]uint64
 }
 
 // Run executes the seeded schedule and returns the full report. An
@@ -312,6 +392,15 @@ func Run(cfg Config) (*Result, error) {
 		space:    ids.NewSpace(cfg.Dim),
 		nw:       memnet.New(cfg.Seed),
 		expected: make(map[string][]byte),
+		dataRoot: cfg.DataDir,
+	}
+	if cfg.KillRestart && r.dataRoot == "" {
+		dir, err := os.MkdirTemp("", "cycloid-chaos-")
+		if err != nil {
+			return nil, fmt.Errorf("chaosrunner: data root: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		r.dataRoot = dir
 	}
 	defer func() {
 		for _, m := range r.members {
@@ -347,6 +436,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Schedule: sched}
+	for _, e := range sched {
+		switch e.Kind {
+		case EvKill:
+			res.Kills++
+		case EvRestart:
+			res.Restarts++
+		}
+	}
 	for round := 0; round < cfg.Rounds; round++ {
 		rep := r.runRound(round, sched)
 		res.Rounds = append(res.Rounds, rep)
@@ -375,16 +472,27 @@ func assignIDs(seed int64, space ids.Space, n int) map[int]ids.CycloidID {
 	return out
 }
 
+func (r *runner) memberCodec(ord int) string {
+	if r.cfg.WireCodec == "mixed" {
+		if ord%2 == 0 {
+			return "json"
+		}
+		return "binary"
+	}
+	return r.cfg.WireCodec
+}
+
 func (r *runner) startMember(ord int) error {
 	name := fmt.Sprintf("n%03d", ord)
 	id := r.idFor[ord]
-	wireCodec := r.cfg.WireCodec
-	if wireCodec == "mixed" {
-		if ord%2 == 0 {
-			wireCodec = "json"
-		} else {
-			wireCodec = "binary"
-		}
+	m := &member{
+		ord:  ord,
+		name: name,
+		id:   id,
+		reg:  telemetry.NewRegistry("cycloid"),
+	}
+	if r.dataRoot != "" {
+		m.dataDir = filepath.Join(r.dataRoot, name)
 	}
 	nd, err := p2p.Start(p2p.Config{
 		Dim:             r.cfg.Dim,
@@ -393,12 +501,16 @@ func (r *runner) startMember(ord int) error {
 		Transport:       r.nw.Host(name),
 		Replicas:        r.cfg.Replicas,
 		PooledTransport: r.cfg.Pooled,
-		WireCodec:       wireCodec,
+		WireCodec:       r.memberCodec(ord),
+		Telemetry:       m.reg,
+		DataDir:         m.dataDir,
 	})
 	if err != nil {
 		return fmt.Errorf("chaosrunner: start %s: %w", name, err)
 	}
-	m := &member{ord: ord, name: name, id: id, node: nd, live: true}
+	m.node = nd
+	m.addr = nd.Addr()
+	m.live = true
 	if len(r.liveMembers()) > 0 {
 		boots := r.liveMembers()
 		joined := false
@@ -413,6 +525,47 @@ func (r *runner) startMember(ord int) error {
 	}
 	r.members = append(r.members, m)
 	return nil
+}
+
+// restartMember reboots a killed member from its surviving data
+// directory: same ID, same pinned address, same data dir, same
+// telemetry registry (re-registration is a lookup, so counters keep
+// their pre-kill values). It returns the keys the node served from its
+// local WAL replay before rejoining — proof recovery did not depend on
+// re-replication from scratch — with the node already joined back into
+// the overlay.
+func (r *runner) restartMember(m *member) ([]string, error) {
+	nd, err := p2p.Start(p2p.Config{
+		Dim:             r.cfg.Dim,
+		ID:              &m.id,
+		ListenAddr:      m.addr,
+		DialTimeout:     r.cfg.DialTimeout,
+		Transport:       r.nw.Host(m.name),
+		Replicas:        r.cfg.Replicas,
+		PooledTransport: r.cfg.Pooled,
+		WireCodec:       r.memberCodec(m.ord),
+		Telemetry:       m.reg,
+		DataDir:         m.dataDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaosrunner: restart %s: %w", m.name, err)
+	}
+	replayed := nd.Keys()
+	boots := r.liveMembers()
+	joined := false
+	for _, boot := range boots {
+		if nd.Join(boot.node.Addr()) == nil {
+			joined = true
+			break
+		}
+	}
+	if !joined {
+		nd.Close()
+		return nil, fmt.Errorf("chaosrunner: restarted %s failed to rejoin through any live node", m.name)
+	}
+	m.node = nd
+	m.live = true
+	return replayed, nil
 }
 
 func (r *runner) liveMembers() []*member {
@@ -557,7 +710,7 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 	if r.cfg.LoadClients > 0 {
 		departing := map[int]bool{}
 		for _, e := range events {
-			if e.Kind == EvLeave || e.Kind == EvLossy || e.Kind == EvCrash {
+			if e.Kind == EvLeave || e.Kind == EvLossy || e.Kind == EvCrash || e.Kind == EvKill {
 				departing[e.Node] = true
 			}
 		}
@@ -632,6 +785,78 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 			}
 			m.node.Close()
 			m.live = false
+			// The node is gone for good, and its telemetry registry with
+			// it: retire its counter snapshot so a later registry at the
+			// same ordinal (there is none today, but the map should not
+			// outlive the instruments it describes) cannot be diffed
+			// against a dead node's totals.
+			delete(r.prevCounters, m.ord)
+		case EvKill:
+			m := r.byOrd(e.Node)
+			if m == nil || !m.live {
+				break
+			}
+			// The process dies but its disk survives. Snapshot what it
+			// held and exposed so the restart can prove the WAL replay
+			// brought everything back and the reused registry stayed
+			// consistent. Expected keys are NOT dropped: replication
+			// serves them through the downtime and the reboot restores
+			// this copy. (Close flushes the store's tail; the harsher
+			// acked-write-only crash cut is covered by the store-level
+			// crash tests, which reopen a directory mid-write.)
+			m.keysAtKill = m.node.Keys()
+			m.famsAtKill = m.reg.Families()
+			m.node.Close()
+			m.live = false
+		case EvRestart:
+			m := r.byOrd(e.Node)
+			if m == nil || m.live {
+				break
+			}
+			replayed, err := r.restartMember(m)
+			if err != nil {
+				rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: %v", round, err))
+				break
+			}
+			// Durability: every key the node held when it was killed must
+			// come back from its own disk, before anti-entropy has had a
+			// chance to re-replicate anything.
+			have := make(map[string]bool, len(replayed))
+			for _, k := range replayed {
+				have[k] = true
+			}
+			missing, example := 0, ""
+			for _, k := range m.keysAtKill {
+				if !have[k] {
+					missing++
+					if example == "" {
+						example = k
+					}
+				}
+			}
+			if missing > 0 {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"round %d: restarted %s lost %d of %d persisted keys (e.g. %q) across the kill",
+					round, m.name, missing, len(m.keysAtKill), example))
+			}
+			// Telemetry: the restart re-registers every metric family in
+			// the member's reused registry, which must resolve to the
+			// existing instruments — no duplicate families, an exposition
+			// that still lints clean, and the same family set as before
+			// the kill.
+			var buf bytes.Buffer
+			if err := m.reg.WritePrometheus(&buf); err != nil {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"round %d: scraping %s after restart: %v", round, m.name, err))
+			} else if err := telemetry.Lint(buf.Bytes()); err != nil {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"round %d: exposition of restarted %s fails lint: %v", round, m.name, err))
+			}
+			if fams := m.reg.Families(); len(fams) != len(m.famsAtKill) {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"round %d: restarting %s changed its metric families: %d -> %d",
+					round, m.name, len(m.famsAtKill), len(fams)))
+			}
 		}
 	}
 
@@ -753,6 +978,34 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 					violation("key %q corrupted at %s: %q", k, m.name, v)
 				}
 			}
+		}
+	}
+
+	// (1c) Owner-assigned versions never regress fleet-wide: the highest
+	// version any live node reports for a key must be at least the
+	// highest ever observed. A regression means a restart replayed stale
+	// state over newer writes, or anti-entropy resurrected an old value.
+	// Keys no live node currently holds are skipped, not failed — a
+	// holder may legitimately be mid-downtime.
+	if r.maxVer == nil {
+		r.maxVer = make(map[string]uint64)
+	}
+	roundMax := make(map[string]uint64)
+	for _, m := range live {
+		for k, v := range m.node.KeyVersions() {
+			if v > roundMax[k] {
+				roundMax[k] = v
+			}
+		}
+	}
+	for k, was := range r.maxVer {
+		if now, ok := roundMax[k]; ok && now < was {
+			violation("key %q version regressed fleet-wide: %d -> %d", k, was, now)
+		}
+	}
+	for k, v := range roundMax {
+		if v > r.maxVer[k] {
+			r.maxVer[k] = v
 		}
 	}
 

@@ -22,6 +22,10 @@ var (
 	// nanoseconds: sub-microsecond for the fixed-width binary codec,
 	// one to tens of microseconds for encoding/json envelopes.
 	CodecLatencyBucketsNS = []int64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000, 1000000}
+	// WALBatchBuckets covers group-commit batch sizes: how many records
+	// one durable-store fsync made durable, from the uncontended single
+	// write to bursts of concurrent acknowledgements.
+	WALBatchBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 )
 
 // LookupStats is the allocation-free instrument bundle for a lookup

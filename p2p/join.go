@@ -206,8 +206,16 @@ func (n *Node) reclaimKeys() {
 			continue
 		}
 		for k, w := range items {
-			n.putLocal(k, item{val: append([]byte(nil), w.V...), ver: w.Ver, src: w.Src})
+			n.putLocal(k, item{Val: append([]byte(nil), w.V...), Ver: w.Ver, Src: w.Src})
 		}
+	}
+	// Reclaimed keys are this node's responsibility now; on a durable
+	// backend, persist them before the join settles — the previous
+	// holders may garbage-collect their copies on the strength of this
+	// node holding them. A failed sync only logs: the copies still exist
+	// upstream until the owner acks them during anti-entropy.
+	if err := n.store.Sync(); err != nil {
+		n.log.Error("sync after key reclaim failed", "err", err)
 	}
 }
 
@@ -222,7 +230,7 @@ func (n *Node) Leave() error {
 	}
 	st := n.wireState()
 	n.mu.RLock()
-	keys := len(n.store)
+	keys := n.store.Len()
 	n.mu.RUnlock()
 	n.log.Info("leaving overlay", "keys", keys)
 	n.announce("leave", st)
@@ -242,8 +250,18 @@ func (n *Node) Leave() error {
 // up, so a lossy link alone cannot destroy data.
 func (n *Node) handoffKeys() {
 	n.mu.Lock()
-	items := n.store
-	n.store = make(map[string]item)
+	items := make(map[string]item, n.store.Len())
+	n.store.Range(func(k string, it item) bool {
+		items[k] = it
+		return true
+	})
+	// Drain the local store: the departing node's copies move to their
+	// new owners. On a durable backend each delete is a tombstone, so a
+	// later reboot of this data directory comes back empty-handed
+	// instead of resurrecting keys that were handed off.
+	for k := range items {
+		n.store.Delete(k)
+	}
 	n.updateStoreGaugeLocked()
 	cands := []*entry{n.rs.insideL, n.rs.insideR, n.rs.outsideL, n.rs.outsideR}
 	n.mu.Unlock()
@@ -289,7 +307,7 @@ func (n *Node) handoffKeys() {
 			batches[dest.Addr] = make(map[string]WireItem)
 		}
 		it := items[k]
-		batches[dest.Addr][k] = WireItem{V: it.val, Ver: it.ver, Src: it.src}
+		batches[dest.Addr][k] = WireItem{V: it.Val, Ver: it.Ver, Src: it.Src}
 	}
 	addrs := make([]string, 0, len(batches))
 	for a := range batches {

@@ -47,8 +47,8 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 		return err
 	}
 	if r.Terminal == n.id {
-		n.putOwner(ctx, key, value)
-		return nil
+		_, err := n.putOwner(ctx, key, value)
+		return err
 	}
 	// A racing join can make the routed terminal disown the key by the
 	// time the store arrives; it rejects with a redirect entry pointing
@@ -68,7 +68,9 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 		n.log.Debug("store redirected", "key", key, "from", addr, "to", resp.Redirect.Addr)
 		red := toEntry(*resp.Redirect)
 		if red.ID == n.id {
-			n.putOwner(ctx, key, value)
+			if _, perr := n.putOwner(ctx, key, value); perr != nil {
+				return perr
+			}
 			n.tel.redirectDepth.Observe(int64(hop + 1))
 			return nil
 		}
@@ -169,12 +171,12 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 // localFetch reads a key from this node's own store.
 func (n *Node) localFetch(key string) ([]byte, bool) {
 	n.mu.RLock()
-	it, ok := n.store[key]
+	it, ok := n.store.Get(key)
 	n.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), it.val...), true
+	return append([]byte(nil), it.Val...), true
 }
 
 // fetchAt reads a key from the given node — locally when it is this

@@ -257,16 +257,31 @@ type Host struct {
 // Name returns the host's name.
 func (h *Host) Name() string { return h.name }
 
-// Listen binds a listener at the next free port of this host. The
-// requested addr is ignored except as documentation (nodes pass ":0");
-// the listener's real address is "<host>:<port>".
+// Listen binds a listener on this host. An addr with an explicit
+// positive port (e.g. "n003:1") binds exactly that port — the hook a
+// restarted node uses to come back at its previous address, like a
+// deployed process rebinding its configured port — and fails if the
+// port is taken. Any other addr (nodes pass ":0") takes the next free
+// port. Either way the listener's real address is "<host>:<port>" with
+// this host's name, regardless of the host part of addr.
 func (h *Host) Listen(addr string) (net.Listener, error) {
 	nw := h.nw
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	hs := nw.hostLocked(h.name)
-	hs.nextPort++
-	full := fmt.Sprintf("%s:%d", h.name, hs.nextPort)
+	port := explicitPort(addr)
+	if port > 0 {
+		if hs.nextPort < port {
+			hs.nextPort = port // keep ephemeral allocation clear of pinned ports
+		}
+	} else {
+		hs.nextPort++
+		port = hs.nextPort
+	}
+	full := fmt.Sprintf("%s:%d", h.name, port)
+	if _, taken := nw.listeners[full]; taken {
+		return nil, fmt.Errorf("memnet: listen %s: address already in use", full)
+	}
 	ln := &listener{
 		nw:     nw,
 		host:   h.name,
@@ -398,6 +413,29 @@ func hostOf(addr string) string {
 		}
 	}
 	return addr
+}
+
+// explicitPort parses the port of "host:port", returning 0 when addr
+// has no port, port 0, or a non-numeric port — the cases that mean
+// "allocate for me".
+func explicitPort(addr string) int {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] != ':' {
+			continue
+		}
+		port := 0
+		for _, c := range addr[i+1:] {
+			if c < '0' || c > '9' {
+				return 0
+			}
+			port = port*10 + int(c-'0')
+			if port > 1<<20 {
+				return 0
+			}
+		}
+		return port
+	}
+	return 0
 }
 
 // errTemporary is the transient accept error FailAccepts injects.

@@ -1,8 +1,11 @@
 package p2p
 
 import (
+	"time"
+
 	"cycloid/internal/telemetry"
 	"cycloid/p2p/pool"
+	"cycloid/p2p/store"
 )
 
 // routePhases is the label set for per-phase hop counters — the paper's
@@ -70,6 +73,20 @@ type nodeMetrics struct {
 	antiEntropy *telemetry.Counter
 	replicaGC   *telemetry.Counter
 
+	// durable store (p2p/store, DataDir mode); the instruments are
+	// registered and exported even on memory-backed nodes, staying at
+	// zero, so one overlay mixing backends scrapes uniformly.
+	walAppends      *telemetry.Counter
+	walAppendBytes  *telemetry.Counter
+	walFsyncs       *telemetry.Counter
+	walFsyncBatch   *telemetry.Histogram
+	walFsyncLatency *telemetry.Histogram
+	walReplayed     *telemetry.Counter
+	walReplayTime   *telemetry.Histogram
+	walSnapshots    *telemetry.Counter
+	walCompactions  *telemetry.Counter
+	walSegBytes     *telemetry.Gauge
+
 	// stabilization (p2p/stabilize.go)
 	stabRounds      *telemetry.Counter
 	stabDuration    *telemetry.Histogram
@@ -130,6 +147,20 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 			"Replicas promoted to owned copies after the previous owner disappeared."),
 		antiEntropy: reg.Counter("antientropy_pushes_total", "Non-owned copies pushed home by the anti-entropy pass."),
 		replicaGC:   reg.Counter("replica_gc_total", "Out-of-scope copies garbage-collected after owner acknowledgement."),
+
+		walAppends:     reg.Counter("wal_appends_total", "Records appended to the durable store's write-ahead log."),
+		walAppendBytes: reg.Counter("wal_append_bytes_total", "Bytes appended to the write-ahead log."),
+		walFsyncs:      reg.Counter("wal_fsyncs_total", "Physical WAL flushes issued by the group-commit sync path."),
+		walFsyncBatch: reg.Histogram("wal_fsync_batch_records", "Records made durable per group-committed flush.",
+			telemetry.WALBatchBuckets),
+		walFsyncLatency: reg.Histogram("wal_fsync_latency_us", "Per-flush fsync latency in microseconds.",
+			telemetry.LatencyBucketsUS),
+		walReplayed: reg.Counter("wal_replayed_records_total", "Snapshot and WAL records replayed at startup recovery."),
+		walReplayTime: reg.Histogram("wal_replay_duration_us", "Startup recovery (snapshot + WAL replay) duration in microseconds.",
+			telemetry.LatencyBucketsUS),
+		walSnapshots:   reg.Counter("wal_snapshots_total", "Store snapshots written by compaction."),
+		walCompactions: reg.Counter("wal_compactions_total", "WAL segment compactions completed."),
+		walSegBytes:    reg.Gauge("wal_active_segment_bytes", "Size of the active WAL segment."),
 
 		stabRounds:      reg.Counter("stabilize_rounds_total", "Stabilization rounds completed."),
 		stabDuration:    reg.Histogram("stabilize_duration_us", "Stabilization round duration in microseconds.", telemetry.LatencyBucketsUS),
@@ -201,9 +232,35 @@ func (n *Node) TraceRing() *telemetry.TraceRing { return n.traces }
 // first.
 func (n *Node) Traces() []telemetry.Trace { return n.traces.Snapshot() }
 
-// updateStoreGauge refreshes the store_keys gauge; callers hold n.mu.
+// updateStoreGauge refreshes the store_keys gauge; callers hold n.mu
+// (or own the node exclusively, as during Start).
 func (n *Node) updateStoreGaugeLocked() {
-	n.tel.storeKeys.Set(int64(len(n.store)))
+	n.tel.storeKeys.Set(int64(n.store.Len()))
+}
+
+// storeHooks adapts the durable store's event callbacks onto the node's
+// WAL instruments.
+func (m *nodeMetrics) storeHooks() store.Hooks {
+	return store.Hooks{
+		Append: func(bytes int) {
+			m.walAppends.Inc()
+			m.walAppendBytes.Add(uint64(bytes))
+		},
+		Fsync: func(records int64, d time.Duration) {
+			m.walFsyncs.Inc()
+			m.walFsyncBatch.Observe(records)
+			m.walFsyncLatency.Observe(d.Microseconds())
+		},
+		Replay: func(records int, d time.Duration) {
+			m.walReplayed.Add(uint64(records))
+			m.walReplayTime.Observe(d.Microseconds())
+		},
+		Snapshot: func(int) { m.walSnapshots.Inc() },
+		Compact:  func(int) { m.walCompactions.Inc() },
+		SegmentBytes: func(bytes int64) {
+			m.walSegBytes.Set(bytes)
+		},
+	}
 }
 
 // updateLeafGauges refreshes the leaf-set and replica-set size gauges

@@ -40,6 +40,7 @@ import (
 	"cycloid/internal/telemetry"
 	"cycloid/p2p/codec"
 	"cycloid/p2p/pool"
+	"cycloid/p2p/store"
 )
 
 // Config parameterizes a live node.
@@ -104,6 +105,21 @@ type Config struct {
 	// introspection (Node.Traces, /debug/traces). 0 selects the default
 	// of 64; negative disables trace recording.
 	TraceBuffer int
+	// DataDir enables the durable disk-backed store: key/value state
+	// lives in an append-only WAL plus periodic snapshots under this
+	// directory, an acknowledged Put is fsync'd before the wire
+	// response, and Start replays the directory so a restarted node
+	// comes back holding every key it acknowledged. Empty (default)
+	// keeps the original in-memory store.
+	DataDir string
+	// NoFsync keeps the WAL but skips the fsync on the acknowledgement
+	// path, trading crash durability for write latency. Only meaningful
+	// with DataDir; benchmarks use it to price the fsync.
+	NoFsync bool
+	// Store injects a storage backend directly, taking precedence over
+	// DataDir. The node serializes all data operations on it; Sync and
+	// Close must be safe concurrently (see p2p/store).
+	Store store.Store
 }
 
 func (c *Config) defaults() {
@@ -154,18 +170,10 @@ type routingState struct {
 	outsideR *entry
 }
 
-// item is one stored value with its replication metadata: a per-key
-// logical version and the linear ID of the node that assigned it, for
-// last-writer-wins conflict resolution across replicas.
-type item struct {
-	val []byte
-	ver uint64
-	src uint64
-	// promoted is local-only bookkeeping: set once this node counted the
-	// copy as a crash promotion (it owns a key some other node wrote), so
-	// repeated anti-entropy passes do not recount it. Never serialized.
-	promoted bool
-}
+// item is one stored value with its replication metadata — see
+// store.Item. The alias keeps the replication layer's vocabulary while
+// the data itself lives behind the pluggable Store backend.
+type item = store.Item
 
 // Node is one live Cycloid participant.
 type Node struct {
@@ -173,9 +181,14 @@ type Node struct {
 	space ids.Space
 	id    ids.CycloidID
 
+	// store is the pluggable key/value backend (p2p/store): the
+	// in-memory map by default, the WAL-backed durable store when
+	// Config.DataDir is set. Data operations are serialized under mu;
+	// store.Sync runs outside mu on acknowledgement paths, batching
+	// concurrent acks into one fsync.
 	mu    sync.RWMutex
 	rs    routingState
-	store map[string]item
+	store store.Store
 
 	// suspects maps transport addresses found dead during routes to a
 	// strike count; candidate ordering consults it so repeated lookups
@@ -249,7 +262,6 @@ func Start(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		space:    space,
 		id:       id,
-		store:    make(map[string]item),
 		suspects: make(map[string]int),
 		ln:       ln,
 		addr:     ln.Addr().String(),
@@ -270,6 +282,32 @@ func Start(cfg Config) (*Node, error) {
 		})
 	}
 	n.log = cfg.Logger.With("node", id.String(), "addr", ln.Addr().String())
+	// The storage backend comes up after telemetry so the durable
+	// store's replay is already instrumented, and before serving so the
+	// first inbound fetch sees the recovered state.
+	switch {
+	case cfg.Store != nil:
+		n.store = cfg.Store
+	case cfg.DataDir != "":
+		ds, err := store.Open(cfg.DataDir, store.Options{
+			NoFsync: cfg.NoFsync,
+			Hooks:   n.tel.storeHooks(),
+		})
+		if err != nil {
+			ln.Close()
+			if n.pool != nil {
+				n.pool.Close()
+			}
+			return nil, fmt.Errorf("p2p: durable store: %w", err)
+		}
+		n.store = ds
+		if keys := ds.Len(); keys > 0 {
+			n.log.Info("durable store replayed", "keys", keys, "dir", cfg.DataDir)
+		}
+	default:
+		n.store = store.NewMemory()
+	}
+	n.updateStoreGaugeLocked()
 	self := entry{ID: id, Addr: n.Addr()}
 	n.rs = routingState{insideL: &self, insideR: &self, outsideL: &self, outsideR: &self}
 	n.updateLeafGauges()
@@ -314,7 +352,10 @@ func (n *Node) Close() error {
 	if n.pool != nil {
 		n.pool.Close()
 	}
-	return nil
+	// The store closes last, after every handler drained: a durable
+	// backend flushes and fsyncs its tail here, so even writes that were
+	// applied but not yet individually acked survive a graceful Close.
+	return n.store.Close()
 }
 
 // isStopped reports whether Close or Leave ran.
@@ -381,12 +422,27 @@ func (n *Node) State() *WireState { return n.wireState() }
 // reachable by lookups.
 func (n *Node) Keys() []string {
 	n.mu.RLock()
-	out := make([]string, 0, len(n.store))
-	for k := range n.store {
+	out := make([]string, 0, n.store.Len())
+	n.store.Range(func(k string, _ item) bool {
 		out = append(out, k)
-	}
+		return true
+	})
 	n.mu.RUnlock()
 	sort.Strings(out)
+	return out
+}
+
+// KeyVersions returns the logical version of every key currently held.
+// Harnesses use it to assert that no key's version ever regresses — the
+// monotonicity half of the durability contract.
+func (n *Node) KeyVersions() map[string]uint64 {
+	n.mu.RLock()
+	out := make(map[string]uint64, n.store.Len())
+	n.store.Range(func(k string, it item) bool {
+		out[k] = it.Ver
+		return true
+	})
+	n.mu.RUnlock()
 	return out
 }
 

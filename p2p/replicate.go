@@ -32,9 +32,11 @@ package p2p
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"cycloid/internal/ids"
+	"cycloid/p2p/store"
 )
 
 // suspectDrop is the strike count at which a suspected address is
@@ -43,41 +45,56 @@ const suspectDrop = 2
 
 // newer reports whether a should replace b under last-writer-wins:
 // higher logical version first, larger writer ID on ties.
-func newer(a, b item) bool {
-	if a.ver != b.ver {
-		return a.ver > b.ver
-	}
-	return a.src > b.src
-}
+func newer(a, b item) bool { return store.Newer(a, b) }
 
 // putLocal merges one replicated copy into the local store, returning
 // false when an existing copy is at least as new.
 func (n *Node) putLocal(key string, it item) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if cur, ok := n.store[key]; ok && !newer(it, cur) {
+	if cur, ok := n.store.Get(key); ok && !newer(it, cur) {
 		n.tel.lwwRejects.Inc()
 		return false
 	}
-	n.store[key] = it
+	n.store.Put(key, it)
 	n.updateStoreGaugeLocked()
 	return true
 }
 
-// putOwner performs the owner side of a write: assign the next logical
-// version under the lock and fan the copy out to the replica set.
-func (n *Node) putOwner(ctx context.Context, key string, value []byte) item {
-	n.mu.Lock()
-	it := item{
-		val: append([]byte(nil), value...),
-		ver: n.store[key].ver + 1,
-		src: n.space.Linear(n.id),
+// syncStore makes every applied write durable before an acknowledgement
+// leaves the node — the durability half of the ack contract. A memory
+// backend returns immediately; the durable backend group-commits, so
+// concurrent acks share one fsync. The error is the caller's to
+// surface: an un-synced write must not be acked as stored.
+func (n *Node) syncStore() error {
+	if err := n.store.Sync(); err != nil {
+		n.log.Error("store sync failed on ack path", "err", err)
+		return fmt.Errorf("p2p: store sync: %w", err)
 	}
-	n.store[key] = it
+	return nil
+}
+
+// putOwner performs the owner side of a write: assign the next logical
+// version under the lock, make the write durable, and fan the copy out
+// to the replica set. The sync precedes both the fan-out and the
+// caller's acknowledgement, so a write is on disk before any node —
+// local or remote — treats it as stored.
+func (n *Node) putOwner(ctx context.Context, key string, value []byte) (item, error) {
+	n.mu.Lock()
+	cur, _ := n.store.Get(key)
+	it := item{
+		Val: append([]byte(nil), value...),
+		Ver: cur.Ver + 1,
+		Src: n.space.Linear(n.id),
+	}
+	n.store.Put(key, it)
 	n.updateStoreGaugeLocked()
 	n.mu.Unlock()
+	if err := n.syncStore(); err != nil {
+		return it, err
+	}
 	n.fanOut(ctx, key, it)
-	return it
+	return it, nil
 }
 
 // replicaTargets returns the R-1 distinct leaf-set neighbors closest to
@@ -113,7 +130,7 @@ func (n *Node) fanOut(ctx context.Context, key string, it item) {
 	targets := n.replicaTargets(n.keyPoint(key))
 	n.tel.fanout.Observe(int64(len(targets)))
 	for _, tgt := range targets {
-		_, _ = n.callCtx(ctx, tgt.Addr, request{Op: "replicate", Key: key, Value: it.val, Ver: it.ver, Src: it.src})
+		_, _ = n.callCtx(ctx, tgt.Addr, request{Op: "replicate", Key: key, Value: it.Val, Ver: it.Ver, Src: it.Src})
 	}
 }
 
@@ -181,11 +198,18 @@ func (n *Node) handleReplicate(req request) response {
 		}
 		return resp
 	}
-	n.putLocal(req.Key, item{val: append([]byte(nil), req.Value...), ver: req.Ver, src: req.Src})
+	if n.putLocal(req.Key, item{Val: append([]byte(nil), req.Value...), Ver: req.Ver, Src: req.Src}) {
+		// The owner treats this response as the replica's ack; the copy
+		// must be durable here or an owner-side GC decision could trust a
+		// replica that a crash would erase.
+		if err := n.syncStore(); err != nil {
+			return response{Err: err.Error()}
+		}
+	}
 	n.mu.RLock()
-	cur := n.store[req.Key]
+	cur, _ := n.store.Get(req.Key)
 	n.mu.RUnlock()
-	out := response{Ver: cur.ver, Found: true}
+	out := response{Ver: cur.Ver, Found: true}
 	out.Replicas = append(out.Replicas, wireEntry(*n.selfEntry()))
 	for _, t := range n.replicaTargets(kp) {
 		out.Replicas = append(out.Replicas, wireEntry(t))
@@ -210,16 +234,10 @@ func (n *Node) handleReplicate(req request) response {
 // leave the copy in place for the next round: durability errs on the
 // side of holding too much.
 func (n *Node) syncReplicas() {
-	n.mu.RLock()
-	keys := make([]string, 0, len(n.store))
-	for k := range n.store {
-		keys = append(keys, k)
-	}
-	n.mu.RUnlock()
-	sort.Strings(keys) // deterministic dial order for replayable fault schedules
+	keys := n.Keys() // sorted: deterministic dial order for replayable fault schedules
 	for _, k := range keys {
 		n.mu.RLock()
-		it, ok := n.store[k]
+		it, ok := n.store.Get(k)
 		n.mu.RUnlock()
 		if !ok {
 			continue
@@ -228,16 +246,16 @@ func (n *Node) syncReplicas() {
 		if n.localStep(kp, false).Done {
 			// Owning a copy some other node wrote means this node inherited
 			// the key — the crash-successor promotion the replication design
-			// relies on. Count it once per copy.
-			if it.src != n.space.Linear(n.id) && !it.promoted {
+			// relies on. Count it once per copy. The mark is memory-only:
+			// a rebooted node that still merits the promotion recounts it.
+			if it.Src != n.space.Linear(n.id) && !it.Promoted {
 				n.mu.Lock()
-				if cur, ok := n.store[k]; ok && cur.ver == it.ver && !cur.promoted {
-					cur.promoted = true
-					n.store[k] = cur
-					n.tel.promotions.Inc()
-					n.log.Info("replica promoted to owned copy", "key", k, "ver", it.ver)
-				}
+				counted := n.store.SetPromoted(k, it.Ver)
 				n.mu.Unlock()
+				if counted {
+					n.tel.promotions.Inc()
+					n.log.Info("replica promoted to owned copy", "key", k, "ver", it.Ver)
+				}
 			}
 			n.fanOut(context.Background(), k, it)
 			continue
@@ -247,11 +265,11 @@ func (n *Node) syncReplicas() {
 			continue // owner unreachable: keep the copy
 		}
 		n.tel.antiEntropy.Inc()
-		resp, err := n.call(r.Addr, request{Op: "replicate", Key: k, Value: it.val, Ver: it.ver, Src: it.src})
+		resp, err := n.call(r.Addr, request{Op: "replicate", Key: k, Value: it.Val, Ver: it.Ver, Src: it.Src})
 		if err != nil {
 			continue
 		}
-		keep := resp.Ver < it.ver
+		keep := resp.Ver < it.Ver
 		for _, w := range resp.Replicas {
 			if toEntry(w).ID == n.id {
 				keep = true
@@ -259,8 +277,11 @@ func (n *Node) syncReplicas() {
 		}
 		if !keep {
 			n.mu.Lock()
-			if cur, ok := n.store[k]; ok && !newer(cur, it) {
-				delete(n.store, k) // the owner holds >= this version elsewhere
+			if cur, ok := n.store.Get(k); ok && !newer(cur, it) {
+				// The owner holds >= this version elsewhere. On a durable
+				// backend the delete is a tombstone, so a reboot cannot
+				// resurrect a copy the owner stopped counting on.
+				n.store.Delete(k)
 				n.tel.replicaGC.Inc()
 				n.updateStoreGaugeLocked()
 			}

@@ -272,12 +272,12 @@ func TestReReplicationAfterJoin(t *testing.T) {
 // writer ID; stale copies never clobber newer ones.
 func TestVersionConflictLWW(t *testing.T) {
 	// Unit-level merge.
-	a := item{val: []byte("a"), ver: 2, src: 1}
-	b := item{val: []byte("b"), ver: 1, src: 9}
+	a := item{Val: []byte("a"), Ver: 2, Src: 1}
+	b := item{Val: []byte("b"), Ver: 1, Src: 9}
 	if !newer(a, b) || newer(b, a) {
 		t.Fatal("higher version must win regardless of source")
 	}
-	c := item{val: []byte("c"), ver: 2, src: 5}
+	c := item{Val: []byte("c"), Ver: 2, Src: 5}
 	if !newer(c, a) || newer(a, c) {
 		t.Fatal("equal versions must tie-break toward the larger source ID")
 	}
@@ -286,13 +286,13 @@ func TestVersionConflictLWW(t *testing.T) {
 	nodes := memReplCluster(t, nw, 6, 8, 55, 3)
 	nd := nodes[0]
 
-	if !nd.putLocal("k", item{val: []byte("v1"), ver: 1, src: 3}) {
+	if !nd.putLocal("k", item{Val: []byte("v1"), Ver: 1, Src: 3}) {
 		t.Fatal("first copy must be accepted")
 	}
-	if nd.putLocal("k", item{val: []byte("v0"), ver: 1, src: 2}) {
+	if nd.putLocal("k", item{Val: []byte("v0"), Ver: 1, Src: 2}) {
 		t.Fatal("stale copy (same version, smaller source) must be rejected")
 	}
-	if !nd.putLocal("k", item{val: []byte("v2"), ver: 2, src: 1}) {
+	if !nd.putLocal("k", item{Val: []byte("v2"), Ver: 2, Src: 1}) {
 		t.Fatal("newer version must be accepted")
 	}
 	if v, _ := nd.localFetch("k"); string(v) != "v2" {

@@ -440,12 +440,17 @@ func (n *Node) dispatch(req request) response {
 		return n.handleReplicate(req)
 	case "fetch":
 		n.mu.RLock()
-		it, ok := n.store[req.Key]
+		it, ok := n.store.Get(req.Key)
 		n.mu.RUnlock()
-		return response{Value: it.val, Found: ok, Ver: it.ver}
+		return response{Value: it.Val, Found: ok, Ver: it.Ver}
 	case "handoff":
 		for k, w := range req.Items {
-			n.putLocal(k, item{val: append([]byte(nil), w.V...), ver: w.Ver, src: w.Src})
+			n.putLocal(k, item{Val: append([]byte(nil), w.V...), Ver: w.Ver, Src: w.Src})
+		}
+		// A departing node treats this response as proof the batch is
+		// safe; one group-committed sync covers the whole batch.
+		if err := n.syncStore(); err != nil {
+			return response{Err: err.Error()}
 		}
 		return response{}
 	case "reclaim":
@@ -536,7 +541,9 @@ func (n *Node) handleStore(req request) response {
 		}
 		return resp
 	}
-	n.putOwner(context.Background(), req.Key, req.Value)
+	if _, err := n.putOwner(context.Background(), req.Key, req.Value); err != nil {
+		return response{Err: err.Error()}
+	}
 	return response{}
 }
 
@@ -550,13 +557,18 @@ func (n *Node) handleReclaim(req request) response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	items := make(map[string]WireItem)
-	for k, v := range n.store {
+	var drop []string
+	n.store.Range(func(k string, v item) bool {
 		if n.space.Closer(n.keyPoint(k), newcomer, n.id) {
-			items[k] = WireItem{V: v.val, Ver: v.ver, Src: v.src}
+			items[k] = WireItem{V: v.Val, Ver: v.Ver, Src: v.Src}
 			if n.cfg.Replicas <= 1 {
-				delete(n.store, k)
+				drop = append(drop, k)
 			}
 		}
+		return true
+	})
+	for _, k := range drop {
+		n.store.Delete(k)
 	}
 	n.updateStoreGaugeLocked()
 	if len(items) == 0 {

@@ -1,0 +1,520 @@
+// Durable: the disk-backed Store. State lives in memory exactly like
+// Memory (reads never touch the disk) and every mutation is appended to
+// the active WAL segment before Put/Delete returns to the caller.
+// Durability is pushed to the acknowledgement path: Sync flushes and
+// fsyncs with group commit — the first waiter performs one fsync
+// covering every record appended so far, and concurrent waiters whose
+// records that fsync covered return without issuing their own — so N
+// in-flight Put acks cost one disk flush, not N.
+//
+// When the active segment outgrows Options.CompactBytes, the writer
+// rolls to a fresh segment, writes a snapshot of the full state (temp
+// file, fsync, atomic rename) covering everything up to the roll, and
+// deletes the older segments. Recovery loads the snapshot, replays the
+// segments it does not cover in order with a torn-tail-tolerant
+// decoder, and always starts a brand-new segment — it never appends
+// after a possibly-torn tail.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options parameterizes a Durable store. The zero value is safe:
+// fsync on, default compaction threshold and record cap.
+type Options struct {
+	// NoFsync keeps the WAL (writes are still flushed to the OS on
+	// Sync) but skips the fsync syscall, trading crash durability for
+	// latency. For benchmarks and tests; a production ack path wants
+	// the default.
+	NoFsync bool
+	// CompactBytes rolls the active segment and snapshots once it
+	// exceeds this size. Default 4 MiB.
+	CompactBytes int64
+	// MaxRecord caps one WAL record (frame + payload) on both the
+	// append and replay paths, so a corrupt length prefix cannot drive
+	// an unbounded allocation. Default 16 MiB — comfortably above the
+	// wire protocol's 1 MiB frame cap.
+	MaxRecord int
+	// Hooks receives storage events for telemetry; any field may be
+	// nil. Callbacks run on the mutating goroutine — keep them cheap.
+	Hooks Hooks
+}
+
+// Hooks observes Durable internals without coupling this package to a
+// metrics implementation; the p2p layer wires these to its registry.
+type Hooks struct {
+	// Append fires per WAL record with its encoded size.
+	Append func(bytes int)
+	// Fsync fires per physical flush with the number of records the
+	// group commit covered and the flush latency.
+	Fsync func(records int64, d time.Duration)
+	// Replay fires once per Open with the records replayed (snapshot +
+	// segments) and the time recovery took.
+	Replay func(records int, d time.Duration)
+	// Snapshot fires per snapshot written, with its record count.
+	Snapshot func(records int)
+	// Compact fires per compaction with the number of segments removed.
+	Compact func(segments int)
+	// SegmentBytes reports the active segment's size after each append
+	// and roll.
+	SegmentBytes func(bytes int64)
+}
+
+func (o *Options) defaults() {
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 4 << 20
+	}
+	if o.MaxRecord == 0 {
+		o.MaxRecord = 16 << 20
+	}
+}
+
+const (
+	snapName    = "snapshot"
+	snapTmpName = "snapshot.tmp"
+	segPattern  = "wal-%08d.seg"
+)
+
+// Durable implements Store over a data directory. Data operations
+// follow the package's single-writer contract; Sync and Close are safe
+// concurrently with them and with each other.
+type Durable struct {
+	opts Options
+	dir  string
+
+	// wmu guards the writer state below (file handle, buffer, counters)
+	// and carries the group-commit condition. The in-memory map m is
+	// NOT under wmu: the caller serializes data operations per the
+	// Store contract, and Sync never touches m.
+	wmu      sync.Mutex
+	cond     *sync.Cond
+	m        map[string]Item
+	f        *os.File
+	wbuf     []byte // pending appends not yet written to f
+	seg      uint64
+	segBytes int64
+	seq      uint64 // records appended over the store's lifetime
+	synced   uint64 // records known durable (flushed + fsynced)
+	syncing  bool   // a group-commit flush is in flight off-lock
+	closed   bool
+	err      error // first unrecoverable writer error, sticky
+
+	enc []byte // scratch record-encoding buffer, reused across appends
+}
+
+// Open loads (or creates) the durable store under dir: snapshot first,
+// then every WAL segment the snapshot does not cover, in order, each
+// tolerant of a torn tail; then a fresh active segment numbered after
+// everything seen.
+func Open(dir string, opts Options) (*Durable, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	began := time.Now()
+	m := make(map[string]Item)
+	var minSeg uint64
+	replayed := 0
+	if data, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		sm, ms, serr := decodeSnapshot(data, opts.MaxRecord)
+		if serr != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, serr)
+		}
+		m, minSeg = sm, ms
+		replayed += len(sm)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	segs, maxSeg, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if s < minSeg {
+			// Covered by the snapshot: a crash between snapshot write and
+			// segment cleanup left it behind. Finish the cleanup now.
+			_ = os.Remove(filepath.Join(dir, fmt.Sprintf(segPattern, s)))
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, fmt.Sprintf(segPattern, s)))
+		if rerr != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, rerr)
+		}
+		nrec, rerr := replaySegment(data, opts.MaxRecord, m)
+		if rerr != nil {
+			return nil, fmt.Errorf("store: open %s: segment %d: %w", dir, s, rerr)
+		}
+		replayed += nrec
+	}
+	d := &Durable{opts: opts, dir: dir, m: m}
+	d.cond = sync.NewCond(&d.wmu)
+	if err := d.openSegment(maxSeg + 1); err != nil {
+		return nil, err
+	}
+	if h := opts.Hooks.Replay; h != nil {
+		h(replayed, time.Since(began))
+	}
+	return d, nil
+}
+
+// Load replays a data directory read-only and returns the recovered
+// state, without creating files or claiming the directory. Tests and
+// tooling use it to check what a crash at this instant would preserve.
+func Load(dir string) (map[string]Item, error) {
+	var opts Options
+	opts.defaults()
+	m := make(map[string]Item)
+	var minSeg uint64
+	if data, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		sm, ms, serr := decodeSnapshot(data, opts.MaxRecord)
+		if serr != nil {
+			return nil, serr
+		}
+		m, minSeg = sm, ms
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	segs, _, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if s < minSeg {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, fmt.Sprintf(segPattern, s)))
+		if rerr != nil {
+			return nil, rerr
+		}
+		if _, rerr = replaySegment(data, opts.MaxRecord, m); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return m, nil
+}
+
+// listSegments returns the WAL segment numbers under dir, ascending,
+// plus the highest seen (0 when none).
+func listSegments(dir string) ([]uint64, uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	var segs []uint64
+	var maxSeg uint64
+	for _, e := range ents {
+		var n uint64
+		if _, serr := fmt.Sscanf(e.Name(), segPattern, &n); serr == nil {
+			segs = append(segs, n)
+			if n > maxSeg {
+				maxSeg = n
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, maxSeg, nil
+}
+
+// openSegment creates and activates a fresh segment file. Caller holds
+// wmu (or owns the store exclusively, as in Open).
+func (d *Durable) openSegment(n uint64) error {
+	f, err := os.OpenFile(filepath.Join(d.dir, fmt.Sprintf(segPattern, n)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: new segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: new segment: %w", err)
+	}
+	d.f, d.seg, d.segBytes = f, n, int64(len(segMagic))
+	if h := d.opts.Hooks.SegmentBytes; h != nil {
+		h(d.segBytes)
+	}
+	return nil
+}
+
+func (d *Durable) Get(key string) (Item, bool) { it, ok := d.m[key]; return it, ok }
+func (d *Durable) Len() int                    { return len(d.m) }
+
+func (d *Durable) Range(f func(key string, it Item) bool) {
+	for k, it := range d.m {
+		if !f(k, it) {
+			return
+		}
+	}
+}
+
+func (d *Durable) Put(key string, it Item) {
+	d.m[key] = it
+	d.append(opPut, key, it)
+}
+
+func (d *Durable) Delete(key string) {
+	if _, ok := d.m[key]; !ok {
+		return
+	}
+	delete(d.m, key)
+	d.append(opDel, key, Item{})
+}
+
+// SetPromoted updates the memory-only promotion mark; deliberately no
+// WAL append — the mark is not state, just dedup bookkeeping.
+func (d *Durable) SetPromoted(key string, ver uint64) bool {
+	cur, ok := d.m[key]
+	if !ok || cur.Ver != ver || cur.Promoted {
+		return false
+	}
+	cur.Promoted = true
+	d.m[key] = cur
+	return true
+}
+
+// append encodes one record into the pending write buffer and rolls +
+// snapshots when the active segment is full. Errors are sticky and
+// surface on the next Sync — the in-memory state already advanced, and
+// the ack path is where durability failures must be reported.
+func (d *Durable) append(op byte, key string, it Item) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		d.fail(fmt.Errorf("store: append after close"))
+		return
+	}
+	d.enc = appendRecord(d.enc[:0], op, key, it)
+	if len(d.enc) > d.opts.MaxRecord {
+		d.fail(fmt.Errorf("store: record for key %q exceeds MaxRecord %d", key, d.opts.MaxRecord))
+		return
+	}
+	d.wbuf = append(d.wbuf, d.enc...)
+	d.seq++
+	d.segBytes += int64(len(d.enc))
+	if h := d.opts.Hooks.Append; h != nil {
+		h(len(d.enc))
+	}
+	if h := d.opts.Hooks.SegmentBytes; h != nil {
+		h(d.segBytes)
+	}
+	if d.segBytes >= d.opts.CompactBytes && !d.syncing {
+		// Roll + snapshot inline. Skipped while a group-commit fsync has
+		// the file handle off-lock; the next append retries.
+		d.compactLocked()
+	}
+}
+
+// fail records the first writer error; all later Syncs report it.
+func (d *Durable) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	d.cond.Broadcast()
+}
+
+// flushLocked writes the pending buffer to the active segment file.
+// Caller holds wmu.
+func (d *Durable) flushLocked() error {
+	if len(d.wbuf) == 0 {
+		return nil
+	}
+	if _, err := d.f.Write(d.wbuf); err != nil {
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	d.wbuf = d.wbuf[:0]
+	return nil
+}
+
+// Sync makes every record appended before the call durable. Group
+// commit: one waiter performs the flush+fsync for everyone whose
+// records it covers; waiters arriving mid-flush wait and usually find
+// their records already covered when it completes.
+func (d *Durable) Sync() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	target := d.seq
+	for d.synced < target {
+		if d.err != nil {
+			return d.err
+		}
+		if d.closed {
+			return fmt.Errorf("store: sync after close")
+		}
+		if d.syncing {
+			d.cond.Wait()
+			continue
+		}
+		d.syncing = true
+		upto := d.seq
+		err := d.flushLocked()
+		var took time.Duration
+		if err == nil && !d.opts.NoFsync {
+			// fsync off-lock so appends (and therefore the node's write
+			// path) keep flowing; d.f cannot change underneath us because
+			// compaction skips while syncing is set.
+			f := d.f
+			began := time.Now()
+			d.wmu.Unlock()
+			err = f.Sync()
+			took = time.Since(began)
+			d.wmu.Lock()
+		}
+		d.syncing = false
+		if err != nil {
+			d.fail(err)
+			return d.err
+		}
+		if upto > d.synced {
+			if h := d.opts.Hooks.Fsync; h != nil {
+				h(int64(upto-d.synced), took)
+			}
+			d.synced = upto
+		}
+		d.cond.Broadcast()
+	}
+	return d.err
+}
+
+// Compact forces a segment roll + snapshot + old-segment cleanup, the
+// same operation the size threshold triggers. Callers must hold the
+// same serialization as data operations (tests use it to exercise
+// compaction at chosen points).
+func (d *Durable) Compact() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: compact after close")
+	}
+	for d.syncing {
+		d.cond.Wait()
+	}
+	d.compactLocked()
+	return d.err
+}
+
+// compactLocked rolls to a fresh segment, snapshots the full state
+// covering everything before the roll, then removes the older
+// segments. Ordering is crash-safe at every boundary:
+//
+//  1. flush + fsync + close the old segment, open segment N+1 — a
+//     crash here replays old snapshot + all segments, no loss;
+//  2. write the snapshot (minSeg = N+1) to a temp file, fsync, rename —
+//     a crash leaves either the old or the new snapshot, both
+//     consistent with the segments on disk;
+//  3. delete segments < N+1 — pure cleanup, retried by the next Open.
+//
+// Caller holds wmu with syncing unset; the in-memory map is stable
+// because mutations are serialized by the caller of Put/Delete.
+func (d *Durable) compactLocked() {
+	if d.err != nil {
+		return
+	}
+	if err := d.flushLocked(); err != nil {
+		d.fail(err)
+		return
+	}
+	if !d.opts.NoFsync {
+		if err := d.f.Sync(); err != nil {
+			d.fail(fmt.Errorf("store: wal fsync: %w", err))
+			return
+		}
+	}
+	if err := d.f.Close(); err != nil {
+		d.fail(fmt.Errorf("store: wal close: %w", err))
+		return
+	}
+	oldSeg := d.seg
+	if err := d.openSegment(oldSeg + 1); err != nil {
+		d.fail(err)
+		return
+	}
+	keys := make([]string, 0, len(d.m))
+	for k := range d.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := encodeSnapshot(d.m, keys, d.seg)
+	if err := writeFileAtomic(d.dir, snapTmpName, snapName, snap, !d.opts.NoFsync); err != nil {
+		d.fail(err)
+		return
+	}
+	if h := d.opts.Hooks.Snapshot; h != nil {
+		h(len(keys))
+	}
+	removed := 0
+	if segs, _, err := listSegments(d.dir); err == nil {
+		for _, s := range segs {
+			if s <= oldSeg && os.Remove(filepath.Join(d.dir, fmt.Sprintf(segPattern, s))) == nil {
+				removed++
+			}
+		}
+	}
+	if h := d.opts.Hooks.Compact; h != nil {
+		h(removed)
+	}
+	// Everything up to the roll is in the snapshot or fsynced in the old
+	// segment; records appended after the roll (none yet — we hold wmu)
+	// are not covered, so synced advances to the roll point exactly.
+	if d.seq > d.synced {
+		d.synced = d.seq
+	}
+	d.cond.Broadcast()
+}
+
+// Close flushes, fsyncs and releases the active segment. Safe to call
+// concurrently with Sync; double Close is a no-op.
+func (d *Durable) Close() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return nil
+	}
+	for d.syncing {
+		d.cond.Wait()
+	}
+	d.closed = true
+	err := d.flushLocked()
+	if err == nil && !d.opts.NoFsync {
+		err = d.f.Sync()
+	}
+	if cerr := d.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		d.fail(err)
+	} else {
+		d.synced = d.seq
+	}
+	d.cond.Broadcast()
+	return err
+}
+
+// writeFileAtomic writes data to dir/tmp, optionally fsyncs, and
+// renames it over dir/final — readers see the old or the new file,
+// never a torn one.
+func writeFileAtomic(dir, tmp, final string, data []byte, fsync bool) error {
+	tp := filepath.Join(dir, tmp)
+	f, err := os.OpenFile(tp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err = f.Write(data); err == nil && fsync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tp, filepath.Join(dir, final)); err != nil {
+		os.Remove(tp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// WAL record and segment framing. A segment file is an 8-byte magic
+// header followed by a stream of records; each record is
+//
+//	u32 payload length | u32 CRC32-IEEE(payload) | payload
+//
+// with the payload laid out as
+//
+//	u8 op (1=put, 2=tombstone) | u64 ver | u64 src |
+//	u32 klen | key bytes | u32 vlen | value bytes
+//
+// (a tombstone carries vlen 0). All integers are little-endian. Replay
+// is torn-write tolerant: decoding stops at the first truncated,
+// CRC-mismatched or malformed record and keeps everything before it,
+// which is exactly the prefix that was durable when the writer died
+// mid-append. The snapshot file shares the record format under its own
+// magic plus the number of the first WAL segment it does not cover.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	segMagic  = "CYCWAL1\n"
+	snapMagic = "CYCSNP1\n"
+
+	opPut byte = 1
+	opDel byte = 2
+
+	// recHeader is the fixed frame prefix: payload length + CRC.
+	recHeader = 8
+	// payloadFixed is the fixed part of a payload: op + ver + src + klen
+	// + vlen.
+	payloadFixed = 1 + 8 + 8 + 4 + 4
+)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Op  byte
+	Key string
+	Val []byte
+	Ver uint64
+	Src uint64
+}
+
+// errCorrupt is the internal "stop replaying here" sentinel; callers of
+// ReplayRecords never see it, they just get the valid prefix.
+var errCorrupt = errors.New("store: corrupt wal record")
+
+// appendRecord encodes one record onto buf and returns the extended
+// slice. The encoding is canonical: decodeRecord of the result yields
+// the same record and consumes exactly the appended bytes.
+func appendRecord(buf []byte, op byte, key string, it Item) []byte {
+	plen := payloadFixed + len(key) + len(it.Val)
+	start := len(buf)
+	buf = append(buf, make([]byte, recHeader+plen)...)
+	p := buf[start+recHeader:]
+	p[0] = op
+	binary.LittleEndian.PutUint64(p[1:], it.Ver)
+	binary.LittleEndian.PutUint64(p[9:], it.Src)
+	binary.LittleEndian.PutUint32(p[17:], uint32(len(key)))
+	copy(p[21:], key)
+	off := 21 + len(key)
+	binary.LittleEndian.PutUint32(p[off:], uint32(len(it.Val)))
+	copy(p[off+4:], it.Val)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// decodeRecord decodes the record at the head of data. It returns the
+// record and the number of bytes consumed, or errCorrupt when the head
+// is truncated, oversized, CRC-mismatched or malformed.
+func decodeRecord(data []byte, maxRecord int) (Record, int, error) {
+	if len(data) < recHeader {
+		return Record{}, 0, errCorrupt
+	}
+	plen := int(binary.LittleEndian.Uint32(data))
+	if plen < payloadFixed || plen > maxRecord || len(data) < recHeader+plen {
+		return Record{}, 0, errCorrupt
+	}
+	p := data[recHeader : recHeader+plen]
+	if crc32.ChecksumIEEE(p) != binary.LittleEndian.Uint32(data[4:]) {
+		return Record{}, 0, errCorrupt
+	}
+	op := p[0]
+	if op != opPut && op != opDel {
+		return Record{}, 0, errCorrupt
+	}
+	klen := int(binary.LittleEndian.Uint32(p[17:]))
+	if klen < 0 || payloadFixed+klen > plen {
+		return Record{}, 0, errCorrupt
+	}
+	off := 21 + klen
+	vlen := int(binary.LittleEndian.Uint32(p[off:]))
+	// The payload must be exactly consumed: CRC-valid junk with slack
+	// bytes is still rejected, so encode/decode stay bijective.
+	if vlen < 0 || payloadFixed+klen+vlen != plen {
+		return Record{}, 0, errCorrupt
+	}
+	if op == opDel && vlen != 0 {
+		return Record{}, 0, errCorrupt
+	}
+	rec := Record{
+		Op:  op,
+		Key: string(p[21 : 21+klen]),
+		Ver: binary.LittleEndian.Uint64(p[1:]),
+		Src: binary.LittleEndian.Uint64(p[9:]),
+	}
+	if vlen > 0 {
+		rec.Val = append([]byte(nil), p[off+4:off+4+vlen]...)
+	}
+	return rec, recHeader + plen, nil
+}
+
+// ReplayRecords decodes the longest valid record prefix of data — the
+// torn-write tolerance contract: everything before the first corrupt or
+// truncated record is recovered, nothing after it, and no input may
+// panic. It also returns the number of bytes that prefix occupies.
+func ReplayRecords(data []byte, maxRecord int) ([]Record, int) {
+	var recs []Record
+	consumed := 0
+	for consumed < len(data) {
+		rec, nb, err := decodeRecord(data[consumed:], maxRecord)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		consumed += nb
+	}
+	return recs, consumed
+}
+
+// apply folds one record into a state map, in WAL order: puts are
+// unconditional (appends happen under the node lock, so file order is
+// apply order) and tombstones delete.
+func apply(m map[string]Item, rec Record) {
+	switch rec.Op {
+	case opPut:
+		m[rec.Key] = Item{Val: rec.Val, Ver: rec.Ver, Src: rec.Src}
+	case opDel:
+		delete(m, rec.Key)
+	}
+}
+
+// replaySegment folds a whole segment file (magic header + records)
+// into m, tolerating a torn tail. It returns the number of records
+// applied, or an error only when the header itself is wrong — that is
+// not a torn write but a foreign file.
+func replaySegment(data []byte, maxRecord int, m map[string]Item) (int, error) {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return 0, fmt.Errorf("store: bad segment magic")
+	}
+	recs, _ := ReplayRecords(data[len(segMagic):], maxRecord)
+	for _, rec := range recs {
+		apply(m, rec)
+	}
+	return len(recs), nil
+}
+
+// encodeSnapshot serializes a full state under the snapshot magic.
+// minSeg is the first WAL segment number NOT folded into the snapshot:
+// recovery loads the snapshot and replays only segments >= minSeg.
+// keys are emitted in the order given (callers sort for determinism).
+func encodeSnapshot(m map[string]Item, keys []string, minSeg uint64) []byte {
+	buf := make([]byte, 0, len(snapMagic)+8+len(m)*64)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, minSeg)
+	for _, k := range keys {
+		buf = appendRecord(buf, opPut, k, m[k])
+	}
+	return buf
+}
+
+// decodeSnapshot loads a snapshot file, tolerating a torn tail the same
+// way segment replay does (the write path makes torn snapshots
+// impossible via temp-file + rename, but recovery never trusts that).
+func decodeSnapshot(data []byte, maxRecord int) (map[string]Item, uint64, error) {
+	hdr := len(snapMagic) + 8
+	if len(data) < hdr || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("store: bad snapshot magic")
+	}
+	minSeg := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	m := make(map[string]Item)
+	recs, _ := ReplayRecords(data[hdr:], maxRecord)
+	for _, rec := range recs {
+		apply(m, rec)
+	}
+	return m, minSeg, nil
+}

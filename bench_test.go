@@ -40,6 +40,7 @@ func BenchmarkGetWithOwnerDown(b *testing.B)      { bench.Run(b, "GetWithOwnerDo
 func BenchmarkPooledLookup(b *testing.B)          { bench.Run(b, "PooledLookup") }
 func BenchmarkPooledLookupJSON(b *testing.B)      { bench.Run(b, "PooledLookupJSON") }
 func BenchmarkLookupDialPerRequest(b *testing.B)  { bench.Run(b, "LookupDialPerRequest") }
+func BenchmarkLookupUnderShedding(b *testing.B)   { bench.Run(b, "LookupUnderShedding") }
 
 // TestBenchWrappersCoverRegistry keeps the wrapper list above in sync
 // with the internal/bench registry.
@@ -55,6 +56,7 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"JoinLeave": true, "ReplicatedPut": true, "PutDurable": true,
 		"PutDurableNoSync": true, "GetWithOwnerDown": true,
 		"PooledLookup": true, "PooledLookupJSON": true, "LookupDialPerRequest": true,
+		"LookupUnderShedding": true,
 	}
 	cases := bench.Cases()
 	if len(cases) != len(want) {

@@ -49,7 +49,8 @@ commands:
   chaos <rounds>   run live p2p nodes on the in-memory transport through
                    <rounds> of seeded faults and membership churn
                    (-nodes, -dim, -seed apply; -chaos-trace dumps state;
-                   -restarts runs the kill/restart durability tier)
+                   -restarts runs the kill/restart durability tier;
+                   -overload runs the admission-control overload tier)
 
 flags:
 `)
@@ -70,6 +71,7 @@ func main() {
 		wcodec   = flag.String("wire-codec", "auto", "chaos: members' outbound wire codec: auto, json, binary, or mixed (alternate json/binary per member)")
 		loaders  = flag.Int("load-clients", 0, "chaos: load-during-churn workers (0 = off)")
 		restarts = flag.Bool("restarts", false, "chaos: upgrade crashes to kill/restart cycles on durable disk-backed stores (temp data dirs; asserts the durability invariants)")
+		overload = flag.Bool("overload", false, "chaos: run the overload-protection tier instead of the fault schedule (Zipf hot keys hammer a victim with a tiny admission cap; asserts shedding, conservation, acked-Put durability and bounded control p99)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -79,7 +81,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "chaos" {
-		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *wcodec, *loaders, *restarts)
+		runChaos(*nodes, *dim, *seed, *trace, *replicas, *crashes, *pooled, *wcodec, *loaders, *restarts, *overload)
 		return
 	}
 	if flag.Arg(0) == "metrics" {
@@ -194,7 +196,7 @@ func main() {
 // then reports the per-round timeout counts and invariant violations.
 // The defaults for -nodes (500) and -dim (8) suit the simulator; chaos
 // runs live nodes, so clamp to the harness's scale when unchanged.
-func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, wireCodec string, loaders int, restarts bool) {
+func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, pooled bool, wireCodec string, loaders int, restarts, overload bool) {
 	rounds := 8
 	if flag.NArg() >= 2 {
 		if _, err := fmt.Sscanf(flag.Arg(1), "%d", &rounds); err != nil {
@@ -211,15 +213,19 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, poo
 		Seed: seed, Dim: dim, Nodes: nodes, Rounds: rounds,
 		Replicas: replicas, MultiCrash: crashes,
 		Pooled: pooled, WireCodec: wireCodec, LoadClients: loaders,
-		KillRestart: restarts,
+		KillRestart: restarts, Overload: overload,
 	}
 	if trace {
 		cfg.Trace = os.Stderr
 	}
-	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, wire-codec=%s, load-clients=%d, kill-restart=%v\n",
-		seed, nodes, dim, rounds, replicas, crashes, pooled, wireCodec, loaders, restarts)
-	for _, ev := range chaosrunner.GenerateSchedule(cfg) {
-		fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
+	fmt.Printf("chaos: seed %d, %d nodes, dim %d, %d rounds, R=%d, <=%d crashes/event, pooled=%v, wire-codec=%s, load-clients=%d, kill-restart=%v, overload=%v\n",
+		seed, nodes, dim, rounds, replicas, crashes, pooled, wireCodec, loaders, restarts, overload)
+	if !overload {
+		// The overload tier replaces the fault schedule with load phases;
+		// the crash/partition schedule only applies to the regular tiers.
+		for _, ev := range chaosrunner.GenerateSchedule(cfg) {
+			fmt.Printf("  round %2d: %-12s node=%d p=%.2f\n", ev.Round, ev.Kind, ev.Node, ev.P)
+		}
 	}
 	res, err := chaosrunner.Run(cfg)
 	if err != nil {
@@ -235,6 +241,15 @@ func runChaos(nodes, dim int, seed int64, trace bool, replicas, crashes int, poo
 	}
 	if res.Kills > 0 || res.Restarts > 0 {
 		fmt.Printf("kill/restart cycles: %d kills, %d restarts\n", res.Kills, res.Restarts)
+	}
+	if o := res.Overload; o != nil {
+		fmt.Printf("overload: victim %s, %d hot keys\n", o.Victim, o.HotKeys)
+		fmt.Printf("  victim admission: offered=%d admitted=%d shed=%d queue-timeouts=%d\n",
+			o.Offered, o.Admitted, o.Shed, o.QueueTimeouts)
+		fmt.Printf("  control p99: %dus unloaded -> %dus while shedding\n",
+			o.BaselineP99us, o.OverloadP99us)
+		fmt.Printf("  traffic: hot=%d ops (%d pushed back), control=%d ops (%d errors), fleet retries=%d, acked puts=%d\n",
+			o.HotOps, o.HotErrors, o.CtrlOps, o.CtrlErrors, o.FleetRetries, o.AckedPuts)
 	}
 	fmt.Printf("final: %d live nodes, %d keys tracked\n", res.FinalLive, res.FinalKeys)
 	if len(res.Violations) > 0 {

@@ -52,6 +52,7 @@ func Cases() []Case {
 		{"PooledLookup", benchPooledLookup},
 		{"PooledLookupJSON", benchPooledLookupJSON},
 		{"LookupDialPerRequest", benchLookupDialPerRequest},
+		{"LookupUnderShedding", benchLookupUnderShedding},
 	}
 }
 

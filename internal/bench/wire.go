@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -18,8 +19,10 @@ import (
 )
 
 // tcpCluster boots n live nodes on loopback TCP with deterministic IDs,
-// fully stabilized, in the given transport mode and wire codec.
-func tcpCluster(b *testing.B, dim, n int, seed int64, pooled bool, wireCodec string) []*p2p.Node {
+// fully stabilized, in the given transport mode and wire codec. Each
+// optional mut hook can adjust a member's config before start, keyed by
+// its boot ordinal — how the shedding benchmark caps one node.
+func tcpCluster(b *testing.B, dim, n int, seed int64, pooled bool, wireCodec string, mut ...func(ord int, cfg *p2p.Config)) []*p2p.Node {
 	b.Helper()
 	space := ids.NewSpace(dim)
 	rng := rand.New(rand.NewSource(seed))
@@ -32,7 +35,7 @@ func tcpCluster(b *testing.B, dim, n int, seed int64, pooled bool, wireCodec str
 		}
 		taken[v] = true
 		id := space.FromLinear(v)
-		nd, err := p2p.Start(p2p.Config{
+		cfg := p2p.Config{
 			Dim:             dim,
 			ID:              &id,
 			DialTimeout:     2 * time.Second,
@@ -42,7 +45,11 @@ func tcpCluster(b *testing.B, dim, n int, seed int64, pooled bool, wireCodec str
 			// introspection trace ring would add per-lookup allocation
 			// noise that masks the codec under test.
 			TraceBuffer: -1,
-		})
+		}
+		for _, m := range mut {
+			m(len(nodes), &cfg)
+		}
+		nd, err := p2p.Start(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,3 +144,98 @@ func benchPooledLookupJSON(b *testing.B) { benchWireLookup(b, true, "json") }
 // pooled/dial-per-request ratio in BENCH_cycloid.json is the recorded
 // win of the connection pool.
 func benchLookupDialPerRequest(b *testing.B) { benchWireLookup(b, false, "auto") }
+
+// benchLookupUnderShedding is the PooledLookup workload measured while
+// one node in the cluster is actively shedding: the victim runs a tiny
+// admission cap plus simulated service time, and background writers
+// hammer Puts at keys it owns for the whole measurement window. (Puts
+// are what saturate it — the pooled mux answers lookup-path ops inline
+// on each connection's read loop, so they arrive nearly serialized;
+// store ops get a per-request goroutine each and pile onto the
+// admission queue for real.) The LookupUnderShedding/PooledLookup pair
+// in BENCH_cycloid.json records what an overloaded neighbor costs the
+// lookup path: busy replies, budgeted retries with jittered backoff,
+// and the soft demotion that steers pass-0 routing around the victim.
+// Lookups that still fail after the retry budget are counted and
+// reported as err/op rather than failing the run — sheds are the
+// scenario, not a harness bug. shed/op confirms the victim actually
+// shed during the window.
+func benchLookupUnderShedding(b *testing.B) {
+	const victimOrd = 1 // boot ordinal; 0 is the origin gateway
+	nodes := tcpCluster(b, 6, 8, Seed, true, "binary", func(ord int, cfg *p2p.Config) {
+		if ord == victimOrd {
+			cfg.MaxInflight = 2
+			cfg.QueueDepth = 2
+			// Without simulated service time the loopback handler
+			// drains a cap of 2 in microseconds and nothing ever sheds
+			// (same physics as the chaos overload tier).
+			cfg.ServiceDelay = 200 * time.Microsecond
+		}
+	})
+	victim := nodes[victimOrd]
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("wire-%d", i)
+	}
+	// Hot keys owned by the victim, for the background writers.
+	hot := make([]string, 0, 4)
+	for i := 0; len(hot) < cap(hot); i++ {
+		if i == 1<<16 {
+			b.Fatalf("no %d victim-owned keys in %d candidates", cap(hot), i)
+		}
+		k := fmt.Sprintf("hot-%d", i)
+		r, err := victim.Lookup(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Addr == victim.Addr() {
+			hot = append(hot, k)
+		}
+	}
+	for i, nd := range nodes {
+		if _, err := nd.Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			src := nodes[2+w%(len(nodes)-2)] // neither origin nor victim
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are the point: shed Puts exercise the exact
+				// busy path the foreground lookups contend with.
+				_ = src.Put(hot[i%len(hot)], []byte("v"))
+			}
+		}(w)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Mirror benchWireLookup's pooled shape: oversubscribed workers, one
+	// gateway origin (see that function's comment for why).
+	b.SetParallelism(32)
+	origin := nodes[0]
+	shedBefore := victim.Telemetry().CounterValues()["cycloid_admission_shed_total"]
+	var ctr, errs atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1))
+			if _, err := origin.Lookup(keys[i%len(keys)]); err != nil {
+				errs.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	writers.Wait()
+	shed := victim.Telemetry().CounterValues()["cycloid_admission_shed_total"] - shedBefore
+	b.ReportMetric(float64(errs.Load())/float64(b.N), "err/op")
+	b.ReportMetric(float64(shed)/float64(b.N), "shed/op")
+}

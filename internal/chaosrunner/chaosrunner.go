@@ -134,9 +134,52 @@ type Config struct {
 	// temporary directory removed when Run returns; empty without
 	// KillRestart keeps members on the in-memory store as before.
 	DataDir string
+
+	// Overload selects the overload-protection tier instead of the
+	// fault schedule: every member runs admission control, member
+	// ordinal 0 (the victim) gets a tiny in-flight cap, and Zipf-skewed
+	// hot-key traffic is aimed at keys the victim owns while control
+	// traffic measures the rest of the cluster. The run asserts the
+	// overload invariants — admission conservation (offered ==
+	// admitted + shed + queue-timeout, with the victim demonstrably
+	// shedding), no acked Put lost while shedding, bounded p99 on
+	// admitted control traffic, client retries within the token-bucket
+	// ceiling, and the victim still routable (never suspected) once
+	// the load stops. Replicas defaults to 2 in this mode so reads
+	// survive the victim's shedding via replica fallback.
+	Overload bool
+	// OverloadVictimCap is the victim's MaxInflight (default 2). Other
+	// members get a generous cap so their admission counters move
+	// without ever shedding.
+	OverloadVictimCap int
+	// OverloadHotKeys is how many victim-owned keys the hot traffic
+	// hammers (default 4).
+	OverloadHotKeys int
+	// OverloadZipf is the hot traffic's key-popularity skew (default
+	// 1.3; must be > 1 per math/rand's Zipf).
+	OverloadZipf float64
+	// OverloadOps is the operation count per load phase (default 400).
+	OverloadOps int
 }
 
 func (c *Config) defaults() {
+	if c.Overload {
+		if c.Replicas == 0 {
+			c.Replicas = 2
+		}
+		if c.OverloadVictimCap == 0 {
+			c.OverloadVictimCap = 2
+		}
+		if c.OverloadHotKeys == 0 {
+			c.OverloadHotKeys = 4
+		}
+		if c.OverloadZipf == 0 {
+			c.OverloadZipf = 1.3
+		}
+		if c.OverloadOps == 0 {
+			c.OverloadOps = 400
+		}
+	}
 	if c.Dim == 0 {
 		c.Dim = 6
 	}
@@ -238,6 +281,10 @@ type Result struct {
 	FinalKeys  int // expected keys tracked at the end
 	Kills      int // kill events in the schedule (KillRestart runs)
 	Restarts   int // restart events in the schedule (KillRestart runs)
+
+	// Overload carries the overload tier's measurements; nil unless
+	// Config.Overload was set.
+	Overload *OverloadReport
 }
 
 // GenerateSchedule derives the run's event schedule from the seed
@@ -349,9 +396,9 @@ type member struct {
 	id      ids.CycloidID
 	node    *p2p.Node
 	live    bool
-	addr    string               // listen address, pinned across restarts
-	dataDir string               // durable store root; "" for in-memory members
-	reg     *telemetry.Registry  // survives restarts so counters stay cumulative
+	addr    string              // listen address, pinned across restarts
+	dataDir string              // durable store root; "" for in-memory members
+	reg     *telemetry.Registry // survives restarts so counters stay cumulative
 
 	// keysAtKill / famsAtKill snapshot what the node held and exposed
 	// when an EvKill took it down; the restart asserts both recover.
@@ -386,6 +433,9 @@ type runner struct {
 // errors.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	if cfg.Overload {
+		return runOverload(cfg)
+	}
 	sched := GenerateSchedule(cfg)
 	r := &runner{
 		cfg:      cfg,
@@ -494,7 +544,7 @@ func (r *runner) startMember(ord int) error {
 	if r.dataRoot != "" {
 		m.dataDir = filepath.Join(r.dataRoot, name)
 	}
-	nd, err := p2p.Start(p2p.Config{
+	pcfg := p2p.Config{
 		Dim:             r.cfg.Dim,
 		ID:              &id,
 		DialTimeout:     r.cfg.DialTimeout,
@@ -504,7 +554,20 @@ func (r *runner) startMember(ord int) error {
 		WireCodec:       r.memberCodec(ord),
 		Telemetry:       m.reg,
 		DataDir:         m.dataDir,
-	})
+	}
+	if r.cfg.Overload {
+		// Every member admits so the conservation invariant is checked
+		// fleet-wide; only the victim's cap is tight enough to shed.
+		// The victim also gets simulated service time: the fabric never
+		// sleeps, so without it no handler would ever hold a slot long
+		// enough for genuine queue occupancy to build.
+		pcfg.MaxInflight = overloadOthersCap
+		if ord == overloadVictimOrd {
+			pcfg.MaxInflight = r.cfg.OverloadVictimCap
+			pcfg.ServiceDelay = overloadServiceDelay
+		}
+	}
+	nd, err := p2p.Start(pcfg)
 	if err != nil {
 		return fmt.Errorf("chaosrunner: start %s: %w", name, err)
 	}

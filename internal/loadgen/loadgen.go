@@ -20,6 +20,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -88,6 +89,18 @@ type Config struct {
 	// Open-loop: Rate is the arrival rate in operations per second.
 	// 0 selects the closed-loop driver.
 	Rate float64
+	// KeyList, when non-empty, replaces the generated key population:
+	// the workload draws from exactly these keys and Keys is ignored.
+	// Popularity (uniform or Zipf) ranks the list in order, so with
+	// Zipf skew KeyList[0] is the hottest key. Harnesses use this to
+	// aim traffic at keys with known owners — e.g. a capped victim
+	// node in an overload run.
+	KeyList []string
+	// OpTimeout, when > 0, bounds every operation with a context
+	// deadline. The deadline propagates over the wire, so servers drop
+	// queued work whose caller has already given up; an operation that
+	// exceeds it counts as an error in the report.
+	OpTimeout time.Duration
 }
 
 func (c *Config) defaults() error {
@@ -97,7 +110,9 @@ func (c *Config) defaults() error {
 	if c.Mix.total() == 0 {
 		c.Mix = Mix{Lookup: 1}
 	}
-	if c.Keys == 0 {
+	if len(c.KeyList) > 0 {
+		c.Keys = len(c.KeyList)
+	} else if c.Keys == 0 {
 		c.Keys = 64
 	}
 	if c.Ops == 0 {
@@ -221,7 +236,11 @@ func (r *runner) generate() {
 	r.keys = make([]string, cfg.Keys)
 	r.vals = make([][]byte, cfg.Keys)
 	for i := range r.keys {
-		r.keys[i] = fmt.Sprintf("load-%d-%d", cfg.Seed, i)
+		if len(cfg.KeyList) > 0 {
+			r.keys[i] = cfg.KeyList[i]
+		} else {
+			r.keys[i] = fmt.Sprintf("load-%d-%d", cfg.Seed, i)
+		}
 		r.vals[i] = []byte(fmt.Sprintf("v%d", i))
 	}
 	var zipf *rand.Zipf
@@ -260,15 +279,21 @@ func (r *runner) generate() {
 func (r *runner) exec(s spec) {
 	nd := r.cfg.Nodes[s.origin]
 	key := r.keys[s.key]
+	ctx := context.Background()
+	if r.cfg.OpTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.OpTimeout)
+		defer cancel()
+	}
 	began := time.Now()
 	var err error
 	switch s.op {
 	case OpPut:
-		err = nd.Put(key, r.vals[s.key])
+		err = nd.PutContext(ctx, key, r.vals[s.key])
 	case OpGet:
-		_, _, err = nd.Get(key)
+		_, _, err = nd.GetContext(ctx, key)
 	case OpLookup:
-		_, err = nd.Lookup(key)
+		_, err = nd.LookupContext(ctx, key)
 	}
 	us := time.Since(began).Microseconds()
 	r.lat[s.op].Observe(us)
@@ -340,14 +365,14 @@ func snapshotLoads(nodes []*p2p.Node) []loadSnapshot {
 func (r *runner) report(took time.Duration, before, after []loadSnapshot) *Report {
 	cfg := r.cfg
 	rep := &Report{
-		Mode:       "closed",
-		Nodes:      len(cfg.Nodes),
-		Duration:   took,
-		P50:        r.latAll.Quantile(0.50),
-		P95:        r.latAll.Quantile(0.95),
-		P99:        r.latAll.Quantile(0.99),
-		PerOp:      map[string]OpStats{},
-		Load:       make([]NodeLoad, len(cfg.Nodes)),
+		Mode:        "closed",
+		Nodes:       len(cfg.Nodes),
+		Duration:    took,
+		P50:         r.latAll.Quantile(0.50),
+		P95:         r.latAll.Quantile(0.95),
+		P99:         r.latAll.Quantile(0.99),
+		PerOp:       map[string]OpStats{},
+		Load:        make([]NodeLoad, len(cfg.Nodes)),
 		LoadBalance: Balance{Min: ^uint64(0)},
 	}
 	if cfg.Rate > 0 {

@@ -26,13 +26,14 @@ import (
 //	           u32 nItems { str key | vblob V | u64 Ver | u64 Src }
 //	           u8 event code | [str event if 255]
 //	           [entry Subject] | [state Departed] | [entry Origin]
-//	           i64 TTL
+//	           i64 TTL | u32 DeadlineMs
 //
-//	response = u8 flags (1 OK, 2 Done, 4 Found, 8 State, 16 Redirect)
+//	response = u8 flags (1 OK, 2 Done, 4 Found, 8 State, 16 Redirect,
+//	                     32 Busy)
 //	           str Err | u8 phase code | [str phase if 255]
 //	           u32 nCandidates { entry } | [state State]
 //	           blob Value | u64 Ver | [entry Redirect]
-//	           u32 nReplicas { entry }
+//	           u32 nReplicas { entry } | u32 RetryAfterMs
 //
 // The enumerated strings the protocol actually sends (op, event, phase)
 // are one-byte codes; code 255 escapes to a length-prefixed string so
@@ -59,6 +60,7 @@ const (
 	respFound
 	respHasState
 	respHasRedirect
+	respBusy
 )
 
 const extCode = 255 // string-escape code for out-of-table enum values
@@ -262,6 +264,7 @@ func AppendRequest(buf []byte, r *Request) ([]byte, error) {
 		}
 	}
 	b = appendU64(b, uint64(int64(r.TTL)))
+	b = appendU32(b, r.DeadlineMs)
 	return b, nil
 }
 
@@ -282,6 +285,9 @@ func AppendResponse(buf []byte, r *Response) ([]byte, error) {
 	}
 	if r.Redirect != nil {
 		flags |= respHasRedirect
+	}
+	if r.Busy {
+		flags |= respBusy
 	}
 	b := append(buf, flags)
 	b, err := appendStr(b, r.Err)
@@ -323,6 +329,7 @@ func AppendResponse(buf []byte, r *Response) ([]byte, error) {
 			return buf, err
 		}
 	}
+	b = appendU32(b, r.RetryAfterMs)
 	return b, nil
 }
 
@@ -579,7 +586,8 @@ func DecodeRequest(data []byte, r *Request) error {
 		return err
 	}
 	r.TTL = int(int64(ttl))
-	return nil
+	r.DeadlineMs, err = d.u32()
+	return err
 }
 
 // DecodeResponse decodes one v2 binary response payload into r. Like
@@ -593,6 +601,7 @@ func DecodeResponse(data []byte, r *Response) error {
 	r.OK = flags&respOK != 0
 	r.Done = flags&respDone != 0
 	r.Found = flags&respFound != 0
+	r.Busy = flags&respBusy != 0
 	if r.Err, err = d.str(); err != nil {
 		return err
 	}
@@ -618,6 +627,9 @@ func DecodeResponse(data []byte, r *Response) error {
 			return err
 		}
 	}
-	r.Replicas, err = d.entries()
+	if r.Replicas, err = d.entries(); err != nil {
+		return err
+	}
+	r.RetryAfterMs, err = d.u32()
 	return err
 }

@@ -37,6 +37,8 @@ func sampleRequests() []Request {
 		{Op: "update", Event: "leave", Departed: st, TTL: -3},
 		{Op: "weird-op", Event: "weird-event", Key: "spoofed", TTL: 1 << 40},
 		{Op: "step", Target: e(255, 1<<32-1, ""), Key: string([]byte{0, 1, 2})},
+		{Op: "fetch", Key: "deadline", DeadlineMs: 1500},
+		{Op: "store", Key: "deadline-max", Value: []byte("v"), DeadlineMs: 1<<32 - 1},
 	}
 }
 
@@ -63,6 +65,9 @@ func sampleResponses() []Response {
 		{OK: false, Err: "not responsible", Redirect: e(2, 9, "z:3")},
 		{OK: true, Ver: 3, Replicas: []Entry{{K: 1, A: 1, Addr: "r:1"}, {K: 1, A: 2, Addr: "r:2"}, {K: 1, A: 3, Addr: "r:3"}}},
 		{OK: true, Err: "soft warning", Value: []byte{1}, Ver: 1<<64 - 1, Done: true, Found: true},
+		{OK: false, Err: "busy: admission queue full", Busy: true, RetryAfterMs: 40},
+		{OK: false, Busy: true},
+		{OK: false, Err: "busy", Busy: true, RetryAfterMs: 1<<32 - 1, Redirect: e(2, 9, "z:3")},
 	}
 }
 
@@ -226,9 +231,9 @@ func TestDecodeGarbage(t *testing.T) {
 		nil,
 		{},
 		{0xFF},
-		{250},                      // op code above table but not extCode
-		{1, 0, 0, 0, 0, 0, 0xFF},   // entry with truncated addr length
-		make([]byte, 64),           // all zeros beyond a zero request
+		{250},                    // op code above table but not extCode
+		{1, 0, 0, 0, 0, 0, 0xFF}, // entry with truncated addr length
+		make([]byte, 64),         // all zeros beyond a zero request
 		{0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF},
 	}
 	for i, c := range cases {

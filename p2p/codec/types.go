@@ -61,6 +61,13 @@ type Request struct {
 	Propagate bool   `json:"propagate,omitempty"`
 	Origin    *Entry `json:"origin,omitempty"`
 	TTL       int    `json:"ttl,omitempty"`
+
+	// DeadlineMs is the caller's remaining deadline budget in
+	// milliseconds at send time (relative, because peer clocks are not
+	// synchronized). 0 means no deadline. Servers use it to bound
+	// admission-queue waits and to drop requests whose caller has
+	// already given up instead of doing dead work.
+	DeadlineMs uint32 `json:"deadlineMs,omitempty"`
 }
 
 // Response is the single reply type.
@@ -88,4 +95,12 @@ type Response struct {
 	// replica targets); senders use it to garbage-collect copies they
 	// should no longer hold.
 	Replicas []Entry `json:"replicas,omitempty"`
+
+	// Busy marks a load-shed rejection: the receiver is alive but over
+	// its admission cap. RetryAfterMs is its hint for how long the
+	// sender should back off (current queue depth × observed service
+	// time). Clients treat busy as a soft demotion — route around this
+	// round — never as a crash signal.
+	Busy         bool   `json:"busy,omitempty"`
+	RetryAfterMs uint32 `json:"retryAfterMs,omitempty"`
 }

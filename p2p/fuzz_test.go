@@ -99,8 +99,8 @@ func FuzzWireDecode(f *testing.F) {
 		binFrame(codec.PreambleBinV2, nil,
 			request{Op: "handoff", From: from, Items: map[string]WireItem{"a": {V: []byte{0}, Ver: 3, Src: 7}}}),
 		binFrame(codec.PreambleMuxV2, []byte{7, 0, 0, 0, 0, 0, 0, 0, 0}, request{Op: "fetch", From: from, Key: "doc"}),
-		binFrame(codec.PreambleBinV2, nil, request{Op: "ping", From: from})[:20], // truncated mid-frame
-		append([]byte(codec.PreambleBinV2), 0xff, 0xff, 0xff, 0xff),              // absurd length claim
+		binFrame(codec.PreambleBinV2, nil, request{Op: "ping", From: from})[:20],   // truncated mid-frame
+		append([]byte(codec.PreambleBinV2), 0xff, 0xff, 0xff, 0xff),                // absurd length claim
 		append([]byte(codec.PreambleMuxV2), 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0), // mux frame, id 0
 	}
 	for _, s := range binSeeds {

@@ -56,7 +56,7 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 	// rather than stranding the value.
 	addr := r.Addr
 	for hop := 0; hop < 3; hop++ {
-		resp, err := n.callCtx(ctx, addr, request{Op: "store", Key: key, Value: value})
+		resp, err := n.callRetry(ctx, addr, request{Op: "store", Key: key, Value: value})
 		if err == nil {
 			n.tel.redirectDepth.Observe(int64(hop))
 			return nil
@@ -115,13 +115,21 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 		if n.cfg.Replicas <= 1 {
 			return nil, r, ferr
 		}
-		// Owner died between route and fetch: account the timeout,
-		// suspect the corpse, and re-route — candidate ordering now
-		// avoids it, so the route terminates at the crash successor.
-		r.Timeouts++
-		n.tel.timeouts.Inc()
-		n.tel.replicaFallbacks.Inc()
-		n.suspect(term.Addr)
+		if IsBusy(ferr) {
+			// Owner overloaded, not dead: fall back through a replica
+			// without a timeout charge or a suspicion strike. The wire
+			// layer's soft demotion already steers this round's re-route
+			// around it, and it rejoins routing when its window expires.
+			n.tel.replicaFallbacks.Inc()
+		} else {
+			// Owner died between route and fetch: account the timeout,
+			// suspect the corpse, and re-route — candidate ordering now
+			// avoids it, so the route terminates at the crash successor.
+			r.Timeouts++
+			n.tel.timeouts.Inc()
+			n.tel.replicaFallbacks.Inc()
+			n.suspect(term.Addr)
+		}
 		n.log.Debug("owner unreachable, rerouting", "key", key, "owner", term.Addr, "err", ferr)
 		if failed == nil {
 			failed = make(map[string]bool)
@@ -155,9 +163,11 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 			n.tel.replicaProbes.Inc()
 			v, found, ferr := n.fetchAt(ctx, cand, key)
 			if ferr != nil {
-				r.Timeouts++
-				n.tel.timeouts.Inc()
-				n.suspect(cand.Addr)
+				if !IsBusy(ferr) {
+					r.Timeouts++
+					n.tel.timeouts.Inc()
+					n.suspect(cand.Addr)
+				}
 				continue
 			}
 			if found {
@@ -186,7 +196,7 @@ func (n *Node) fetchAt(ctx context.Context, at entry, key string) ([]byte, bool,
 		v, ok := n.localFetch(key)
 		return v, ok, nil
 	}
-	resp, err := n.callCtx(ctx, at.Addr, request{Op: "fetch", Key: key})
+	resp, err := n.callRetry(ctx, at.Addr, request{Op: "fetch", Key: key})
 	if err != nil {
 		return nil, false, err
 	}
@@ -331,13 +341,24 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 					}
 					continue // known corpse: skipped outright
 				}
-				if pass == 0 && s > 0 {
+				if pass == 0 && (s > 0 || n.isOverloaded(cand.Addr)) {
+					// Suspected or inside its overload window: demoted to
+					// pass 1, tried only after every clean candidate.
 					hopDemoted++
 					n.tel.demotions.Inc()
-					continue // suspected: demoted to pass 1
+					continue
 				}
 				next, serr := n.stepAt(ctx, cand, t, greedyOnly)
 				if serr != nil {
+					if IsBusy(serr) {
+						// Shedding, not dead: step around it this round
+						// without a timeout charge or a suspicion strike.
+						if dead == nil {
+							dead = make(map[string]bool)
+						}
+						dead[cand.Addr] = true
+						continue
+					}
 					r.Timeouts++
 					n.tel.timeouts.Inc()
 					hopTimeouts++

@@ -51,6 +51,23 @@ type nodeMetrics struct {
 	dialLatency   *telemetry.Histogram
 	dialFailures  *telemetry.Counter
 	acceptBackoff *telemetry.Counter
+	exchanges     *telemetry.Counter
+
+	// admission control (p2p/admission.go) and the client-side retry
+	// discipline (p2p/retry.go). The first four obey the conservation
+	// law offered == admitted + shed + queue_timeout, which the overload
+	// chaos tier asserts from counter deltas.
+	admOffered       *telemetry.Counter
+	admAdmitted      *telemetry.Counter
+	admShed          *telemetry.Counter
+	admQueueTimeout  *telemetry.Counter
+	admInflightGauge *telemetry.Gauge
+	admQueueGauge    *telemetry.Gauge
+	busyReplies      *telemetry.Counter
+	softDemotions    *telemetry.Counter
+	retries          *telemetry.Counter
+	retryExhausted   *telemetry.Counter
+	retryTokens      *telemetry.Gauge
 
 	// wire codecs (p2p/codec): per-message encode/decode latencies by
 	// codec, and v2→v1 downgrades decided by negotiation.
@@ -65,9 +82,11 @@ type nodeMetrics struct {
 	poolReuses    *telemetry.Counter
 	poolEvictions *telemetry.Counter
 	poolTeardowns *telemetry.Counter
+	poolSaturated *telemetry.Counter
 
 	// replication (p2p/replicate.go)
 	fanout      *telemetry.Histogram
+	fanoutSkips *telemetry.Counter
 	lwwRejects  *telemetry.Counter
 	promotions  *telemetry.Counter
 	antiEntropy *telemetry.Counter
@@ -126,6 +145,26 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		dialFailures: reg.Counter("dial_failures_total", "Contacts that failed to dial or complete the exchange."),
 		acceptBackoff: reg.Counter("accept_backoff_total",
 			"Transient listener Accept errors absorbed by exponential backoff."),
+		exchanges: reg.Counter("wire_exchanges_total",
+			"Completed wire exchanges (whatever the reply said); the retry budget earns tokens from these."),
+
+		admOffered:  reg.Counter("admission_offered_total", "Requests presented to the admission controller (pings bypass it)."),
+		admAdmitted: reg.Counter("admission_admitted_total", "Requests admitted for dispatch, immediately or after a queue wait."),
+		admShed: reg.Counter("admission_shed_total",
+			"Requests shed with a busy reply because the admission queue was full."),
+		admQueueTimeout: reg.Counter("admission_queue_timeout_total",
+			"Requests dropped from the admission queue when their wait outlived the caller's deadline."),
+		admInflightGauge: reg.Gauge("admission_inflight", "Requests currently dispatched under the in-flight cap."),
+		admQueueGauge:    reg.Gauge("admission_queue_depth", "Requests currently waiting in the admission queue."),
+		busyReplies: reg.Counter("busy_replies_total",
+			"Busy (load-shed) replies received from peers; counted as overload, never as dial failures."),
+		softDemotions: reg.Counter("lookup_soft_demotions_total",
+			"Overloaded peers entered into the soft-demotion window (routed around, not suspected)."),
+		retries: reg.Counter("retries_total",
+			"Budgeted retries issued after busy replies, post-backoff."),
+		retryExhausted: reg.Counter("retry_budget_exhausted_total",
+			"Busy replies not retried because the token bucket was empty."),
+		retryTokens: reg.Gauge("retry_budget_tokens", "Tokens currently available to the busy-retry budget."),
 
 		codecEncodeJSON: reg.Histogram("codec_encode_ns", codecEncHelp, telemetry.CodecLatencyBucketsNS, telemetry.L("codec", "json")),
 		codecEncodeBin:  reg.Histogram("codec_encode_ns", codecEncHelp, telemetry.CodecLatencyBucketsNS, telemetry.L("codec", "binary")),
@@ -140,8 +179,12 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 			"Idle pooled connections evicted after the idle timeout."),
 		poolTeardowns: reg.Counter("pool_teardowns_total",
 			"Pooled connections torn down on failure, failing their pending calls."),
+		poolSaturated: reg.Counter("pool_inflight_rejected_total",
+			"Calls rejected locally because every pooled connection to the peer was at its in-flight cap."),
 
-		fanout:     reg.Histogram("replicate_fanout_size", "Replica targets per owner-side write fan-out.", telemetry.FanoutBuckets),
+		fanout: reg.Histogram("replicate_fanout_size", "Replica targets per owner-side write fan-out.", telemetry.FanoutBuckets),
+		fanoutSkips: reg.Counter("replicate_fanout_skips_total",
+			"Replica pushes skipped because the target was inside its soft-demotion window (anti-entropy repairs them)."),
 		lwwRejects: reg.Counter("lww_rejects_total", "Replicated copies rejected because a local copy was at least as new."),
 		promotions: reg.Counter("replica_promotions_total",
 			"Replicas promoted to owned copies after the previous owner disappeared."),
@@ -207,6 +250,8 @@ func (m *nodeMetrics) poolEvent(e pool.Event) {
 		m.poolTeardowns.Inc()
 	case pool.EventCodecFallback:
 		m.codecFallbacks.Inc()
+	case pool.EventSaturated:
+		m.poolSaturated.Inc()
 	}
 }
 

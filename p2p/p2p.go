@@ -91,6 +91,28 @@ type Config struct {
 	// (no replication). The effective factor is bounded by the distinct
 	// leaf-set neighbors available (at most 4 besides the owner).
 	Replicas int
+	// MaxInflight caps concurrently dispatched wire requests (admission
+	// control, p2p/admission.go). Requests beyond the cap wait in a
+	// bounded queue; when the queue is full the node sheds load with a
+	// typed busy reply carrying a retry-after hint instead of queuing
+	// unboundedly. 0 (default) disables admission control. Pings always
+	// bypass the cap so liveness probes can tell an overloaded node
+	// from a crashed one.
+	MaxInflight int
+	// QueueDepth bounds the admission wait queue in front of the
+	// in-flight cap. 0 defaults to 2*MaxInflight. Only meaningful with
+	// MaxInflight > 0.
+	QueueDepth int
+	// ServiceDelay, when > 0, sleeps that long inside every admitted
+	// dispatch, while the admission slot is held. It models real
+	// service time on the otherwise wall-clock-free test fabric
+	// (p2p/memnet), where handlers complete in microseconds and a tiny
+	// in-flight cap could never accumulate genuine queue occupancy —
+	// overload harnesses set it on a victim node to make the node
+	// measurably saturable. Pings bypass admission and therefore also
+	// the delay, so liveness probes stay fast. Only meaningful with
+	// MaxInflight > 0; production configurations leave it 0.
+	ServiceDelay time.Duration
 	// Telemetry receives the node's metrics. Nil creates a private
 	// registry with the "cycloid" prefix; either way the instruments are
 	// always live and scrapable via Node.Telemetry (recording is atomic
@@ -140,6 +162,9 @@ func (c *Config) defaults() {
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 1
+	}
+	if c.MaxInflight > 0 && c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.MaxInflight
 	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRegistry("cycloid")
@@ -196,6 +221,19 @@ type Node struct {
 	// drains it (see p2p/replicate.go).
 	smu      sync.Mutex
 	suspects map[string]int
+
+	// overloaded maps addresses that shed load to the expiry of their
+	// soft-demotion window (p2p/retry.go); candidate ordering demotes
+	// them without ever suspecting them, so overload is routed around
+	// but never mistaken for a crash.
+	omu        sync.Mutex
+	overloaded map[string]time.Time
+
+	// adm is the server-side admission controller, nil when
+	// Config.MaxInflight is 0; budget is the client-side token bucket
+	// bounding busy retries.
+	adm    *admission
+	budget *retryBudget
 
 	ln       net.Listener
 	addr     string // ln.Addr().String(), cached: it never changes and is on the per-call path
@@ -273,13 +311,25 @@ func Start(cfg Config) (*Node, error) {
 
 		wireCodec: wireCodec,
 	}
+	n.budget = newRetryBudget(n.tel)
+	if cfg.MaxInflight > 0 {
+		n.adm = newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.DialTimeout, n.tel)
+	}
 	if cfg.PooledTransport {
-		n.pool = pool.New(pool.Config{
+		pc := pool.Config{
 			Dial:     cfg.Transport.Dial,
 			Codec:    wireCodec,
 			MaxFrame: cfg.MaxFrame,
 			OnEvent:  n.tel.poolEvent,
-		})
+		}
+		if cfg.MaxInflight > 0 {
+			// A fleet running server-side caps also stops the client side
+			// from parking unbounded work on one saturated peer: past this
+			// bound the pool fails fast with ErrPeerSaturated, which feeds
+			// the retry budget rather than the suspicion list.
+			pc.MaxPerPeerInflight = 4 * cfg.MaxInflight
+		}
+		n.pool = pool.New(pc)
 	}
 	n.log = cfg.Logger.With("node", id.String(), "addr", ln.Addr().String())
 	// The storage backend comes up after telemetry so the durable

@@ -19,7 +19,7 @@
 //     the preamble back as the negotiation ack, then both directions
 //     carry length-prefixed binary frames:
 //
-//	u32 length | u64 id | u8 status | body
+//     u32 length | u64 id | u8 status | body
 //
 //     where length counts everything after itself, status 0 marks a
 //     payload body and status 1 an error-message body, and id 0 is a
@@ -80,6 +80,13 @@ var ErrFrameTooLarge = errors.New("pool: frame exceeds size limit")
 // ErrClosed reports a call on a closed pool.
 var ErrClosed = errors.New("pool: closed")
 
+// ErrPeerSaturated reports a call rejected locally because the peer
+// already has Config.MaxPerPeerInflight calls in flight. The peer was
+// never contacted: this is backpressure, not a failure, and callers
+// must treat it like a busy reply (back off, route around), never like
+// a dead peer.
+var ErrPeerSaturated = errors.New("pool: peer connections saturated")
+
 // binEnvelopeLen is the fixed id+status header inside every v2 frame.
 const binEnvelopeLen = 9
 
@@ -126,6 +133,7 @@ const (
 	EventEviction                   // an idle connection was evicted
 	EventTeardown                   // a connection failed and was torn down
 	EventCodecFallback              // a peer rejected v2; the pool fell back to v1 for it
+	EventSaturated                  // a call was rejected at the per-peer in-flight cap
 )
 
 // Config parameterizes a Pool. Dial is required; everything else
@@ -149,6 +157,14 @@ type Config struct {
 	// the pool prefers opening another connection (up to MaxPerPeer).
 	// Default 32.
 	MaxInflight int
+	// MaxPerPeerInflight, when positive, caps the total calls in flight
+	// to one peer across all its connections; calls beyond the cap fail
+	// immediately with ErrPeerSaturated instead of queueing unbounded
+	// work onto a slow peer. The check races new registrations by
+	// design (a few calls may slip past under churn); it is a pressure
+	// valve, not an exact semaphore. 0 (the default) keeps the legacy
+	// unlimited behavior.
+	MaxPerPeerInflight int
 	// MaxFrame caps one envelope in either direction. Default
 	// DefaultMaxFrame.
 	MaxFrame int
@@ -183,6 +199,7 @@ type Stats struct {
 	Evictions uint64 // idle connections evicted
 	Teardowns uint64 // connections torn down on failure
 	Fallbacks uint64 // peers downgraded from v2 to v1
+	Saturated uint64 // calls rejected at the per-peer in-flight cap
 	OpenConns int    // connections currently open
 }
 
@@ -198,7 +215,7 @@ type Pool struct {
 	lastSweep time.Time
 	sweepTick uint // acquires since the last sweep-interval check
 
-	dials, reuses, evictions, teardowns, fallbacks atomic.Uint64
+	dials, reuses, evictions, teardowns, fallbacks, saturated atomic.Uint64
 }
 
 // New creates a pool dialing through cfg.Dial.
@@ -227,6 +244,8 @@ func (p *Pool) event(e Event) {
 		p.teardowns.Add(1)
 	case EventCodecFallback:
 		p.fallbacks.Add(1)
+	case EventSaturated:
+		p.saturated.Add(1)
 	}
 	if p.cfg.OnEvent != nil {
 		p.cfg.OnEvent(e)
@@ -247,6 +266,7 @@ func (p *Pool) Stats() Stats {
 		Evictions: p.evictions.Load(),
 		Teardowns: p.teardowns.Load(),
 		Fallbacks: p.fallbacks.Load(),
+		Saturated: p.saturated.Load(),
 		OpenConns: open,
 	}
 }
@@ -361,12 +381,13 @@ func (p *Pool) Do(ctx context.Context, addr string, enc EncodeFunc, timeout time
 			timeout = rem
 		}
 	}
-	if timeout <= 0 {
-		err := ctx.Err()
-		if err == nil {
-			err = context.DeadlineExceeded
-		}
+	// A canceled or expired context means the caller is already gone:
+	// fail before dialing rather than do work nobody will consume.
+	if err := ctx.Err(); err != nil {
 		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, err)
+	}
+	if timeout <= 0 {
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, context.DeadlineExceeded)
 	}
 	c, err := p.acquire(addr, timeout)
 	if err != nil {
@@ -420,12 +441,13 @@ func (p *Pool) DoBytes(ctx context.Context, addr string, payload []byte, bin boo
 			timeout = rem
 		}
 	}
-	if timeout <= 0 {
-		err := ctx.Err()
-		if err == nil {
-			err = context.DeadlineExceeded
-		}
+	// A canceled or expired context means the caller is already gone:
+	// fail before dialing rather than do work nobody will consume.
+	if err := ctx.Err(); err != nil {
 		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, err)
+	}
+	if timeout <= 0 {
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, context.DeadlineExceeded)
 	}
 	c, err := p.acquire(addr, timeout)
 	if err != nil {
@@ -441,6 +463,13 @@ func (p *Pool) DoBytes(ctx context.Context, addr string, payload []byte, bin boo
 // non-nil, else the pre-encoded payload) and waits for the correlated
 // response, the timeout, or the context.
 func (p *Pool) exchange(ctx context.Context, c *conn, addr string, enc EncodeFunc, payload []byte, timeout time.Duration) (Reply, error) {
+	// Last pre-enqueue check: the acquire may have burned the whole
+	// deadline dialing. Don't write a frame whose caller is gone — the
+	// peer would do the work and tear the connection down routing the
+	// orphaned response.
+	if err := ctx.Err(); err != nil {
+		return Reply{}, fmt.Errorf("pool: call %s: %w", addr, err)
+	}
 	// Register the call before writing so a fast response cannot race
 	// the pending map.
 	ch := getChan()
@@ -602,7 +631,7 @@ func (p *Pool) acquire(addr string, timeout time.Duration) (*conn, error) {
 	}
 	p.sweepLocked()
 	var best *conn
-	bestLoad := 0
+	bestLoad, totalLoad := 0, 0
 	for _, c := range p.peers[addr] {
 		c.mu.Lock()
 		load, dead := c.inflight, c.closed
@@ -610,9 +639,15 @@ func (p *Pool) acquire(addr string, timeout time.Duration) (*conn, error) {
 		if dead {
 			continue
 		}
+		totalLoad += load
 		if best == nil || load < bestLoad {
 			best, bestLoad = c, load
 		}
+	}
+	if m := p.cfg.MaxPerPeerInflight; m > 0 && totalLoad >= m {
+		p.mu.Unlock()
+		p.event(EventSaturated)
+		return nil, fmt.Errorf("pool: call %s: %w", addr, ErrPeerSaturated)
 	}
 	want := p.cfg.Codec
 	if want == codec.Auto {

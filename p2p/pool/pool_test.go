@@ -11,6 +11,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -591,5 +592,92 @@ func TestWriterFillErrorRollsBack(t *testing.T) {
 	}
 	if err := <-errCh; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPerPeerInflightCapRejects pins the saturation valve: with
+// MaxPerPeerInflight set, a call beyond the cap fails immediately with
+// the typed ErrPeerSaturated instead of queueing more work onto the
+// peer — and the rejection is counted.
+func TestPerPeerInflightCapRejects(t *testing.T) {
+	received := make(chan struct{}, 16)
+	addr, stop := startServer(t, func(env Envelope) *Envelope {
+		received <- struct{}{}
+		return nil // park the call in flight
+	})
+	p := New(Config{Dial: tcpDial, Codec: codec.JSON, MaxPerPeerInflight: 2})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := do(p, context.Background(), addr, []byte(`{"op":"park"}`), 5*time.Second)
+			errs <- err
+		}()
+	}
+	// Both calls registered in flight: registration precedes the write,
+	// so the server receiving both frames implies both are counted.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-received:
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked calls never reached the server")
+		}
+	}
+
+	start := time.Now()
+	_, err := do(p, context.Background(), addr, []byte(`{"op":"one-too-many"}`), 5*time.Second)
+	if !errors.Is(err, ErrPeerSaturated) {
+		t.Fatalf("call beyond the cap = %v; want ErrPeerSaturated", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("saturation rejection took %v; want immediate", d)
+	}
+	if got := p.Stats().Saturated; got != 1 {
+		t.Fatalf("Stats().Saturated = %d, want 1", got)
+	}
+
+	// Closing the pool fails the parked calls; then the server can stop.
+	p.Close()
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("parked call succeeded after pool close")
+		}
+	}
+	stop()
+}
+
+// TestDoCanceledContextSkipsDial pins the dead-work fix: a call whose
+// context is already canceled (or expired) returns ctx.Err() without
+// dialing the peer or enqueueing a frame.
+func TestDoCanceledContextSkipsDial(t *testing.T) {
+	var dials int32
+	countingDial := func(addr string, timeout time.Duration) (net.Conn, error) {
+		atomic.AddInt32(&dials, 1)
+		return nil, errors.New("unreachable")
+	}
+	p := New(Config{Dial: countingDial})
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Do(ctx, "peer:1", func(bin bool, buf []byte) ([]byte, error) {
+		return append(buf, "{}"...), nil
+	}, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do with canceled ctx = %v; want context.Canceled", err)
+	}
+	if _, err := p.DoBytes(ctx, "peer:1", []byte("{}"), false, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoBytes with canceled ctx = %v; want context.Canceled", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := p.DoBytes(expired, "peer:1", []byte("{}"), false, time.Second); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoBytes with expired ctx = %v; want context.DeadlineExceeded", err)
+	}
+	if n := atomic.LoadInt32(&dials); n != 0 {
+		t.Fatalf("dead calls still dialed %d times", n)
 	}
 }

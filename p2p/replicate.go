@@ -125,11 +125,18 @@ func (n *Node) replicaTargets(kp ids.CycloidID) []entry {
 }
 
 // fanOut pushes one item to every replica target, best effort: an
-// unreachable target is repaired by the next anti-entropy pass.
+// unreachable target is repaired by the next anti-entropy pass. A
+// target inside its overload window is skipped the same way — pushing
+// at a shedding node would only be shed again, and anti-entropy repairs
+// it once the window passes.
 func (n *Node) fanOut(ctx context.Context, key string, it item) {
 	targets := n.replicaTargets(n.keyPoint(key))
 	n.tel.fanout.Observe(int64(len(targets)))
 	for _, tgt := range targets {
+		if n.isOverloaded(tgt.Addr) {
+			n.tel.fanoutSkips.Inc()
+			continue
+		}
 		_, _ = n.callCtx(ctx, tgt.Addr, request{Op: "replicate", Key: key, Value: it.Val, Ver: it.Ver, Src: it.Src})
 	}
 }

@@ -1,0 +1,199 @@
+// Client-side overload discipline: the typed busy error, the per-node
+// retry budget, and the soft-demotion list that routes around
+// overloaded peers without ever mistaking them for crashed ones.
+//
+// A busy reply (or the pool's local saturation rejection) never feeds
+// the dial-failure counter or the suspicion list — the peer completed
+// an exchange, so it is demonstrably alive. Instead it lands in the
+// overloaded map for roughly its retry-after window, where candidate
+// ordering demotes it behind clean candidates the same way a one-strike
+// suspect is demoted; and direct calls (fetch, store) may retry it
+// after a jittered exponential backoff honoring the hint, spending from
+// a token bucket that earns a fraction of completed request volume —
+// so cluster-wide retry traffic stays bounded at roughly
+// retryBudgetRatio of offered load instead of amplifying the overload.
+package p2p
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BusyError reports a peer that is alive but shedding load: its
+// admission queue was full (server-side) or the local pool refused to
+// queue more work onto it (ErrPeerSaturated). Callers route around it
+// or retry within the budget; it must never be treated as a crash.
+type BusyError struct {
+	Addr       string
+	RetryAfter time.Duration // the shedding side's backoff hint
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("p2p: %s is overloaded (retry after %v)", e.Addr, e.RetryAfter)
+}
+
+// IsBusy reports whether err marks an overloaded (not dead) peer.
+func IsBusy(err error) bool {
+	var be *BusyError
+	return errors.As(err, &be)
+}
+
+const (
+	// Retry budget: the bucket starts with retryBudgetInitial tokens,
+	// earns retryBudgetRatio per completed exchange (so sustained retry
+	// volume is ~10% of request volume) and holds at most
+	// retryBudgetCap so an idle period cannot bank an unbounded burst.
+	retryBudgetInitial = 10
+	retryBudgetRatio   = 0.1
+	retryBudgetCap     = 100
+
+	// Busy-retry backoff: exponential from busyBackoffBase, capped at
+	// busyBackoffMax, never shorter than the server's retry-after hint,
+	// plus up to 50% jitter so synchronized clients don't re-converge.
+	busyRetryMax    = 3
+	busyBackoffBase = 2 * time.Millisecond
+	busyBackoffMax  = 250 * time.Millisecond
+
+	// defaultRetryAfter stands in for a hint when the rejection was
+	// local (pool saturation) and no server estimate exists.
+	defaultRetryAfter = 5 * time.Millisecond
+
+	// overloadFloor is the minimum soft-demotion window; hints shorter
+	// than this would expire before the current route finishes.
+	overloadFloor = 10 * time.Millisecond
+)
+
+// retryBudget is the per-node token bucket bounding busy retries. It
+// counts in tenths of a token so the 0.1-per-exchange earn rate stays
+// exact — ten completed exchanges fund precisely one retry, with no
+// floating-point drift.
+type retryBudget struct {
+	mu   sync.Mutex
+	deci int64 // tokens × 10
+	tel  *nodeMetrics
+}
+
+func newRetryBudget(tel *nodeMetrics) *retryBudget {
+	b := &retryBudget{deci: retryBudgetInitial * 10, tel: tel}
+	tel.retryTokens.Set(retryBudgetInitial)
+	return b
+}
+
+// earn credits the bucket for one completed exchange.
+func (b *retryBudget) earn() {
+	b.mu.Lock()
+	if b.deci += retryBudgetRatio * 10; b.deci > retryBudgetCap*10 {
+		b.deci = retryBudgetCap * 10
+	}
+	b.tel.retryTokens.Set(b.deci / 10)
+	b.mu.Unlock()
+}
+
+// take spends one token; false means the budget is exhausted and the
+// caller must give up rather than add retry load.
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	ok := b.deci >= 10
+	if ok {
+		b.deci -= 10
+	}
+	b.tel.retryTokens.Set(b.deci / 10)
+	b.mu.Unlock()
+	return ok
+}
+
+// jitterState drives a cheap splitmix64 stream for backoff jitter.
+// math/rand's global state is deliberately not used: seeded harnesses
+// stay deterministic on every path that never retries.
+var jitterState atomic.Uint64
+
+// jitter returns a uniform duration in [0, d).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	x := jitterState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return time.Duration(x % uint64(d))
+}
+
+// softDemote routes around an overloaded peer for roughly its
+// retry-after window: candidate ordering treats it like a one-strike
+// suspect (demoted behind clean candidates, tried only when nothing
+// else works) without adding suspicion strikes, so overload shows up in
+// routing and telemetry as its own condition, distinct from crash.
+func (n *Node) softDemote(addr string, retryAfter time.Duration) {
+	if retryAfter < overloadFloor {
+		retryAfter = overloadFloor
+	}
+	until := time.Now().Add(retryAfter)
+	n.omu.Lock()
+	if n.overloaded == nil || len(n.overloaded) > 256 {
+		// Same safety valve as the suspicion list: never pin unbounded
+		// address memory; drop everything and re-learn.
+		n.overloaded = make(map[string]time.Time)
+	}
+	n.overloaded[addr] = until
+	n.omu.Unlock()
+	n.tel.softDemotions.Inc()
+}
+
+// isOverloaded reports whether addr is inside its soft-demotion window,
+// lazily expiring stale entries.
+func (n *Node) isOverloaded(addr string) bool {
+	n.omu.Lock()
+	until, ok := n.overloaded[addr]
+	if ok && time.Now().After(until) {
+		delete(n.overloaded, addr)
+		ok = false
+	}
+	n.omu.Unlock()
+	return ok
+}
+
+// callRetry is callCtx plus a budgeted retry loop for busy replies:
+// jittered exponential backoff honoring the shedding side's retry-after
+// hint, each attempt paid for from the token bucket. Direct per-key
+// calls (fetch, store) use it; routing does not — stepping around an
+// overloaded hop via soft demotion is cheaper than waiting it out.
+func (n *Node) callRetry(ctx context.Context, addr string, req request) (response, error) {
+	resp, err := n.callCtx(ctx, addr, req)
+	backoff := busyBackoffBase
+	for attempt := 0; attempt < busyRetryMax; attempt++ {
+		var be *BusyError
+		if !errors.As(err, &be) {
+			return resp, err
+		}
+		wait := backoff
+		if be.RetryAfter > wait {
+			wait = be.RetryAfter
+		}
+		wait += jitter(wait / 2)
+		if d, ok := ctx.Deadline(); ok && time.Until(d) <= wait {
+			return resp, err // the hint outlives the caller's deadline
+		}
+		if !n.budget.take() {
+			n.tel.retryExhausted.Inc()
+			return resp, err
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return resp, err
+		case <-t.C:
+		}
+		n.tel.retries.Inc()
+		if backoff *= 2; backoff > busyBackoffMax {
+			backoff = busyBackoffMax
+		}
+		resp, err = n.callCtx(ctx, addr, req)
+	}
+	return resp, err
+}

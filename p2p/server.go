@@ -102,7 +102,7 @@ func (n *Node) handle(conn net.Conn) {
 		}
 		return
 	}
-	resp := n.dispatch(req)
+	resp := n.dispatchAdmitted(req)
 	resp.OK = resp.Err == ""
 	_ = json.NewEncoder(conn).Encode(resp)
 }
@@ -161,7 +161,7 @@ func (n *Node) handleBinOneShot(conn net.Conn, br *bufio.Reader) {
 	if err != nil {
 		return
 	}
-	resp := n.dispatch(req)
+	resp := n.dispatchAdmitted(req)
 	resp.OK = resp.Err == ""
 	n.writeBinOneShot(conn, &resp)
 }
@@ -324,15 +324,18 @@ func (n *Node) serveMuxBin(conn net.Conn, br *bufio.Reader) {
 		switch req.Op {
 		case "ping", "state", "step", "fetch":
 			// Short read-only ops answer inline, skipping the
-			// per-request goroutine on the lookup hot path.
-			resp := n.dispatch(req)
+			// per-request goroutine on the lookup hot path. Admission
+			// still applies: queueing on the read loop stalls pipelined
+			// frames behind it, which is exactly the backpressure an
+			// overloaded node wants to exert.
+			resp := n.dispatchAdmitted(req)
 			resp.OK = resp.Err == ""
 			writeResp(id, &resp, nextFrameBuffered())
 		default:
 			inflight.Add(1)
 			go func(id uint64, req request) {
 				defer inflight.Done()
-				resp := n.dispatch(req)
+				resp := n.dispatchAdmitted(req)
 				resp.OK = resp.Err == ""
 				writeResp(id, &resp, false)
 			}(id, req)
@@ -413,7 +416,7 @@ func (n *Node) serveMux(conn net.Conn, br *bufio.Reader) {
 		inflight.Add(1)
 		go func(id uint64, req request) {
 			defer inflight.Done()
-			resp := n.dispatch(req)
+			resp := n.dispatchAdmitted(req)
 			resp.OK = resp.Err == ""
 			p, err := json.Marshal(resp)
 			if err != nil {

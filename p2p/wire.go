@@ -100,6 +100,17 @@ func (n *Node) callCtx(ctx context.Context, addr string, req request) (response,
 		}
 	}
 	req.From = WireEntry{K: n.id.K, A: n.id.A, Addr: n.Addr()}
+	// Propagate the effective per-call budget so the receiver can drop
+	// the request from its admission queue once no caller is left to
+	// consume the answer. Relative millis, not a wall-clock instant:
+	// peer clocks are not synchronized.
+	if ms := timeout.Milliseconds(); ms >= int64(^uint32(0)) {
+		req.DeadlineMs = ^uint32(0)
+	} else if ms < 1 {
+		req.DeadlineMs = 1
+	} else {
+		req.DeadlineMs = uint32(ms)
+	}
 	if n.pool != nil {
 		return n.callPooled(ctx, addr, req, timeout)
 	}
@@ -163,9 +174,9 @@ func (n *Node) callJSON(addr string, req request, timeout time.Duration) (respon
 	}
 	n.tel.dialLatency.Observe(time.Since(began).Microseconds())
 	// A completed exchange proves the peer is alive, whatever it said.
-	n.unsuspect(addr)
+	n.exchangeDone(addr)
 	if !resp.OK {
-		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
+		return resp, n.wireError(addr, &resp)
 	}
 	return resp, nil
 }
@@ -246,11 +257,38 @@ func (n *Node) callBinary(addr string, req request, timeout time.Duration) (resp
 		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, derr)
 	}
 	n.tel.dialLatency.Observe(time.Since(began).Microseconds())
-	n.unsuspect(addr)
+	n.exchangeDone(addr)
 	if !resp.OK {
-		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
+		return resp, n.wireError(addr, &resp)
 	}
 	return resp, nil
+}
+
+// exchangeDone records a completed request/response exchange, whatever
+// the reply said: the peer is demonstrably alive (clear its suspicion)
+// and the retry budget earns its fractional token.
+func (n *Node) exchangeDone(addr string) {
+	n.unsuspect(addr)
+	n.tel.exchanges.Inc()
+	n.budget.earn()
+}
+
+// wireError converts a non-OK reply into the caller-facing error. A
+// busy (load-shed) reply becomes a typed *BusyError plus a soft
+// demotion for the peer's retry-after window — never a dial failure or
+// a suspicion strike, because the peer answered; it is overloaded, not
+// dead.
+func (n *Node) wireError(addr string, resp *response) error {
+	if resp.Busy {
+		ra := time.Duration(resp.RetryAfterMs) * time.Millisecond
+		if ra <= 0 {
+			ra = defaultRetryAfter
+		}
+		n.tel.busyReplies.Inc()
+		n.softDemote(addr, ra)
+		return &BusyError{Addr: addr, RetryAfter: ra}
+	}
+	return fmt.Errorf("p2p: %s: %s", addr, resp.Err)
 }
 
 // callPooled performs the exchange over the connection pool, encoding
@@ -301,6 +339,13 @@ func (n *Node) callPooled(ctx context.Context, addr string, req request, timeout
 			continue
 		}
 		codec.PutBuffer(fb)
+		if errors.Is(err, pool.ErrPeerSaturated) {
+			// Local backpressure, not a peer failure: the peer was never
+			// contacted, so neither the dial-failure counter nor the
+			// suspicion list may move. Route around it like a busy reply.
+			n.softDemote(addr, defaultRetryAfter)
+			return response{}, &BusyError{Addr: addr, RetryAfter: defaultRetryAfter}
+		}
 		n.tel.dialFailures.Inc()
 		return response{}, fmt.Errorf("p2p: call %s: %w", addr, err)
 	}
@@ -326,9 +371,9 @@ func (n *Node) callPooled(ctx context.Context, addr string, req request, timeout
 		return response{}, fmt.Errorf("p2p: receive from %s: %w", addr, err)
 	}
 	n.tel.dialLatency.Observe(end.Sub(began).Microseconds())
-	n.unsuspect(addr)
+	n.exchangeDone(addr)
 	if !resp.OK {
-		return resp, fmt.Errorf("p2p: %s: %s", addr, resp.Err)
+		return resp, n.wireError(addr, &resp)
 	}
 	return resp, nil
 }

@@ -41,6 +41,8 @@ func BenchmarkPooledLookup(b *testing.B)          { bench.Run(b, "PooledLookup")
 func BenchmarkPooledLookupJSON(b *testing.B)      { bench.Run(b, "PooledLookupJSON") }
 func BenchmarkLookupDialPerRequest(b *testing.B)  { bench.Run(b, "LookupDialPerRequest") }
 func BenchmarkLookupUnderShedding(b *testing.B)   { bench.Run(b, "LookupUnderShedding") }
+func BenchmarkLookupTraced(b *testing.B)          { bench.Run(b, "LookupTraced") }
+func BenchmarkLookupTracedUnsampled(b *testing.B) { bench.Run(b, "LookupTracedUnsampled") }
 
 // TestBenchWrappersCoverRegistry keeps the wrapper list above in sync
 // with the internal/bench registry.
@@ -57,6 +59,7 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"PutDurableNoSync": true, "GetWithOwnerDown": true,
 		"PooledLookup": true, "PooledLookupJSON": true, "LookupDialPerRequest": true,
 		"LookupUnderShedding": true,
+		"LookupTraced":        true, "LookupTracedUnsampled": true,
 	}
 	cases := bench.Cases()
 	if len(cases) != len(want) {

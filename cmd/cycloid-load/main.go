@@ -53,10 +53,11 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 		maxErrRate  = flag.Float64("max-error-rate", -1, "exit nonzero if errors/ops exceeds this (negative = no check)")
 		maxP99      = flag.Duration("max-p99", 0, "exit nonzero if p99 latency exceeds this (0 = no check)")
+		traceSample = flag.Float64("trace-sample", 0, "distributed-tracing sample probability in [0,1]; sampled latency outliers appear as trace exemplars in the report")
 	)
 	flag.Parse()
 
-	cluster, cleanup, err := boot(*transport, *nodes, *dim, *seed, *pooled, *wireCodec, *replicas, *dialTimeout)
+	cluster, cleanup, err := boot(*transport, *nodes, *dim, *seed, *pooled, *wireCodec, *replicas, *dialTimeout, *traceSample)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cycloid-load:", err)
 		os.Exit(1)
@@ -106,7 +107,7 @@ func main() {
 
 // boot brings up an n-node overlay on the chosen fabric, joined and
 // stabilized, with seeded distinct IDs.
-func boot(transport string, n, dim int, seed int64, pooled bool, wireCodec string, replicas int, dialTimeout time.Duration) ([]*p2p.Node, func(), error) {
+func boot(transport string, n, dim int, seed int64, pooled bool, wireCodec string, replicas int, dialTimeout time.Duration, traceSample float64) ([]*p2p.Node, func(), error) {
 	var nw *memnet.Network
 	switch transport {
 	case "memnet":
@@ -146,6 +147,10 @@ func boot(transport string, n, dim int, seed int64, pooled bool, wireCodec strin
 			PooledTransport: pooled,
 			WireCodec:       wc,
 			Replicas:        replicas,
+			TraceSample:     traceSample,
+		}
+		if traceSample > 0 {
+			cfg.SpanBuffer = 1 << 14
 		}
 		if nw != nil {
 			cfg.Transport = nw.Host(fmt.Sprintf("n%d", len(nodes)))

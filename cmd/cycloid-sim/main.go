@@ -22,6 +22,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"cycloid"
@@ -51,6 +52,13 @@ commands:
                    (-nodes, -dim, -seed apply; -chaos-trace dumps state;
                    -restarts runs the kill/restart durability tier;
                    -overload runs the admission-control overload tier)
+  trace [id]       boot a live mixed-codec overlay with distributed
+                   tracing on (-trace-sample), drive load-during-churn
+                   through a shedding victim, reconstruct every sampled
+                   trace into a causal span tree, assert the trace-
+                   completeness invariant, and render the trees (all of
+                   them to -trace-out, the given or deepest one to
+                   stdout)
 
 flags:
 `)
@@ -72,6 +80,8 @@ func main() {
 		loaders  = flag.Int("load-clients", 0, "chaos: load-during-churn workers (0 = off)")
 		restarts = flag.Bool("restarts", false, "chaos: upgrade crashes to kill/restart cycles on durable disk-backed stores (temp data dirs; asserts the durability invariants)")
 		overload = flag.Bool("overload", false, "chaos: run the overload-protection tier instead of the fault schedule (Zipf hot keys hammer a victim with a tiny admission cap; asserts shedding, conservation, acked-Put durability and bounded control p99)")
+		sample   = flag.Float64("trace-sample", 0.01, "trace: probabilistic distributed-tracing sample rate in [0,1] (anomalies force sampling regardless)")
+		traceOut = flag.String("trace-out", "", "trace: write every reconstructed span tree to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -86,6 +96,10 @@ func main() {
 	}
 	if flag.Arg(0) == "metrics" {
 		runMetrics(*nodes, *dim, *seed, *replicas)
+		return
+	}
+	if flag.Arg(0) == "trace" {
+		runTrace(*nodes, *dim, *seed, *replicas, *sample, *wcodec, flag.Arg(1), *traceOut)
 		return
 	}
 
@@ -391,7 +405,7 @@ func runMetrics(nodes, dim int, seed int64, replicas int) {
 	if err != nil {
 		fail(err)
 	}
-	srv := &http.Server{Handler: telemetry.Handler(cluster[0].Telemetry(), cluster[0].TraceRing())}
+	srv := &http.Server{Handler: telemetry.Handler(cluster[0].Telemetry(), cluster[0].TraceRing(), cluster[0].Spans())}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -424,6 +438,191 @@ func runMetrics(nodes, dim int, seed int64, replicas int) {
 		t.Format(os.Stdout)
 	}
 	fmt.Println("metrics smoke check passed")
+}
+
+// runTrace is the distributed-tracing smoke check: a live mixed-codec
+// memnet overlay with per-request trace context on the wire, driven
+// through load-during-churn with one member shedding under a tiny
+// admission cap, then every member's span buffer merged — the
+// in-process equivalent of scraping each /debug/spans — and each trace
+// reconstructed into a causal tree. The run fails unless every
+// reconstructed trace satisfies the completeness invariant (single
+// root, call counts match, no detached spans: nothing crashed, so
+// nothing may be missing).
+func runTrace(nodes, dim int, seed int64, replicas int, sample float64, wcodec, wantID, outPath string) {
+	if nodes == 500 {
+		nodes = 8
+	}
+	if dim == 8 {
+		dim = 6
+	}
+	if replicas == 1 {
+		replicas = 3
+	}
+	nw := memnet.New(seed)
+	space := ids.NewSpace(dim)
+	rng := rand.New(rand.NewSource(seed))
+	taken := make(map[uint64]bool)
+	freshID := func() ids.CycloidID {
+		for {
+			v := uint64(rng.Int63n(int64(space.Size())))
+			if !taken[v] {
+				taken[v] = true
+				return space.FromLinear(v)
+			}
+		}
+	}
+	var cluster []*p2p.Node
+	boot := func(ord int) *p2p.Node {
+		id := freshID()
+		cfg := p2p.Config{
+			Dim:         dim,
+			ID:          &id,
+			DialTimeout: 200 * time.Millisecond,
+			Transport:   nw.Host(fmt.Sprintf("m%d", ord)),
+			Replicas:    replicas,
+			TraceSample: sample,
+			SpanBuffer:  1 << 15,
+		}
+		switch wcodec {
+		case "mixed":
+			if ord%2 == 0 {
+				cfg.WireCodec = "json"
+			} else {
+				cfg.WireCodec = "binary"
+			}
+		default:
+			cfg.WireCodec = wcodec
+		}
+		if ord == 0 {
+			// The victim: a tiny admission cap plus simulated service
+			// time, so concurrent load sheds and forces anomaly traces.
+			cfg.MaxInflight = 1
+			cfg.QueueDepth = 1
+			cfg.ServiceDelay = time.Millisecond
+		}
+		nd, err := p2p.Start(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if len(cluster) > 0 {
+			// Bootstrap through a non-victim member: the victim sheds
+			// under load, and a shed join is a failed join.
+			boot := cluster[len(cluster)-1]
+			if err := nd.Join(boot.Addr()); err != nil {
+				fail(err)
+			}
+		}
+		cluster = append(cluster, nd)
+		return nd
+	}
+	for i := 0; i < nodes; i++ {
+		boot(i)
+	}
+	defer func() {
+		for _, nd := range cluster {
+			nd.Close()
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		for _, nd := range cluster {
+			nd.Stabilize()
+		}
+	}
+
+	// Load-during-churn: concurrent writers and readers hammer keys (some
+	// owned by the shedding victim), while two extra members join
+	// mid-run.
+	const ops = 64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("key-%d", (w*ops+i)%24)
+				origin := cluster[(w+i)%nodes]
+				if i%2 == 0 {
+					_ = origin.Put(key, []byte(fmt.Sprintf("v%d-%d", w, i)))
+				} else {
+					_, _, _ = origin.Get(key)
+				}
+			}
+		}(w)
+	}
+	boot(nodes)
+	boot(nodes + 1)
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		for _, nd := range cluster {
+			nd.Stabilize()
+		}
+	}
+
+	var spans []*telemetry.Span
+	var sampled, forced uint64
+	for _, nd := range cluster {
+		spans = append(spans, nd.Spans().Snapshot()...)
+		sampled += nd.Telemetry().CounterValue("cycloid_traces_sampled_total")
+		forced += nd.Telemetry().CounterValue("cycloid_traces_forced_total")
+	}
+	trees := telemetry.BuildTrees(spans)
+	fmt.Printf("trace: %d members (dim %d, R=%d, codec %s, sample %g): %d spans, %d traces (%d sampled, %d forced)\n",
+		len(cluster), dim, replicas, wcodec, sample, len(spans), len(trees), sampled, forced)
+	if len(trees) == 0 {
+		fail(fmt.Errorf("no traces collected; sheds alone should have forced some"))
+	}
+	if forced == 0 {
+		fail(fmt.Errorf("the shedding victim forced no traces"))
+	}
+
+	// Trace-completeness invariant: no member crashed, so every tree must
+	// be fully rooted with matching call counts.
+	violations := 0
+	for _, tr := range trees {
+		for _, v := range tr.Check(false) {
+			violations++
+			fmt.Fprintf(os.Stderr, "violation: %s\n", v)
+		}
+	}
+	if violations > 0 {
+		fail(fmt.Errorf("%d trace-completeness violations across %d traces", violations, len(trees)))
+	}
+	fmt.Printf("trace-completeness invariant holds for all %d traces\n", len(trees))
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fail(err)
+		}
+		for _, tr := range trees {
+			tr.Format(f)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d reconstructed trees to %s\n", len(trees), outPath)
+	}
+
+	// Render the requested trace, or the deepest (most spans) as the
+	// exemplar.
+	var show *telemetry.SpanTree
+	for _, tr := range trees {
+		if wantID != "" {
+			if tr.TraceID == wantID {
+				show = tr
+				break
+			}
+			continue
+		}
+		if show == nil || tr.Spans > show.Spans {
+			show = tr
+		}
+	}
+	if wantID != "" && show == nil {
+		fail(fmt.Errorf("trace %s not found among %d traces", wantID, len(trees)))
+	}
+	show.Format(os.Stdout)
 }
 
 // fetch GETs a URL and returns the body, failing the run on any error.

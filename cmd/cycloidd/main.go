@@ -53,6 +53,8 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 		logLevel    = flag.String("log-level", "", "emit structured logs to stderr at this level: debug, info, warn or error (empty = off)")
 		traceBuf    = flag.Int("trace-buffer", 0, "lookup traces retained for /debug/traces (0 = default 64, negative = off)")
+		traceSample = flag.Float64("trace-sample", 0, "distributed-tracing sample probability in [0,1]; sampled and anomaly-forced span trees appear on /debug/spans (anomalies are always captured once > 0)")
+		spanBuf     = flag.Int("span-buffer", 0, "completed spans retained for /debug/spans (0 = default 4096 when -trace-sample > 0, negative = off)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,8 @@ func main() {
 		Telemetry:       reg,
 		Logger:          logger,
 		TraceBuffer:     *traceBuf,
+		TraceSample:     *traceSample,
+		SpanBuffer:      *spanBuf,
 	})
 	if err != nil {
 		fail(err)
@@ -154,7 +158,7 @@ func buildLogger(level string) (*slog.Logger, error) {
 // pprof is opt-in so a metrics port never exposes profiling by default.
 func serveMetrics(addr string, node *p2p.Node, pprofOn bool) (*http.Server, error) {
 	mux := http.NewServeMux()
-	mux.Handle("/", telemetry.Handler(node.Telemetry(), node.TraceRing()))
+	mux.Handle("/", telemetry.Handler(node.Telemetry(), node.TraceRing(), node.Spans()))
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

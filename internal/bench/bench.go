@@ -53,6 +53,8 @@ func Cases() []Case {
 		{"PooledLookupJSON", benchPooledLookupJSON},
 		{"LookupDialPerRequest", benchLookupDialPerRequest},
 		{"LookupUnderShedding", benchLookupUnderShedding},
+		{"LookupTraced", benchLookupTraced},
+		{"LookupTracedUnsampled", benchLookupTracedUnsampled},
 	}
 }
 

@@ -80,8 +80,8 @@ func tcpCluster(b *testing.B, dim, n int, seed int64, pooled bool, wireCodec str
 // connection, so its headline number is throughput under load, where
 // frame batching and buffer reuse actually pay; dial-per-request runs
 // sequentially, matching its recorded history.
-func benchWireLookup(b *testing.B, pooled bool, wireCodec string) {
-	nodes := tcpCluster(b, 6, 8, Seed, pooled, wireCodec)
+func benchWireLookup(b *testing.B, pooled bool, wireCodec string, mut ...func(ord int, cfg *p2p.Config)) {
+	nodes := tcpCluster(b, 6, 8, Seed, pooled, wireCodec, mut...)
 	keys := make([]string, 512)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("wire-%d", i)
@@ -138,6 +138,32 @@ func benchPooledLookup(b *testing.B) { benchWireLookup(b, true, "binary") }
 // BENCH_cycloid.json is the recorded win of the binary wire protocol
 // with everything else held fixed.
 func benchPooledLookupJSON(b *testing.B) { benchWireLookup(b, true, "json") }
+
+// benchLookupTraced is the PooledLookup workload with distributed
+// tracing sampling every operation: every step records call and server
+// spans, and every request carries the 25-byte binary trace-context
+// extension. The LookupTraced/PooledLookup pair in BENCH_cycloid.json
+// is the recorded worst-case cost of tracing — real deployments sample
+// ~1%, so the amortized cost is this delta times the sample rate.
+func benchLookupTraced(b *testing.B) {
+	benchWireLookup(b, true, "binary", func(ord int, cfg *p2p.Config) {
+		cfg.TraceSample = 1
+		cfg.SpanBuffer = 1 << 14
+	})
+}
+
+// benchLookupTracedUnsampled keeps the tracing machinery armed (span
+// buffers allocated, every operation passes through the opTrace pool
+// and sampling dice) but with a sample probability so small nothing is
+// ever sampled. The LookupTracedUnsampled/PooledLookup pair is the
+// recorded overhead a traced-but-unsampled operation pays — the <1%,
+// zero-allocation budget the tracing plane is held to.
+func benchLookupTracedUnsampled(b *testing.B) {
+	benchWireLookup(b, true, "binary", func(ord int, cfg *p2p.Config) {
+		cfg.TraceSample = 1e-12
+		cfg.SpanBuffer = 1 << 14
+	})
+}
 
 // benchLookupDialPerRequest is the same workload over the seed
 // transport: every wire exchange dials a fresh TCP connection. The

@@ -135,6 +135,20 @@ type Config struct {
 	// KillRestart keeps members on the in-memory store as before.
 	DataDir string
 
+	// TraceSample enables distributed tracing on every member
+	// (p2p.Config.TraceSample): each member samples that fraction of its
+	// client operations and force-samples anomalies, recording spans
+	// into a generous per-member buffer. After the final round the run
+	// asserts the trace-completeness invariant: every reconstructed
+	// span tree must pass its structural checks (rooted, call counts
+	// consistent, server spans only under calls), with detached spans
+	// tolerated only when the schedule contains crashes or kills — the
+	// only events that can destroy a caller's span buffer. Sampling
+	// draws from each node's private span-ID stream, never from the
+	// schedule RNG, so enabling tracing leaves every seeded schedule
+	// byte-identical.
+	TraceSample float64
+
 	// Overload selects the overload-protection tier instead of the
 	// fault schedule: every member runs admission control, member
 	// ordinal 0 (the victim) gets a tiny in-flight cap, and Zipf-skewed
@@ -281,6 +295,8 @@ type Result struct {
 	FinalKeys  int // expected keys tracked at the end
 	Kills      int // kill events in the schedule (KillRestart runs)
 	Restarts   int // restart events in the schedule (KillRestart runs)
+	Traces     int // span trees reconstructed post-run (TraceSample > 0)
+	Spans      int // spans collected fleet-wide post-run (TraceSample > 0)
 
 	// Overload carries the overload tier's measurements; nil unless
 	// Config.Overload was set.
@@ -501,7 +517,40 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.FinalLive = len(r.liveMembers())
 	res.FinalKeys = len(r.expected)
+	if cfg.TraceSample > 0 {
+		r.checkTraces(res, sched)
+	}
 	return res, nil
+}
+
+// checkTraces runs the post-run trace-completeness invariant: every
+// span tree reconstructed from the fleet's buffers must pass its
+// structural checks. Spans are collected from every member ever
+// started — a crashed member's in-memory buffer outlives its Close —
+// but a kill/restart cycle replaces the node object, losing the dead
+// incarnation's spans, and a crash can destroy a caller mid-operation;
+// detached spans are therefore tolerated exactly when the schedule
+// contains crash or kill events.
+func (r *runner) checkTraces(res *Result, sched []Event) {
+	var spans []*telemetry.Span
+	for _, m := range r.members {
+		if m.node != nil {
+			spans = append(spans, m.node.Spans().Snapshot()...)
+		}
+	}
+	allowDetached := false
+	for _, e := range sched {
+		if e.Kind == EvCrash || e.Kind == EvKill {
+			allowDetached = true
+			break
+		}
+	}
+	trees := telemetry.BuildTrees(spans)
+	res.Spans = len(spans)
+	res.Traces = len(trees)
+	for _, tr := range trees {
+		res.Violations = append(res.Violations, tr.Check(allowDetached)...)
+	}
 }
 
 // assignIDs deterministically draws n distinct overlay IDs.
@@ -554,6 +603,10 @@ func (r *runner) startMember(ord int) error {
 		WireCodec:       r.memberCodec(ord),
 		Telemetry:       m.reg,
 		DataDir:         m.dataDir,
+		TraceSample:     r.cfg.TraceSample,
+	}
+	if r.cfg.TraceSample > 0 {
+		pcfg.SpanBuffer = 1 << 15
 	}
 	if r.cfg.Overload {
 		// Every member admits so the conservation invariant is checked
@@ -598,7 +651,7 @@ func (r *runner) startMember(ord int) error {
 // re-replication from scratch — with the node already joined back into
 // the overlay.
 func (r *runner) restartMember(m *member) ([]string, error) {
-	nd, err := p2p.Start(p2p.Config{
+	pcfg := p2p.Config{
 		Dim:             r.cfg.Dim,
 		ID:              &m.id,
 		ListenAddr:      m.addr,
@@ -609,7 +662,12 @@ func (r *runner) restartMember(m *member) ([]string, error) {
 		WireCodec:       r.memberCodec(m.ord),
 		Telemetry:       m.reg,
 		DataDir:         m.dataDir,
-	})
+		TraceSample:     r.cfg.TraceSample,
+	}
+	if r.cfg.TraceSample > 0 {
+		pcfg.SpanBuffer = 1 << 15
+	}
+	nd, err := p2p.Start(pcfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaosrunner: restart %s: %w", m.name, err)
 	}

@@ -156,6 +156,20 @@ type Balance struct {
 	CV   float64 `json:"cv"`
 }
 
+// Exemplar ties one slow sampled operation to its distributed trace:
+// the trace ID can be looked up in the cluster's span buffers (or
+// /debug/spans) to see exactly where that outlier's latency went.
+// Only operations that were trace-sampled carry an ID, so exemplars
+// appear when the driven cluster has Config.TraceSample > 0 or the
+// operation hit an anomaly that forced sampling.
+type Exemplar struct {
+	Op        string `json:"op"`
+	Key       string `json:"key"`
+	TraceID   string `json:"trace_id"`
+	LatencyUS int64  `json:"latency_us"`
+	Err       string `json:"err,omitempty"`
+}
+
 // OpStats is one operation kind's outcome counts and latency quantiles
 // (microseconds, bucket-interpolated).
 type OpStats struct {
@@ -182,7 +196,13 @@ type Report struct {
 	PerOp       map[string]OpStats `json:"per_op"`
 	Load        []NodeLoad         `json:"node_load"`
 	LoadBalance Balance            `json:"load_balance"`
+	// Exemplars are the slowest trace-sampled operations of the run
+	// (latency outliers with a pullable trace ID), slowest first.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
+
+// maxExemplars bounds how many outlier traces a report retains.
+const maxExemplars = 8
 
 // runner is one run's shared state.
 type runner struct {
@@ -195,6 +215,9 @@ type runner struct {
 	ops     [3]atomic.Int64
 	errs    [3]atomic.Int64
 	nextIdx atomic.Int64
+
+	exMu      sync.Mutex
+	exemplars []Exemplar
 }
 
 // Run executes the configured workload and returns its report. The keys
@@ -287,13 +310,14 @@ func (r *runner) exec(s spec) {
 	}
 	began := time.Now()
 	var err error
+	var rt p2p.Route
 	switch s.op {
 	case OpPut:
 		err = nd.PutContext(ctx, key, r.vals[s.key])
 	case OpGet:
-		_, _, err = nd.GetContext(ctx, key)
+		_, rt, err = nd.GetContext(ctx, key)
 	case OpLookup:
-		_, err = nd.LookupContext(ctx, key)
+		rt, err = nd.LookupContext(ctx, key)
 	}
 	us := time.Since(began).Microseconds()
 	r.lat[s.op].Observe(us)
@@ -301,6 +325,31 @@ func (r *runner) exec(s spec) {
 	r.ops[s.op].Add(1)
 	if err != nil {
 		r.errs[s.op].Add(1)
+	}
+	if rt.TraceID != "" {
+		r.noteExemplar(s.op, key, rt.TraceID, us, err)
+	}
+}
+
+// noteExemplar keeps the maxExemplars slowest sampled operations,
+// slowest first. Puts never reach here (PutContext reports no Route),
+// so exemplars cover Gets and Lookups — the latency-sensitive reads.
+func (r *runner) noteExemplar(op Op, key, traceID string, latUS int64, err error) {
+	e := Exemplar{Op: op.String(), Key: key, TraceID: traceID, LatencyUS: latUS}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	if len(r.exemplars) == maxExemplars && latUS <= r.exemplars[len(r.exemplars)-1].LatencyUS {
+		return
+	}
+	r.exemplars = append(r.exemplars, e)
+	sort.Slice(r.exemplars, func(i, j int) bool {
+		return r.exemplars[i].LatencyUS > r.exemplars[j].LatencyUS
+	})
+	if len(r.exemplars) > maxExemplars {
+		r.exemplars = r.exemplars[:maxExemplars]
 	}
 }
 
@@ -392,6 +441,7 @@ func (r *runner) report(took time.Duration, before, after []loadSnapshot) *Repor
 		}
 	}
 	rep.Throughput = float64(rep.Ops) / took.Seconds()
+	rep.Exemplars = r.exemplars
 
 	var sum, sumSq float64
 	for i, nd := range cfg.Nodes {

@@ -33,4 +33,14 @@ func (r *Report) Format(w io.Writer) {
 	}
 	b := r.LoadBalance
 	fmt.Fprintf(w, "  balance: min=%d max=%d mean=%.1f cv=%.3f\n", b.Min, b.Max, b.Mean, b.CV)
+	if len(r.Exemplars) > 0 {
+		fmt.Fprintf(w, "  trace exemplars (slowest sampled ops; pull via cycloid-sim trace <id> or /debug/spans):\n")
+		for _, e := range r.Exemplars {
+			line := fmt.Sprintf("    %-6s %-10s %-10s trace=%s", e.Op, us(e.LatencyUS), e.Key, e.TraceID)
+			if e.Err != "" {
+				line += " err=" + e.Err
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
 }

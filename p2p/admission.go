@@ -214,20 +214,47 @@ func (a *admission) busyResponse(msg string) *response {
 // dispatchAdmitted runs dispatch behind the admission controller.
 // Pings bypass it so liveness probes (stabilization's suspect
 // re-probes) keep distinguishing an overloaded node from a crashed one.
+//
+// A request carrying a sampled trace context takes the traced path: a
+// server span scopes the whole sojourn, the admission wait lands in its
+// queue phase, and a shed is recorded as a zero-service span annotated
+// "shed" — so the caller's tree shows where the request died. Untraced
+// requests (the overwhelming majority at production sampling rates)
+// keep the original branch-free path.
 func (n *Node) dispatchAdmitted(req request) response {
-	if n.adm == nil || req.Op == "ping" {
-		return n.dispatch(req)
+	if req.TraceFlags&1 == 0 || n.spans == nil || req.Op == "ping" {
+		if n.adm == nil || req.Op == "ping" {
+			return n.dispatch(req, nil)
+		}
+		release, busy := n.adm.admit(req.DeadlineMs)
+		if busy != nil {
+			return *busy
+		}
+		defer release()
+		if d := n.cfg.ServiceDelay; d > 0 {
+			// Harness knob: simulated service time, slept while the slot is
+			// held so queue occupancy builds the way a slow real handler's
+			// would (Config.ServiceDelay).
+			time.Sleep(d)
+		}
+		return n.dispatch(req, nil)
 	}
-	release, busy := n.adm.admit(req.DeadlineMs)
-	if busy != nil {
-		return *busy
+	st := n.beginServer(&req)
+	if n.adm != nil {
+		release, busy := n.adm.admit(req.DeadlineMs)
+		if busy != nil {
+			st.queue = int64(time.Since(st.start))
+			st.annotate("shed")
+			n.endServer(st, busy.Err)
+			return *busy
+		}
+		st.queue = int64(time.Since(st.start))
+		defer release()
+		if d := n.cfg.ServiceDelay; d > 0 {
+			time.Sleep(d)
+		}
 	}
-	defer release()
-	if d := n.cfg.ServiceDelay; d > 0 {
-		// Harness knob: simulated service time, slept while the slot is
-		// held so queue occupancy builds the way a slow real handler's
-		// would (Config.ServiceDelay).
-		time.Sleep(d)
-	}
-	return n.dispatch(req)
+	resp := n.dispatch(req, st)
+	n.endServer(st, resp.Err)
+	return resp
 }

@@ -264,6 +264,45 @@ func TestChaosDefaultScheduleUnchanged(t *testing.T) {
 	if !reflect.DeepEqual(plain, durable) {
 		t.Fatal("durable-store knobs without KillRestart changed the generated schedule")
 	}
+	traced := chaosrunner.GenerateSchedule(chaosrunner.Config{Seed: 19, TraceSample: 1})
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("enabling TraceSample changed the generated schedule")
+	}
+}
+
+// TestChaosTracedLoadDuringChurn is the tracing chaos gate: every
+// operation is trace-sampled on a mixed-codec pooled overlay with load
+// racing the churn, and the post-run trace-completeness invariant
+// (every reconstructed span tree rooted and structurally consistent,
+// detached spans only when the schedule crashed someone) must hold
+// alongside all the usual invariants.
+func TestChaosTracedLoadDuringChurn(t *testing.T) {
+	for s := 0; s < *chaosSeeds; s++ {
+		seed := int64(401 + s)
+		t.Run(string(rune('A'+s)), func(t *testing.T) {
+			t.Parallel()
+			cfg := chaosrunner.Config{
+				Seed:        seed,
+				Rounds:      6,
+				Replicas:    3,
+				Pooled:      true,
+				WireCodec:   "mixed",
+				LoadClients: 4,
+				TraceSample: 1,
+			}
+			res, err := chaosrunner.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			if res.Traces == 0 || res.Spans == 0 {
+				t.Errorf("seed %d: TraceSample=1 run reconstructed %d traces from %d spans; want both > 0",
+					seed, res.Traces, res.Spans)
+			}
+		})
+	}
 }
 
 // TestChaosKillRestartSchedule pins the shape of kill/restart

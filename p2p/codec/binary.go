@@ -27,6 +27,8 @@ import (
 //	           u8 event code | [str event if 255]
 //	           [entry Subject] | [state Departed] | [entry Origin]
 //	           i64 TTL | u32 DeadlineMs
+//	           [u8 TraceFlags | u64 TraceHi | u64 TraceLo |
+//	            u64 ParentSpan]                 (trace extension)
 //
 //	response = u8 flags (1 OK, 2 Done, 4 Found, 8 State, 16 Redirect,
 //	                     32 Busy)
@@ -42,6 +44,14 @@ import (
 // whose JSON tags say omitempty collapse empty to nil exactly like a
 // JSON round trip does; Item.V has no omitempty and uses the vblob form
 // to preserve the nil/empty distinction the same way JSON null/"" does.
+//
+// The trace extension is a trailing fixed-width block appended only
+// when any trace-context field is nonzero, mirroring the JSON codec's
+// omitempty on the same fields. A decoder that stops at DeadlineMs
+// (pre-tracing) ignores the tail; this decoder treats an exhausted
+// frame as "no context" (all-zero trace fields), so both directions of
+// the version skew interoperate and an absent context reads as
+// unsampled.
 
 // request field flags.
 const (
@@ -265,6 +275,12 @@ func AppendRequest(buf []byte, r *Request) ([]byte, error) {
 	}
 	b = appendU64(b, uint64(int64(r.TTL)))
 	b = appendU32(b, r.DeadlineMs)
+	if r.TraceHi|r.TraceLo|r.ParentSpan|uint64(r.TraceFlags) != 0 {
+		b = append(b, r.TraceFlags)
+		b = appendU64(b, r.TraceHi)
+		b = appendU64(b, r.TraceLo)
+		b = appendU64(b, r.ParentSpan)
+	}
 	return b, nil
 }
 
@@ -586,7 +602,22 @@ func DecodeRequest(data []byte, r *Request) error {
 		return err
 	}
 	r.TTL = int(int64(ttl))
-	r.DeadlineMs, err = d.u32()
+	if r.DeadlineMs, err = d.u32(); err != nil {
+		return err
+	}
+	if d.off == len(d.b) {
+		return nil // no trace extension: pre-tracing peer, unsampled
+	}
+	if r.TraceFlags, err = d.u8(); err != nil {
+		return err
+	}
+	if r.TraceHi, err = d.u64(); err != nil {
+		return err
+	}
+	if r.TraceLo, err = d.u64(); err != nil {
+		return err
+	}
+	r.ParentSpan, err = d.u64()
 	return err
 }
 

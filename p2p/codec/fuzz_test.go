@@ -23,6 +23,13 @@ func FuzzCodecDifferential(f *testing.F) {
 		}
 		f.Add(b)
 	}
+	for _, r := range traceSampleRequests() {
+		b, err := json.Marshal(&r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
 	for _, r := range sampleResponses() {
 		b, err := json.Marshal(&r)
 		if err != nil {
@@ -70,6 +77,13 @@ func FuzzCodecDifferential(f *testing.F) {
 // (decode is a retraction of encode on its image).
 func FuzzBinaryDecode(f *testing.F) {
 	for _, r := range sampleRequests() {
+		enc, err := AppendRequest(nil, &r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	for _, r := range traceSampleRequests() {
 		enc, err := AppendRequest(nil, &r)
 		if err != nil {
 			f.Fatal(err)

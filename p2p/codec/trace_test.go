@@ -1,0 +1,112 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// traceSampleRequests covers the trace-context corners. These samples
+// live outside sampleRequests deliberately: the trace extension is a
+// trailing optional block, so truncating a trace-bearing encoding at
+// exactly the pre-tracing boundary yields a *valid* shorter encoding
+// (the interop guarantee), which would break TestDecodeTruncated's
+// every-prefix-fails property. TestTraceTruncation below pins the
+// precise carve-out instead.
+func traceSampleRequests() []Request {
+	return []Request{
+		{Op: "step", From: Entry{K: 1, A: 3, Addr: "a:1"}, Target: &Entry{K: 4, A: 21},
+			TraceHi: 0x0123456789abcdef, TraceLo: 0xfedcba9876543210, ParentSpan: 42, TraceFlags: 1 | 16<<1},
+		{Op: "fetch", Key: "k", TraceHi: 1, TraceLo: 2, ParentSpan: 3, TraceFlags: 1},
+		{Op: "store", Key: "k", Value: []byte("v"), DeadlineMs: 250,
+			TraceHi: 1<<64 - 1, TraceLo: 1<<64 - 1, ParentSpan: 1<<64 - 1, TraceFlags: 255},
+		{Op: "ping", TraceFlags: 1},                 // sampled, zero IDs
+		{Op: "replicate", Key: "rk", ParentSpan: 7}, // partial context
+		{Op: "update", Event: "join", Subject: &Entry{K: 1, A: 2, Addr: "e:5"}, TTL: 3,
+			TraceHi: 9, TraceLo: 9, TraceFlags: 1},
+	}
+}
+
+// TestTraceContextParity is the differential check for trace-bearing
+// requests: a binary round trip must equal a JSON round trip.
+func TestTraceContextParity(t *testing.T) {
+	for i, r := range traceSampleRequests() {
+		want := jsonRoundTripReq(t, r)
+		enc, err := AppendRequest(nil, &r)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		var got Request
+		if err := DecodeRequest(enc, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: binary round trip diverged from JSON\n json: %+v\n  bin: %+v", i, want, got)
+		}
+	}
+}
+
+// TestTraceContextAbsent pins the interop contract in both directions:
+// an encoding with no trace context (what an old peer sends) decodes to
+// all-zero trace fields, and an encoding whose trace fields are zero
+// omits the extension entirely — byte-identical to the old format.
+func TestTraceContextAbsent(t *testing.T) {
+	for i, r := range sampleRequests() {
+		enc, err := AppendRequest(nil, &r)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		var got Request
+		if err := DecodeRequest(enc, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.TraceHi != 0 || got.TraceLo != 0 || got.ParentSpan != 0 || got.TraceFlags != 0 {
+			t.Errorf("case %d: traceless encoding decoded nonzero trace context: %+v", i, got)
+		}
+		// Adding trace context must cost exactly the fixed-width
+		// extension — i.e. the traceless encoding above carried none.
+		traced := r
+		traced.TraceFlags = 1
+		enc2, err := AppendRequest(nil, &traced)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if len(enc2) != len(enc)+25 {
+			t.Errorf("case %d: trace extension is %d bytes, want 25", i, len(enc2)-len(enc))
+		}
+	}
+}
+
+// TestTraceTruncation pins the truncation behavior of the trailing
+// extension: the prefix at exactly the pre-tracing boundary is the one
+// valid shorter encoding (it decodes to the same request with trace
+// context stripped — old-decoder interop); every other proper prefix
+// must fail.
+func TestTraceTruncation(t *testing.T) {
+	const extSize = 1 + 8 + 8 + 8
+	for i, r := range traceSampleRequests() {
+		enc, err := AppendRequest(nil, &r)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		boundary := len(enc) - extSize
+		for n := 0; n < len(enc); n++ {
+			var out Request
+			err := DecodeRequest(enc[:n], &out)
+			if n == boundary {
+				if err != nil {
+					t.Fatalf("case %d: pre-tracing boundary prefix failed to decode: %v", i, err)
+				}
+				want := r
+				want.TraceHi, want.TraceLo, want.ParentSpan, want.TraceFlags = 0, 0, 0, 0
+				want = jsonRoundTripReq(t, want)
+				if !reflect.DeepEqual(out, want) {
+					t.Fatalf("case %d: boundary prefix decoded to %+v, want trace-stripped %+v", i, out, want)
+				}
+				continue
+			}
+			if err == nil {
+				t.Fatalf("case %d: decode of %d/%d-byte prefix succeeded", i, n, len(enc))
+			}
+		}
+	}
+}

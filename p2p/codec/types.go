@@ -68,6 +68,19 @@ type Request struct {
 	// admission-queue waits and to drop requests whose caller has
 	// already given up instead of doing dead work.
 	DeadlineMs uint32 `json:"deadlineMs,omitempty"`
+
+	// Trace context: the distributed-tracing correlation state,
+	// propagated the same way DeadlineMs is. TraceHi/TraceLo form a
+	// 128-bit trace ID, ParentSpan is the caller's span for this
+	// exchange, and TraceFlags packs the sampling bit (bit 0) with a
+	// 7-bit hop budget (bits 1-7) bounding cascade depth. All-zero
+	// means "no trace context": requests from pre-tracing peers decode
+	// to exactly that, so absent context reads as unsampled and the
+	// codecs interoperate with old nodes transparently.
+	TraceHi    uint64 `json:"traceHi,omitempty"`
+	TraceLo    uint64 `json:"traceLo,omitempty"`
+	ParentSpan uint64 `json:"parentSpan,omitempty"`
+	TraceFlags uint8  `json:"traceFlags,omitempty"`
 }
 
 // Response is the single reply type.

@@ -62,6 +62,8 @@ func FuzzWireDecode(f *testing.F) {
 		`{"op":"store","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","value":"aGVsbG8=","ver":2,"src":4}`,
 		`{"op":"update","event":"join","from":{"k":1,"a":3,"addr":"peer:1"},"subject":{"k":1,"a":3,"addr":"peer:1"},"propagate":true,"ttl":99}`,
 		`{"op":"update","event":"leave","from":{"k":1,"a":3,"addr":"peer:1"},"subject":{"k":1,"a":3,"addr":"peer:1"},"departed":{"self":{"k":1,"a":3,"addr":"peer:1"},"insideL":{"k":2,"a":3,"addr":"peer:2"}}}`,
+		`{"op":"step","from":{"k":1,"a":3,"addr":"peer:1"},"target":{"k":4,"a":21,"addr":""},"traceHi":81985529216486895,"traceLo":1147797409030816545,"parentSpan":42,"traceFlags":33}`,
+		`{"op":"fetch","from":{"k":1,"a":3,"addr":"peer:1"},"key":"doc","deadlineMs":500,"traceHi":1,"traceLo":2,"parentSpan":3,"traceFlags":1}`,
 		`{"op":"step"}`,
 		`{"op":"bogus"}`,
 		`{"op":`,
@@ -99,6 +101,11 @@ func FuzzWireDecode(f *testing.F) {
 		binFrame(codec.PreambleBinV2, nil,
 			request{Op: "handoff", From: from, Items: map[string]WireItem{"a": {V: []byte{0}, Ver: 3, Src: 7}}}),
 		binFrame(codec.PreambleMuxV2, []byte{7, 0, 0, 0, 0, 0, 0, 0, 0}, request{Op: "fetch", From: from, Key: "doc"}),
+		binFrame(codec.PreambleBinV2, nil,
+			request{Op: "step", From: from, Target: &WireEntry{K: 4, A: 21},
+				TraceHi: 0x0123456789abcdef, TraceLo: 0xfedcba9876543210, ParentSpan: 42, TraceFlags: 1 | 16<<1}),
+		binFrame(codec.PreambleBinV2, nil,
+			request{Op: "fetch", From: from, Key: "doc", DeadlineMs: 500, TraceHi: 1, TraceLo: 2, ParentSpan: 3, TraceFlags: 1}),
 		binFrame(codec.PreambleBinV2, nil, request{Op: "ping", From: from})[:20],   // truncated mid-frame
 		append([]byte(codec.PreambleBinV2), 0xff, 0xff, 0xff, 0xff),                // absurd length claim
 		append([]byte(codec.PreambleMuxV2), 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0), // mux frame, id 0

@@ -19,6 +19,11 @@ type Route struct {
 	Hops     int
 	Timeouts int            // unreachable candidates skipped
 	Phases   map[string]int // hops per routing phase
+	// TraceID is the operation's 32-hex-character distributed trace ID
+	// when it was sampled (Config.TraceSample or anomaly-forced), ""
+	// otherwise. Load harnesses attach it to SLO outliers so a p99
+	// exemplar can be pulled from the cluster's span buffers.
+	TraceID string
 }
 
 // Lookup routes a request for an application key from this node and
@@ -31,7 +36,12 @@ func (n *Node) Lookup(key string) (Route, error) {
 // context's deadline, so a blackholed neighbor costs at most the time
 // the caller budgeted rather than the full dial-timeout ladder.
 func (n *Node) LookupContext(ctx context.Context, key string) (Route, error) {
-	return n.routeCtx(ctx, n.keyPoint(key))
+	ot := n.beginOp("lookup", key)
+	r, err := n.routeCtx(ctx, n.keyPoint(key), ot)
+	if id := n.endOp(ot, err); id != "" {
+		r.TraceID = id
+	}
+	return r, err
 }
 
 // Put stores a value on the node responsible for the key; with
@@ -41,13 +51,15 @@ func (n *Node) Put(key string, value []byte) error {
 }
 
 // PutContext is Put with dials capped by the context's deadline.
-func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
-	r, err := n.routeCtx(ctx, n.keyPoint(key))
+func (n *Node) PutContext(ctx context.Context, key string, value []byte) (err error) {
+	ot := n.beginOp("put", key)
+	defer func() { n.endOp(ot, err) }()
+	r, err := n.routeCtx(ctx, n.keyPoint(key), ot)
 	if err != nil {
 		return err
 	}
 	if r.Terminal == n.id {
-		_, err := n.putOwner(ctx, key, value)
+		_, err := n.putOwner(ctx, key, value, ot)
 		return err
 	}
 	// A racing join can make the routed terminal disown the key by the
@@ -56,7 +68,7 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 	// rather than stranding the value.
 	addr := r.Addr
 	for hop := 0; hop < 3; hop++ {
-		resp, err := n.callRetry(ctx, addr, request{Op: "store", Key: key, Value: value})
+		resp, err := n.callRetry(ctx, addr, request{Op: "store", Key: key, Value: value}, ot)
 		if err == nil {
 			n.tel.redirectDepth.Observe(int64(hop))
 			return nil
@@ -68,7 +80,7 @@ func (n *Node) PutContext(ctx context.Context, key string, value []byte) error {
 		n.log.Debug("store redirected", "key", key, "from", addr, "to", resp.Redirect.Addr)
 		red := toEntry(*resp.Redirect)
 		if red.ID == n.id {
-			if _, perr := n.putOwner(ctx, key, value); perr != nil {
+			if _, perr := n.putOwner(ctx, key, value, ot); perr != nil {
 				return perr
 			}
 			n.tel.redirectDepth.Observe(int64(hop + 1))
@@ -90,9 +102,15 @@ func (n *Node) Get(key string) ([]byte, Route, error) {
 }
 
 // GetContext is Get with dials capped by the context's deadline.
-func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error) {
+func (n *Node) GetContext(ctx context.Context, key string) (val []byte, r Route, err error) {
+	ot := n.beginOp("get", key)
+	defer func() {
+		if id := n.endOp(ot, err); id != "" {
+			r.TraceID = id
+		}
+	}()
 	kp := n.keyPoint(key)
-	r, err := n.routeCtx(ctx, kp)
+	r, err = n.routeCtx(ctx, kp, ot)
 	if err != nil {
 		return nil, r, err
 	}
@@ -105,7 +123,7 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 	term := entry{ID: r.Terminal, Addr: r.Addr}
 	for attempt := 0; attempt < n.cfg.Replicas; attempt++ {
 		tried[term.Addr] = true
-		v, found, ferr := n.fetchAt(ctx, term, key)
+		v, found, ferr := n.fetchAt(ctx, term, key, ot)
 		if ferr == nil {
 			if found {
 				return v, r, nil
@@ -129,13 +147,15 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 			n.tel.timeouts.Inc()
 			n.tel.replicaFallbacks.Inc()
 			n.suspect(term.Addr)
+			ot.force("timeout")
 		}
+		ot.annotate("replica-fallback")
 		n.log.Debug("owner unreachable, rerouting", "key", key, "owner", term.Addr, "err", ferr)
 		if failed == nil {
 			failed = make(map[string]bool)
 		}
 		failed[term.Addr] = true
-		r2, rerr := n.routeAvoiding(ctx, kp, failed)
+		r2, rerr := n.routeAvoiding(ctx, kp, failed, ot)
 		if rerr != nil {
 			return nil, r, ferr
 		}
@@ -161,12 +181,13 @@ func (n *Node) GetContext(ctx context.Context, key string) ([]byte, Route, error
 		for _, cand := range n.replicaProbes(ctx, term, kp, tried) {
 			tried[cand.Addr] = true
 			n.tel.replicaProbes.Inc()
-			v, found, ferr := n.fetchAt(ctx, cand, key)
+			v, found, ferr := n.fetchAt(ctx, cand, key, ot)
 			if ferr != nil {
 				if !IsBusy(ferr) {
 					r.Timeouts++
 					n.tel.timeouts.Inc()
 					n.suspect(cand.Addr)
+					ot.force("timeout")
 				}
 				continue
 			}
@@ -191,12 +212,12 @@ func (n *Node) localFetch(key string) ([]byte, bool) {
 
 // fetchAt reads a key from the given node — locally when it is this
 // node, over the wire otherwise.
-func (n *Node) fetchAt(ctx context.Context, at entry, key string) ([]byte, bool, error) {
+func (n *Node) fetchAt(ctx context.Context, at entry, key string, ot *opTrace) ([]byte, bool, error) {
 	if at.ID == n.id && !n.isStopped() {
 		v, ok := n.localFetch(key)
 		return v, ok, nil
 	}
-	resp, err := n.callRetry(ctx, at.Addr, request{Op: "fetch", Key: key})
+	resp, err := n.callRetry(ctx, at.Addr, request{Op: "fetch", Key: key}, ot)
 	if err != nil {
 		return nil, false, err
 	}
@@ -241,22 +262,22 @@ func (n *Node) route(t ids.CycloidID) (Route, error) {
 	if n.isStopped() {
 		return Route{}, ErrStopped
 	}
-	return n.routeTraced(context.Background(), *n.selfEntry(), t, "stabilize", nil)
+	return n.routeTraced(context.Background(), *n.selfEntry(), t, "stabilize", nil, nil)
 }
 
-func (n *Node) routeCtx(ctx context.Context, t ids.CycloidID) (Route, error) {
-	return n.routeAvoiding(ctx, t, nil)
+func (n *Node) routeCtx(ctx context.Context, t ids.CycloidID, ot *opTrace) (Route, error) {
+	return n.routeAvoiding(ctx, t, nil, ot)
 }
 
 // routeAvoiding routes from this node, treating every address in avoid
 // as already dead: it is neither dialed nor charged a timeout. Reads
 // use it to re-route around an owner whose corpse they already paid for
 // once.
-func (n *Node) routeAvoiding(ctx context.Context, t ids.CycloidID, avoid map[string]bool) (Route, error) {
+func (n *Node) routeAvoiding(ctx context.Context, t ids.CycloidID, avoid map[string]bool, ot *opTrace) (Route, error) {
 	if n.isStopped() {
 		return Route{}, ErrStopped
 	}
-	return n.routeTraced(ctx, *n.selfEntry(), t, "lookup", avoid)
+	return n.routeTraced(ctx, *n.selfEntry(), t, "lookup", avoid, ot)
 }
 
 // routeTraced drives an iterative lookup starting at an arbitrary live
@@ -274,7 +295,7 @@ func (n *Node) routeAvoiding(ctx context.Context, t ids.CycloidID, avoid map[str
 //
 // Every hop updates the node's metrics, and when tracing is enabled the
 // whole route is recorded as one phase-annotated trace under kind.
-func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, kind string, avoid map[string]bool) (r Route, err error) {
+func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, kind string, avoid map[string]bool, ot *opTrace) (r Route, err error) {
 	r = Route{Target: t, Phases: make(map[string]int)}
 	d := n.space.Dim()
 	window := 4*d + 16
@@ -316,7 +337,7 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 	cur := start
 	best := start.ID
 	sinceImprove := 0
-	step, err := n.stepAt(ctx, cur, t, greedyOnly)
+	step, err := n.stepAt(ctx, cur, t, greedyOnly, ot)
 	if err != nil {
 		return r, fmt.Errorf("p2p: route: first hop: %w", err)
 	}
@@ -348,7 +369,7 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 					n.tel.demotions.Inc()
 					continue
 				}
-				next, serr := n.stepAt(ctx, cand, t, greedyOnly)
+				next, serr := n.stepAt(ctx, cand, t, greedyOnly, ot)
 				if serr != nil {
 					if IsBusy(serr) {
 						// Shedding, not dead: step around it this round
@@ -357,6 +378,7 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 							dead = make(map[string]bool)
 						}
 						dead[cand.Addr] = true
+						ot.force("shed")
 						continue
 					}
 					r.Timeouts++
@@ -367,6 +389,7 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 					}
 					dead[cand.Addr] = true
 					n.suspect(cand.Addr)
+					ot.force("timeout")
 					continue
 				}
 				r.Hops++
@@ -398,14 +421,16 @@ func (n *Node) routeTraced(ctx context.Context, start entry, t ids.CycloidID, ki
 		} else if sinceImprove++; sinceImprove >= window && !greedyOnly {
 			greedyOnly = true
 			n.tel.greedyFallbacks.Inc()
-			if step, err = n.stepAt(ctx, cur, t, true); err != nil {
+			ot.force("greedy-fallback")
+			if step, err = n.stepAt(ctx, cur, t, true, ot); err != nil {
 				return r, err
 			}
 		}
 		if r.Hops >= budget && !greedyOnly {
 			greedyOnly = true
 			n.tel.greedyFallbacks.Inc()
-			if step, err = n.stepAt(ctx, cur, t, true); err != nil {
+			ot.force("greedy-fallback")
+			if step, err = n.stepAt(ctx, cur, t, true, ot); err != nil {
 				return r, err
 			}
 		}
@@ -427,13 +452,17 @@ type stepResult struct {
 
 // stepAt obtains the routing decision of the given node — locally when it
 // is this node, over the wire otherwise. A wire failure means the node is
-// unreachable (dead), which the caller accounts as a timeout.
-func (n *Node) stepAt(ctx context.Context, at entry, t ids.CycloidID, greedyOnly bool) (stepResult, error) {
+// unreachable (dead), which the caller accounts as a timeout. Each wire
+// exchange is recorded as one call span under the operation's scope.
+func (n *Node) stepAt(ctx context.Context, at entry, t ids.CycloidID, greedyOnly bool, ot *opTrace) (stepResult, error) {
 	if at.ID == n.id && !n.isStopped() {
 		return n.localStep(t, greedyOnly), nil
 	}
 	tw := WireEntry{K: t.K, A: t.A}
-	resp, err := n.callCtx(ctx, at.Addr, request{Op: "step", Target: &tw, GreedyOnly: greedyOnly})
+	req := request{Op: "step", Target: &tw, GreedyOnly: greedyOnly}
+	sid, t0 := ot.startCall(&req)
+	resp, err := n.callCtx(ctx, at.Addr, req)
+	ot.endCall(sid, t0, "step", at.Addr, err)
 	if err != nil {
 		return stepResult{}, err
 	}

@@ -112,6 +112,11 @@ type nodeMetrics struct {
 	pruned          *telemetry.Counter
 	suspectsCleared *telemetry.Counter
 
+	// distributed tracing (p2p/trace.go)
+	tracesSampled *telemetry.Counter
+	tracesForced  *telemetry.Counter
+	spansRecorded *telemetry.Counter
+
 	// state gauges
 	suspectsGauge *telemetry.Gauge
 	storeKeys     *telemetry.Gauge
@@ -205,6 +210,13 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		walCompactions: reg.Counter("wal_compactions_total", "WAL segment compactions completed."),
 		walSegBytes:    reg.Gauge("wal_active_segment_bytes", "Size of the active WAL segment."),
 
+		tracesSampled: reg.Counter("traces_sampled_total",
+			"Client operations sampled probabilistically into distributed traces (Config.TraceSample)."),
+		tracesForced: reg.Counter("traces_forced_total",
+			"Client operations force-sampled by an anomaly (shed, timeout, retry exhaustion, greedy fallback)."),
+		spansRecorded: reg.Counter("spans_recorded_total",
+			"Distributed-tracing spans published to the node's span buffer."),
+
 		stabRounds:      reg.Counter("stabilize_rounds_total", "Stabilization rounds completed."),
 		stabDuration:    reg.Histogram("stabilize_duration_us", "Stabilization round duration in microseconds.", telemetry.LatencyBucketsUS),
 		pruned:          reg.Counter("table_entries_pruned_total", "Dead cubical/cyclic entries dropped by the routing-table refresh."),
@@ -276,6 +288,11 @@ func (n *Node) TraceRing() *telemetry.TraceRing { return n.traces }
 // Traces returns the retained phase-annotated lookup traces, oldest
 // first.
 func (n *Node) Traces() []telemetry.Trace { return n.traces.Snapshot() }
+
+// Spans returns the node's distributed-tracing span buffer, nil when
+// span recording is disabled. Collectors merge Snapshot()s from every
+// node and reconstruct causal trees with telemetry.BuildTrees.
+func (n *Node) Spans() *telemetry.SpanBuffer { return n.spans }
 
 // updateStoreGauge refreshes the store_keys gauge; callers hold n.mu
 // (or own the node exclusively, as during Start).

@@ -179,7 +179,7 @@ func TestCallRetryHonorsBusy(t *testing.T) {
 	defer release()
 
 	start := time.Now()
-	_, cerr := nd.callRetry(context.Background(), nd2.Addr(), request{Op: "fetch", Key: "k"})
+	_, cerr := nd.callRetry(context.Background(), nd2.Addr(), request{Op: "fetch", Key: "k"}, nil)
 	if !IsBusy(cerr) {
 		t.Fatalf("callRetry against a saturated node = %v; want BusyError", cerr)
 	}

@@ -32,6 +32,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cycloid/internal/cycloid"
@@ -127,6 +128,23 @@ type Config struct {
 	// introspection (Node.Traces, /debug/traces). 0 selects the default
 	// of 64; negative disables trace recording.
 	TraceBuffer int
+	// TraceSample is the probability in [0,1] that a client operation
+	// (Get/Put/Lookup) starts a sampled distributed trace: the node
+	// stamps every outbound request of the operation with a 128-bit
+	// trace ID so the spans recorded along the cross-node path can be
+	// reconstructed into one causal tree (internal/telemetry.BuildTrees,
+	// Node.Spans, /debug/spans). Anomalies — shed requests, retry-budget
+	// exhaustion, timeouts, greedy fallbacks — force sampling regardless
+	// of the rate, so the interesting tail is always captured. 0
+	// (default) samples nothing probabilistically; forced sampling still
+	// works when SpanBuffer enables span recording.
+	TraceSample float64
+	// SpanBuffer caps the completed spans retained for collection
+	// (Node.Spans, /debug/spans). 0 selects 4096 when tracing is in use
+	// (TraceSample > 0) and otherwise leaves span recording off;
+	// negative disables span recording entirely, making every tracing
+	// hook a nil check.
+	SpanBuffer int
 	// DataDir enables the durable disk-backed store: key/value state
 	// lives in an append-only WAL plus periodic snapshots under this
 	// directory, an acknowledged Put is fsync'd before the wire
@@ -258,6 +276,15 @@ type Node struct {
 	tel    *nodeMetrics
 	log    *slog.Logger
 	traces *telemetry.TraceRing
+
+	// spans buffers completed distributed-tracing spans for pull-based
+	// collection, nil when span recording is disabled (the tracing hot
+	// path is then a single nil check). traceState is the private
+	// splitmix64 stream behind span/trace IDs and sampling decisions;
+	// traceThreshold is Config.TraceSample mapped onto the uint64 range.
+	spans          *telemetry.SpanBuffer
+	traceState     atomic.Uint64
+	traceThreshold uint64
 }
 
 // ErrStopped reports an operation on a closed node.
@@ -276,6 +303,9 @@ func Start(cfg Config) (*Node, error) {
 	}
 	if cfg.Replicas < 1 || cfg.Replicas > 8 {
 		return nil, fmt.Errorf("p2p: replication factor %d out of range [1,8]", cfg.Replicas)
+	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return nil, fmt.Errorf("p2p: trace sample rate %v out of range [0,1]", cfg.TraceSample)
 	}
 	wireCodec, err := codec.Parse(cfg.WireCodec)
 	if err != nil {
@@ -312,6 +342,31 @@ func Start(cfg Config) (*Node, error) {
 		wireCodec: wireCodec,
 	}
 	n.budget = newRetryBudget(n.tel)
+	if cfg.SpanBuffer >= 0 && (cfg.SpanBuffer > 0 || cfg.TraceSample > 0) {
+		size := cfg.SpanBuffer
+		if size == 0 {
+			size = 4096
+		}
+		n.spans = telemetry.NewSpanBuffer(size)
+		switch {
+		case cfg.TraceSample >= 1:
+			n.traceThreshold = ^uint64(0)
+		case cfg.TraceSample > 0:
+			n.traceThreshold = uint64(cfg.TraceSample * float64(^uint64(0)))
+		}
+	}
+	// Seeded from the node ID, not the clock, so memnet harnesses get
+	// deterministic trace IDs for a given topology and op order. The
+	// seed is finalizer-mixed: every node advances the same additive
+	// splitmix64 orbit, so the per-node phases must be pseudorandomly
+	// far apart — seeding with small linear IDs directly would put
+	// nodes a handful of draws apart and make them emit each other's
+	// span and trace IDs, silently merging unrelated traces.
+	ts := uint64(space.Linear(id))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	ts ^= ts >> 33
+	ts *= 0xff51afd7ed558ccd
+	ts ^= ts >> 33
+	n.traceState.Store(ts)
 	if cfg.MaxInflight > 0 {
 		n.adm = newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.DialTimeout, n.tel)
 	}

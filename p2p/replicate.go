@@ -79,7 +79,7 @@ func (n *Node) syncStore() error {
 // to the replica set. The sync precedes both the fan-out and the
 // caller's acknowledgement, so a write is on disk before any node —
 // local or remote — treats it as stored.
-func (n *Node) putOwner(ctx context.Context, key string, value []byte) (item, error) {
+func (n *Node) putOwner(ctx context.Context, key string, value []byte, st *opTrace) (item, error) {
 	n.mu.Lock()
 	cur, _ := n.store.Get(key)
 	it := item{
@@ -90,10 +90,10 @@ func (n *Node) putOwner(ctx context.Context, key string, value []byte) (item, er
 	n.store.Put(key, it)
 	n.updateStoreGaugeLocked()
 	n.mu.Unlock()
-	if err := n.syncStore(); err != nil {
+	if err := n.syncStoreTimed(st); err != nil {
 		return it, err
 	}
-	n.fanOut(ctx, key, it)
+	n.fanOut(ctx, key, it, st)
 	return it, nil
 }
 
@@ -129,7 +129,7 @@ func (n *Node) replicaTargets(kp ids.CycloidID) []entry {
 // target inside its overload window is skipped the same way — pushing
 // at a shedding node would only be shed again, and anti-entropy repairs
 // it once the window passes.
-func (n *Node) fanOut(ctx context.Context, key string, it item) {
+func (n *Node) fanOut(ctx context.Context, key string, it item, st *opTrace) {
 	targets := n.replicaTargets(n.keyPoint(key))
 	n.tel.fanout.Observe(int64(len(targets)))
 	for _, tgt := range targets {
@@ -137,7 +137,10 @@ func (n *Node) fanOut(ctx context.Context, key string, it item) {
 			n.tel.fanoutSkips.Inc()
 			continue
 		}
-		_, _ = n.callCtx(ctx, tgt.Addr, request{Op: "replicate", Key: key, Value: it.Val, Ver: it.Ver, Src: it.Src})
+		req := request{Op: "replicate", Key: key, Value: it.Val, Ver: it.Ver, Src: it.Src}
+		sid, t0 := st.startCall(&req)
+		_, err := n.callCtx(ctx, tgt.Addr, req)
+		st.endCall(sid, t0, "replicate", tgt.Addr, err)
 	}
 }
 
@@ -194,7 +197,7 @@ func (n *Node) mayHold(kp ids.CycloidID) bool {
 // the value; otherwise the copy merges last-writer-wins and the
 // response reports the receiver's replica set for the sender's
 // garbage-collection decision.
-func (n *Node) handleReplicate(req request) response {
+func (n *Node) handleReplicate(req request, st *opTrace) response {
 	kp := n.keyPoint(req.Key)
 	// The sender (normally the key's owner) counts toward the scope
 	// ranking even when this node's leaf set has not adopted it yet.
@@ -209,7 +212,7 @@ func (n *Node) handleReplicate(req request) response {
 		// The owner treats this response as the replica's ack; the copy
 		// must be durable here or an owner-side GC decision could trust a
 		// replica that a crash would erase.
-		if err := n.syncStore(); err != nil {
+		if err := n.syncStoreTimed(st); err != nil {
 			return response{Err: err.Error()}
 		}
 	}
@@ -264,7 +267,7 @@ func (n *Node) syncReplicas() {
 					n.log.Info("replica promoted to owned copy", "key", k, "ver", it.Ver)
 				}
 			}
-			n.fanOut(context.Background(), k, it)
+			n.fanOut(context.Background(), k, it, nil)
 			continue
 		}
 		r, err := n.route(kp)

@@ -162,14 +162,22 @@ func (n *Node) isOverloaded(addr string) bool {
 // hint, each attempt paid for from the token bucket. Direct per-key
 // calls (fetch, store) use it; routing does not — stepping around an
 // overloaded hop via soft demotion is cheaper than waiting it out.
-func (n *Node) callRetry(ctx context.Context, addr string, req request) (response, error) {
+//
+// Every attempt is its own call span (a retried exchange shows up as
+// N siblings, the gaps between them the backoff waits), and the anomaly
+// paths force sampling: a busy reply marks the operation "shed", an
+// exhausted token bucket marks it "retry-exhausted".
+func (n *Node) callRetry(ctx context.Context, addr string, req request, ot *opTrace) (response, error) {
+	sid, t0 := ot.startCall(&req)
 	resp, err := n.callCtx(ctx, addr, req)
+	ot.endCall(sid, t0, req.Op, addr, err)
 	backoff := busyBackoffBase
 	for attempt := 0; attempt < busyRetryMax; attempt++ {
 		var be *BusyError
 		if !errors.As(err, &be) {
 			return resp, err
 		}
+		ot.force("shed")
 		wait := backoff
 		if be.RetryAfter > wait {
 			wait = be.RetryAfter
@@ -180,6 +188,7 @@ func (n *Node) callRetry(ctx context.Context, addr string, req request) (respons
 		}
 		if !n.budget.take() {
 			n.tel.retryExhausted.Inc()
+			ot.force("retry-exhausted")
 			return resp, err
 		}
 		t := time.NewTimer(wait)
@@ -193,7 +202,9 @@ func (n *Node) callRetry(ctx context.Context, addr string, req request) (respons
 		if backoff *= 2; backoff > busyBackoffMax {
 			backoff = busyBackoffMax
 		}
+		sid, t0 = ot.startCall(&req)
 		resp, err = n.callCtx(ctx, addr, req)
+		ot.endCall(sid, t0, req.Op, addr, err)
 	}
 	return resp, err
 }

@@ -428,7 +428,11 @@ func (n *Node) serveMux(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
-func (n *Node) dispatch(req request) response {
+// dispatch routes one admitted request to its handler. st is the
+// server-side trace scope when the request carried a sampled context
+// (nil otherwise); handlers that fan out or fsync thread it through so
+// those costs land in the right span phases.
+func (n *Node) dispatch(req request, st *opTrace) response {
 	n.tel.request(req.Op)
 	switch req.Op {
 	case "ping":
@@ -438,9 +442,9 @@ func (n *Node) dispatch(req request) response {
 	case "step":
 		return n.handleStep(req)
 	case "store":
-		return n.handleStore(req)
+		return n.handleStore(req, st)
 	case "replicate":
-		return n.handleReplicate(req)
+		return n.handleReplicate(req, st)
 	case "fetch":
 		n.mu.RLock()
 		it, ok := n.store.Get(req.Key)
@@ -452,7 +456,7 @@ func (n *Node) dispatch(req request) response {
 		}
 		// A departing node treats this response as proof the batch is
 		// safe; one group-committed sync covers the whole batch.
-		if err := n.syncStore(); err != nil {
+		if err := n.syncStoreTimed(st); err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{}
@@ -535,7 +539,7 @@ func (n *Node) localStep(t ids.CycloidID, greedyOnly bool) stepResult {
 // longer responsible. In scope, the receiver takes owner-side authority:
 // it assigns the next logical version and fans the copy out, so even a
 // mid-transition write converges via last-writer-wins at the true owner.
-func (n *Node) handleStore(req request) response {
+func (n *Node) handleStore(req request, st *opTrace) response {
 	kp := n.keyPoint(req.Key)
 	if !n.mayHold(kp) {
 		resp := response{Err: "not owner or replica for key"}
@@ -544,7 +548,7 @@ func (n *Node) handleStore(req request) response {
 		}
 		return resp
 	}
-	if _, err := n.putOwner(context.Background(), req.Key, req.Value); err != nil {
+	if _, err := n.putOwner(context.Background(), req.Key, req.Value, st); err != nil {
 		return response{Err: err.Error()}
 	}
 	return response{}

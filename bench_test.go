@@ -43,6 +43,9 @@ func BenchmarkLookupDialPerRequest(b *testing.B)  { bench.Run(b, "LookupDialPerR
 func BenchmarkLookupUnderShedding(b *testing.B)   { bench.Run(b, "LookupUnderShedding") }
 func BenchmarkLookupTraced(b *testing.B)          { bench.Run(b, "LookupTraced") }
 func BenchmarkLookupTracedUnsampled(b *testing.B) { bench.Run(b, "LookupTracedUnsampled") }
+func BenchmarkBlobRead(b *testing.B)              { bench.Run(b, "BlobRead") }
+func BenchmarkBlobReadPrefetch(b *testing.B)      { bench.Run(b, "BlobReadPrefetch") }
+func BenchmarkBlobWrite(b *testing.B)             { bench.Run(b, "BlobWrite") }
 
 // TestBenchWrappersCoverRegistry keeps the wrapper list above in sync
 // with the internal/bench registry.
@@ -60,6 +63,7 @@ func TestBenchWrappersCoverRegistry(t *testing.T) {
 		"PooledLookup": true, "PooledLookupJSON": true, "LookupDialPerRequest": true,
 		"LookupUnderShedding": true,
 		"LookupTraced":        true, "LookupTracedUnsampled": true,
+		"BlobRead": true, "BlobReadPrefetch": true, "BlobWrite": true,
 	}
 	cases := bench.Cases()
 	if len(cases) != len(want) {

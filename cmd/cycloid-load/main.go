@@ -43,7 +43,7 @@ func main() {
 		pooled      = flag.Bool("pooled", true, "use pooled, multiplexed wire connections")
 		wireCodec   = flag.String("wire-codec", "auto", "outbound wire codec: auto, json (v1), binary (v2), or mixed (alternate json/binary per node)")
 		replicas    = flag.Int("replicas", 1, "replication factor R")
-		mix         = flag.String("mix", "0:0:1", "put:get:lookup weights")
+		mix         = flag.String("mix", "0:0:1", "put:get:lookup weights, or \"streaming\" for the chunked-blob viewer mix")
 		keys        = flag.Int("keys", 64, "distinct key population")
 		zipf        = flag.Float64("zipf", 0, "Zipf key-popularity skew s (> 1); 0 = uniform")
 		ops         = flag.Int("ops", 2000, "measured operations")
@@ -54,6 +54,14 @@ func main() {
 		maxErrRate  = flag.Float64("max-error-rate", -1, "exit nonzero if errors/ops exceeds this (negative = no check)")
 		maxP99      = flag.Duration("max-p99", 0, "exit nonzero if p99 latency exceeds this (0 = no check)")
 		traceSample = flag.Float64("trace-sample", 0, "distributed-tracing sample probability in [0,1]; sampled latency outliers appear as trace exemplars in the report")
+
+		// Streaming-mix knobs (-mix streaming); see loadgen.Streaming.
+		blobs      = flag.Int("blobs", 8, "streaming: distinct blob population")
+		blobChunks = flag.Int("blob-chunks", 16, "streaming: chunks per blob")
+		chunkSize  = flag.Int("chunk-size", 8<<10, "streaming: chunk payload bytes")
+		window     = flag.Int("stream-window", 4, "streaming: reader prefetch window")
+		bitrate    = flag.Int("bitrate", 0, "streaming: viewer playout bitrate in KiB/s (0 = unpaced, no deadlines)")
+		sessions   = flag.Int("sessions", 64, "streaming: viewer sessions to play")
 	)
 	flag.Parse()
 
@@ -64,21 +72,33 @@ func main() {
 	}
 	defer cleanup()
 
-	m, err := parseMix(*mix)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cycloid-load:", err)
-		os.Exit(1)
-	}
-	rep, err := loadgen.Run(loadgen.Config{
+	lcfg := loadgen.Config{
 		Nodes:       cluster,
-		Mix:         m,
 		Keys:        *keys,
 		Zipf:        *zipf,
 		Seed:        *seed,
 		Ops:         *ops,
 		Concurrency: *concurrency,
 		Rate:        *rate,
-	})
+	}
+	if *mix == "streaming" {
+		lcfg.Streaming = &loadgen.Streaming{
+			Blobs:       *blobs,
+			BlobChunks:  *blobChunks,
+			ChunkSize:   *chunkSize,
+			Window:      *window,
+			BitrateKBps: *bitrate,
+			Sessions:    *sessions,
+		}
+	} else {
+		m, err := parseMix(*mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycloid-load:", err)
+			os.Exit(1)
+		}
+		lcfg.Mix = m
+	}
+	rep, err := loadgen.Run(lcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cycloid-load:", err)
 		os.Exit(1)

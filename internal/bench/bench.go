@@ -55,6 +55,9 @@ func Cases() []Case {
 		{"LookupUnderShedding", benchLookupUnderShedding},
 		{"LookupTraced", benchLookupTraced},
 		{"LookupTracedUnsampled", benchLookupTracedUnsampled},
+		{"BlobRead", benchBlobRead},
+		{"BlobReadPrefetch", benchBlobReadPrefetch},
+		{"BlobWrite", benchBlobWrite},
 	}
 }
 

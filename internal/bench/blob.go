@@ -1,0 +1,103 @@
+// Blob benchmarks: what the chunked layer costs per whole-blob read —
+// sequential versus windowed-prefetch fetching — and per committed
+// write. All run live p2p nodes on the deterministic in-memory
+// transport with pooled connections and a per-link latency, so the
+// prefetch benchmark measures what the window actually buys: overlapped
+// chunk fetches hiding per-hop latency, the speedup BlobRead (window 1)
+// versus BlobReadPrefetch (window 8) records in BENCH_cycloid.json.
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cycloid/p2p"
+	"cycloid/p2p/blob"
+	"cycloid/p2p/memnet"
+)
+
+const (
+	blobBenchChunk  = 8 << 10
+	blobBenchChunks = 16
+	blobBenchDelay  = 100 * time.Microsecond
+)
+
+// blobBenchStore boots a pooled cluster whose members each pay a small
+// simulated service time per dispatch (Config.ServiceDelay — memnet's
+// virtual latency is never slept, so without it every fetch completes
+// in microseconds and overlap would have nothing to hide), writes one
+// benchmark blob, and returns a store reading it from a non-origin node
+// with the given prefetch window.
+func blobBenchStore(b *testing.B, window int) (*blob.Store, string) {
+	b.Helper()
+	nw := memnet.New(Seed)
+	nodes := replCluster(b, nw, 6, 8, Seed, 1, func(i int, cfg *p2p.Config) {
+		cfg.PooledTransport = true
+		cfg.DialTimeout = time.Second
+		cfg.MaxInflight = 64 // generous: admission only to host ServiceDelay
+		cfg.ServiceDelay = blobBenchDelay
+	})
+	writer, err := blob.New(nodes[0], blob.Options{ChunkSize: blobBenchChunk, Window: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, blobBenchChunk*blobBenchChunks)
+	rand.New(rand.NewSource(Seed)).Read(data)
+	if err := writer.Put(context.Background(), "bench-blob", data); err != nil {
+		b.Fatal(err)
+	}
+	reader, err := blob.New(nodes[5], blob.Options{ChunkSize: blobBenchChunk, Window: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reader, "bench-blob"
+}
+
+// benchBlobRead measures a whole-blob read with window 1: strictly
+// sequential chunk fetches, every per-hop latency paid in series — the
+// baseline the prefetcher is judged against.
+func benchBlobRead(b *testing.B) {
+	s, name := blobBenchStore(b, 1)
+	ctx := context.Background()
+	b.SetBytes(blobBenchChunk * blobBenchChunks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(ctx, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBlobReadPrefetch is the same read with the default window of 8
+// chunk fetches in flight: the latency-hiding speedup over benchBlobRead
+// is the prefetcher's measured win.
+func benchBlobReadPrefetch(b *testing.B) {
+	s, name := blobBenchStore(b, 8)
+	ctx := context.Background()
+	b.SetBytes(blobBenchChunk * blobBenchChunks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(ctx, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBlobWrite measures a committed blob write: windowed chunk Puts,
+// the manifest commit, and garbage collection of the generation each
+// iteration replaces.
+func benchBlobWrite(b *testing.B) {
+	s, _ := blobBenchStore(b, 8)
+	ctx := context.Background()
+	data := make([]byte, blobBenchChunk*blobBenchChunks)
+	rand.New(rand.NewSource(Seed + 1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(ctx, "bench-write", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

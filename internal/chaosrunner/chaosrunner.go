@@ -149,6 +149,44 @@ type Config struct {
 	// byte-identical.
 	TraceSample float64
 
+	// StreamingClients > 0 enables streaming-during-churn: that many
+	// workers write fresh chunked blobs (p2p/blob) and play viewer
+	// sessions over previously acknowledged ones concurrently with each
+	// round's membership events and stabilization sweeps. The run then
+	// asserts the blob invariants after every round: zero chunk
+	// integrity failures fleet-wide, every acknowledged blob fully
+	// readable from a live node (zero lost acked blobs), and the
+	// rebuffer rate over the round's sessions bounded by
+	// MaxRebufferRate. The knob never touches the schedule RNG, so
+	// default schedules stay byte-identical. Streaming runs should use
+	// Replicas greater than the simultaneous crash count (or
+	// KillRestart, whose disks survive) so acked blobs stay readable
+	// through the churn.
+	StreamingClients int
+	// StreamingSessions is the viewer sessions each streaming worker
+	// plays per round (default 2).
+	StreamingSessions int
+	// StreamingBlobChunks is the length of every written blob, in
+	// chunks (default 6).
+	StreamingBlobChunks int
+	// StreamingChunkSize is the blob layer's chunk payload size
+	// (default 2 KiB — small, so blobs span many keys without bloating
+	// the run).
+	StreamingChunkSize int
+	// StreamingWindow is the viewer's prefetch window (default 4).
+	StreamingWindow int
+	// StreamingBitrateKBps paces viewer playout for rebuffer
+	// accounting (default 512 KiB/s; 0 keeps the default — streaming
+	// chaos without deadlines would have nothing to bound).
+	StreamingBitrateKBps int
+	// MaxStreamErrorRate bounds failed sessions+writes over attempts
+	// (default 0.25): churn may race an individual session, but past
+	// the bound churn is breaking the blob layer, not racing it.
+	MaxStreamErrorRate float64
+	// MaxRebufferRate bounds rebuffers per completed session (default
+	// 2.0).
+	MaxRebufferRate float64
+
 	// Overload selects the overload-protection tier instead of the
 	// fault schedule: every member runs admission control, member
 	// ordinal 0 (the victim) gets a tiny in-flight cap, and Zipf-skewed
@@ -242,6 +280,29 @@ func (c *Config) defaults() {
 	if c.KillRestart && c.DowntimeRounds == 0 {
 		c.DowntimeRounds = 1
 	}
+	if c.StreamingClients > 0 {
+		if c.StreamingSessions == 0 {
+			c.StreamingSessions = 2
+		}
+		if c.StreamingBlobChunks == 0 {
+			c.StreamingBlobChunks = 6
+		}
+		if c.StreamingChunkSize == 0 {
+			c.StreamingChunkSize = 2048
+		}
+		if c.StreamingWindow == 0 {
+			c.StreamingWindow = 4
+		}
+		if c.StreamingBitrateKBps == 0 {
+			c.StreamingBitrateKBps = 512
+		}
+		if c.MaxStreamErrorRate == 0 {
+			c.MaxStreamErrorRate = 0.25
+		}
+		if c.MaxRebufferRate == 0 {
+			c.MaxRebufferRate = 2
+		}
+	}
 }
 
 // Event kinds. Fault events run in phase 1, membership events in
@@ -277,6 +338,9 @@ type RoundReport struct {
 	CleanTimeouts int      // timeouts observed after heal+stabilize (must be 0)
 	LoadOps       int      // load-during-churn operations issued (0 unless LoadClients > 0)
 	LoadErrors    int      // load-during-churn operations that failed
+	StreamOps     int      // streaming-during-churn attempts: blob writes + viewer sessions
+	StreamErrors  int      // streaming attempts that failed
+	Rebuffers     int      // viewer chunks past their playout deadline this round
 	Violations    []string // invariant violations detected this round
 }
 
@@ -297,6 +361,9 @@ type Result struct {
 	Restarts   int // restart events in the schedule (KillRestart runs)
 	Traces     int // span trees reconstructed post-run (TraceSample > 0)
 	Spans      int // spans collected fleet-wide post-run (TraceSample > 0)
+	StreamOps  int // streaming attempts across all rounds (StreamingClients > 0)
+	Rebuffers  int // rebuffer events across all rounds (StreamingClients > 0)
+	AckedBlobs int // blobs acknowledged and verified readable (StreamingClients > 0)
 
 	// Overload carries the overload tier's measurements; nil unless
 	// Config.Overload was set.
@@ -441,6 +508,11 @@ type runner struct {
 	// for each key across the whole fleet, for the no-version-regress
 	// durability invariant.
 	maxVer map[string]uint64
+
+	// ackedBlobs maps every blob name the blob layer acknowledged to its
+	// full expected content (streaming tier); each must read back in
+	// full after every round — the zero-lost-acked-blobs invariant.
+	ackedBlobs map[string][]byte
 }
 
 // Run executes the seeded schedule and returns the full report. An
@@ -500,6 +572,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		r.expected[k] = v
 	}
+	if cfg.StreamingClients > 0 {
+		if err := r.provisionBlobs(); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{Schedule: sched}
 	for _, e := range sched {
@@ -517,6 +594,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.FinalLive = len(r.liveMembers())
 	res.FinalKeys = len(r.expected)
+	for _, rep := range res.Rounds {
+		res.StreamOps += rep.StreamOps
+		res.Rebuffers += rep.Rebuffers
+	}
+	res.AckedBlobs = len(r.ackedBlobs)
 	if cfg.TraceSample > 0 {
 		r.checkTraces(res, sched)
 	}
@@ -867,6 +949,30 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 		}
 	}
 
+	// Streaming-during-churn: blob writers and paced viewer sessions run
+	// through the same window as the load workers, on origins that
+	// survive the whole round. Stats land in sstats (atomics only);
+	// checkStreaming promotes them after the workers drain.
+	var sstats streamStats
+	if r.cfg.StreamingClients > 0 {
+		departing := map[int]bool{}
+		for _, e := range events {
+			if e.Kind == EvLeave || e.Kind == EvLossy || e.Kind == EvCrash || e.Kind == EvKill {
+				departing[e.Node] = true
+			}
+		}
+		var origins []*member
+		for _, m := range r.liveMembers() {
+			if !departing[m.ord] {
+				origins = append(origins, m)
+			}
+		}
+		if len(origins) > 0 {
+			r.launchStreaming(round, &loadWG, origins, &sstats)
+		}
+	}
+
+	blobsAtRisk := false
 	for _, e := range events {
 		switch e.Kind {
 		case EvJoin:
@@ -903,6 +1009,11 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 						delete(r.expected, k)
 					}
 				}
+				// Blob chunks scatter across the whole ID space, so a
+				// crash set reaching R may have taken some chunk's entire
+				// replica set with it. Flag the drop; it applies after the
+				// workers (which still mutate the acked set) drain.
+				blobsAtRisk = true
 			}
 			m.node.Close()
 			m.live = false
@@ -996,6 +1107,9 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 	// membership events may fail occasionally, but its error rate stays
 	// under the configured bound.
 	loadWG.Wait()
+	if blobsAtRisk {
+		r.dropAckedBlobs()
+	}
 	rep.LoadOps = int(loadOps.Load())
 	rep.LoadErrors = int(loadErrs.Load())
 	if rep.LoadOps > 0 {
@@ -1128,6 +1242,14 @@ func (r *runner) runRound(round int, sched []Event) RoundReport {
 		if v > r.maxVer[k] {
 			r.maxVer[k] = v
 		}
+	}
+
+	// (1d) Streaming-during-churn: bounded error and rebuffer rates over
+	// the traffic that raced the churn, zero chunk integrity failures
+	// fleet-wide, and every acknowledged blob readable in full from a
+	// live node.
+	if r.cfg.StreamingClients > 0 {
+		r.checkStreaming(round, &rep, &sstats, live, violation)
 	}
 
 	// (2) Lookups from every live node converge to the responsible node.

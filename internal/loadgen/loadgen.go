@@ -101,6 +101,11 @@ type Config struct {
 	// queued work whose caller has already given up; an operation that
 	// exceeds it counts as an error in the report.
 	OpTimeout time.Duration
+	// Streaming selects the streaming mix (see RunStreaming): viewer
+	// sessions over chunked blobs instead of single-key operations.
+	// Mix, Keys, KeyList and Ops are ignored when it is set; Zipf skews
+	// blob popularity and Concurrency is the concurrent viewer count.
+	Streaming *Streaming
 }
 
 func (c *Config) defaults() error {
@@ -199,6 +204,9 @@ type Report struct {
 	// Exemplars are the slowest trace-sampled operations of the run
 	// (latency outliers with a pullable trace ID), slowest first.
 	Exemplars []Exemplar `json:"exemplars,omitempty"`
+	// Streaming carries the streaming mix's SLO section (rebuffer
+	// accounting, TTFB quantiles); nil for the Put/Get/Lookup mixes.
+	Streaming *StreamStats `json:"streaming,omitempty"`
 }
 
 // maxExemplars bounds how many outlier traces a report retains.
@@ -225,6 +233,9 @@ type runner struct {
 // measure window) so reads always have something to hit; the per-node
 // load table covers only the measured traffic.
 func Run(cfg Config) (*Report, error) {
+	if cfg.Streaming != nil {
+		return RunStreaming(cfg)
+	}
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
@@ -442,9 +453,18 @@ func (r *runner) report(took time.Duration, before, after []loadSnapshot) *Repor
 	}
 	rep.Throughput = float64(rep.Ops) / took.Seconds()
 	rep.Exemplars = r.exemplars
+	fillLoad(rep, cfg.Nodes, before, after)
+	return rep
+}
 
+// fillLoad computes the per-node query-load table and its balance
+// summary from the before/after counter snapshots — the Figures 8–10
+// section, shared by every mix.
+func fillLoad(rep *Report, nodes []*p2p.Node, before, after []loadSnapshot) {
+	rep.Load = make([]NodeLoad, len(nodes))
+	rep.LoadBalance = Balance{Min: ^uint64(0)}
 	var sum, sumSq float64
-	for i, nd := range cfg.Nodes {
+	for i, nd := range nodes {
 		l := NodeLoad{
 			Name:    nd.Addr(),
 			ID:      nd.ID().String(),
@@ -463,7 +483,7 @@ func (r *runner) report(took time.Duration, before, after []loadSnapshot) *Repor
 		sum += float64(l.Total)
 		sumSq += float64(l.Total) * float64(l.Total)
 	}
-	n := float64(len(cfg.Nodes))
+	n := float64(len(nodes))
 	rep.LoadBalance.Mean = sum / n
 	if rep.LoadBalance.Mean > 0 {
 		variance := sumSq/n - rep.LoadBalance.Mean*rep.LoadBalance.Mean
@@ -473,5 +493,4 @@ func (r *runner) report(took time.Duration, before, after []loadSnapshot) *Repor
 		rep.LoadBalance.CV = math.Sqrt(variance) / rep.LoadBalance.Mean
 	}
 	sort.Slice(rep.Load, func(i, j int) bool { return rep.Load[i].Total > rep.Load[j].Total })
-	return rep
 }

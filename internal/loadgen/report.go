@@ -18,13 +18,19 @@ func (r *Report) Format(w io.Writer) {
 	fmt.Fprintf(w, "load report: mode=%s nodes=%d ops=%d errors=%d\n", r.Mode, r.Nodes, r.Ops, r.Errors)
 	fmt.Fprintf(w, "  duration %v, throughput %.1f ops/s\n", r.Duration.Round(time.Millisecond), r.Throughput)
 	fmt.Fprintf(w, "  latency p50=%s p95=%s p99=%s\n", us(r.P50), us(r.P95), us(r.P99))
-	for _, op := range []string{"put", "get", "lookup"} {
+	for _, op := range []string{"put", "get", "lookup", "chunk"} {
 		s, ok := r.PerOp[op]
 		if !ok {
 			continue
 		}
 		fmt.Fprintf(w, "  %-6s ops=%-6d errors=%-4d p50=%s p95=%s p99=%s\n",
 			op, s.Ops, s.Errors, us(s.P50), us(s.P95), us(s.P99))
+	}
+	if st := r.Streaming; st != nil {
+		fmt.Fprintf(w, "  streaming: sessions=%d chunks=%d errors=%d integrity_failures=%d\n",
+			st.Sessions, st.Chunks, st.Errors, st.Integrity)
+		fmt.Fprintf(w, "  rebuffers=%d rate=%.3f/session, ttfb p50=%s p95=%s p99=%s\n",
+			st.Rebuffers, st.RebufferRate, us(st.TTFBP50), us(st.TTFBP95), us(st.TTFBP99))
 	}
 	fmt.Fprintf(w, "  query load per node (busiest first):\n")
 	fmt.Fprintf(w, "    %-12s %-10s %8s %8s %8s %8s\n", "node", "id", "steps", "fetches", "stores", "total")

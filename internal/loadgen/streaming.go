@@ -1,0 +1,285 @@
+// The streaming mix: virtual viewers playing chunked blobs through
+// p2p/blob at a fixed bitrate. Where the Put/Get/Lookup mixes exercise
+// one key per operation, a viewer session touches every chunk key of a
+// blob in sequence — the many-keys-per-object load shape the paper's
+// congestion experiment (Figures 8–10) assumes — and is judged by the
+// SLOs that matter for media delivery: time-to-first-byte and rebuffer
+// events, a chunk arriving after its playout deadline.
+//
+// The playout model is the standard one: playback starts when the first
+// chunk arrives (that wait is TTFB, not a rebuffer), then chunk i is
+// due one chunk-duration after chunk i-1's playout. A late chunk counts
+// one rebuffer and rebases the playout clock by its lateness — a
+// stalled player resumes where it stalled; it does not owe the
+// schedule the stall time forever.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cycloid/internal/telemetry"
+	"cycloid/p2p"
+	"cycloid/p2p/blob"
+)
+
+// Streaming parameterizes the streaming mix. Zero values take the
+// defaults noted per field.
+type Streaming struct {
+	// Blobs is the distinct blob population viewers draw from (with the
+	// run's Zipf skew, blob 0 hottest). Default 8.
+	Blobs int
+	// BlobChunks is the length of every blob, in chunks. Default 16.
+	BlobChunks int
+	// ChunkSize is the blob layer's chunk payload size. Default 8 KiB.
+	ChunkSize int
+	// Window is the reader's prefetch window. Default 4.
+	Window int
+	// BitrateKBps is each viewer's playout bitrate in KiB/s: chunk i's
+	// deadline falls i×(ChunkSize/bitrate) after playback start, and
+	// the viewer paces its reads to that schedule. 0 disables pacing —
+	// viewers pull as fast as the overlay serves, and no deadline
+	// exists to miss. Default 0.
+	BitrateKBps int
+	// Sessions is the number of viewing sessions to play. Default 64.
+	Sessions int
+}
+
+func (s *Streaming) defaults() {
+	if s.Blobs == 0 {
+		s.Blobs = 8
+	}
+	if s.BlobChunks == 0 {
+		s.BlobChunks = 16
+	}
+	if s.ChunkSize == 0 {
+		s.ChunkSize = 8 << 10
+	}
+	if s.Window == 0 {
+		s.Window = 4
+	}
+	if s.Sessions == 0 {
+		s.Sessions = 64
+	}
+}
+
+// StreamStats is the streaming mix's section of the report.
+type StreamStats struct {
+	Sessions     int     `json:"sessions"`
+	Chunks       int     `json:"chunks"`         // chunk reads completed
+	Errors       int     `json:"errors"`         // sessions that failed
+	Rebuffers    int     `json:"rebuffers"`      // chunks past their playout deadline
+	RebufferRate float64 `json:"rebuffer_rate"`  // rebuffers per session
+	TTFBP50      int64   `json:"ttfb_p50_us"`    // time to first byte, µs
+	TTFBP95      int64   `json:"ttfb_p95_us"`
+	TTFBP99      int64   `json:"ttfb_p99_us"`
+	Integrity    uint64  `json:"integrity_failures"` // fleet-wide digest failures
+}
+
+// session is one pregenerated viewing session: which blob, from which
+// node.
+type session struct {
+	blob   int
+	origin int
+}
+
+// RunStreaming executes the streaming mix: provision the blob
+// population (outside the measure window), then play Sessions viewer
+// sessions with Concurrency concurrent viewers, and report the usual
+// per-node query-load table plus the streaming SLOs. All randomness is
+// pregenerated from cfg.Seed, so on a deterministic fabric the session
+// sequence, chunk counts and outcomes repeat exactly.
+func RunStreaming(cfg Config) (*Report, error) {
+	if cfg.Streaming == nil {
+		cfg.Streaming = &Streaming{}
+	}
+	st := *cfg.Streaming
+	st.defaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("loadgen: no nodes")
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Zipf != 0 && cfg.Zipf <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf skew must be > 1 (or 0 for uniform), got %v", cfg.Zipf)
+	}
+
+	// One blob store per node, so sessions originate anywhere like the
+	// other mixes' operations do.
+	stores := make([]*blob.Store, len(cfg.Nodes))
+	for i, nd := range cfg.Nodes {
+		s, err := blob.New(nd, blob.Options{ChunkSize: st.ChunkSize, Window: st.Window})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		stores[i] = s
+	}
+
+	// Pregenerate blob contents and the session sequence from the seed,
+	// single-threaded.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := make([]string, st.Blobs)
+	contents := make([][]byte, st.Blobs)
+	for i := range names {
+		names[i] = fmt.Sprintf("stream-%d-%d", cfg.Seed, i)
+		contents[i] = make([]byte, st.BlobChunks*st.ChunkSize)
+		rng.Read(contents[i])
+	}
+	var zipf *rand.Zipf
+	if cfg.Zipf > 1 {
+		zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(st.Blobs-1))
+	}
+	sessions := make([]session, st.Sessions)
+	for i := range sessions {
+		b := rng.Intn(st.Blobs)
+		if zipf != nil {
+			b = int(zipf.Uint64())
+		}
+		sessions[i] = session{blob: b, origin: rng.Intn(len(cfg.Nodes))}
+	}
+
+	// Provision the population outside the measure window.
+	ctx := context.Background()
+	for i, name := range names {
+		if err := stores[i%len(stores)].Put(ctx, name, contents[i]); err != nil {
+			return nil, fmt.Errorf("loadgen: provision blob %q: %w", name, err)
+		}
+	}
+
+	reg := telemetry.NewRegistry("loadgen")
+	chunkLat := reg.Histogram("chunk_latency_us", "Per-chunk read latency.", telemetry.LatencyBucketsUS)
+	ttfb := reg.Histogram("ttfb_us", "Time to first byte per session.", telemetry.LatencyBucketsUS)
+	integBefore := sumCounter(cfg.Nodes, "cycloid_blob_integrity_failures_total")
+
+	before := snapshotLoads(cfg.Nodes)
+	began := time.Now()
+
+	var (
+		chunkDur  time.Duration
+		chunks    atomic.Int64
+		rebuffers atomic.Int64
+		errors    atomic.Int64
+		nextIdx   atomic.Int64
+		wg        sync.WaitGroup
+	)
+	if st.BitrateKBps > 0 {
+		chunkDur = time.Duration(float64(st.ChunkSize) / float64(st.BitrateKBps<<10) * float64(time.Second))
+	}
+	play := func(s session) {
+		store := stores[s.origin]
+		sctx := ctx
+		if cfg.OpTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(ctx, cfg.OpTimeout)
+			defer cancel()
+		}
+		t0 := time.Now()
+		r, err := store.Open(sctx, names[s.blob])
+		if err != nil {
+			errors.Add(1)
+			return
+		}
+		defer r.Close()
+		buf := make([]byte, st.ChunkSize)
+		var playStart time.Time
+		for seq := 0; ; seq++ {
+			if seq > 0 && chunkDur > 0 {
+				// Pace like a player: the next chunk is wanted at its
+				// playout time, not earlier.
+				if wait := time.Until(playStart.Add(time.Duration(seq-1) * chunkDur)); wait > 0 {
+					time.Sleep(wait)
+				}
+			}
+			c0 := time.Now()
+			_, err := io.ReadFull(r, buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil && err != io.ErrUnexpectedEOF {
+				errors.Add(1)
+				return
+			}
+			now := time.Now()
+			chunkLat.Observe(now.Sub(c0).Microseconds())
+			chunks.Add(1)
+			if seq == 0 {
+				ttfb.Observe(now.Sub(t0).Microseconds())
+				playStart = now
+			} else if chunkDur > 0 {
+				if late := now.Sub(playStart.Add(time.Duration(seq) * chunkDur)); late > 0 {
+					rebuffers.Add(1)
+					store.RecordRebuffer()
+					playStart = playStart.Add(late) // resume where it stalled
+				}
+			}
+			if err == io.ErrUnexpectedEOF {
+				break
+			}
+		}
+	}
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(sessions) {
+					return
+				}
+				play(sessions[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	took := time.Since(began)
+	after := snapshotLoads(cfg.Nodes)
+
+	rep := &Report{
+		Mode:     "streaming",
+		Nodes:    len(cfg.Nodes),
+		Ops:      int(chunks.Load()),
+		Errors:   int(errors.Load()),
+		Duration: took,
+		P50:      chunkLat.Quantile(0.50),
+		P95:      chunkLat.Quantile(0.95),
+		P99:      chunkLat.Quantile(0.99),
+		PerOp: map[string]OpStats{
+			"chunk": {
+				Ops: int(chunks.Load()), Errors: int(errors.Load()),
+				P50: chunkLat.Quantile(0.50), P95: chunkLat.Quantile(0.95), P99: chunkLat.Quantile(0.99),
+			},
+		},
+		Streaming: &StreamStats{
+			Sessions:  st.Sessions,
+			Chunks:    int(chunks.Load()),
+			Errors:    int(errors.Load()),
+			Rebuffers: int(rebuffers.Load()),
+			TTFBP50:   ttfb.Quantile(0.50),
+			TTFBP95:   ttfb.Quantile(0.95),
+			TTFBP99:   ttfb.Quantile(0.99),
+			Integrity: sumCounter(cfg.Nodes, "cycloid_blob_integrity_failures_total") - integBefore,
+		},
+	}
+	rep.Throughput = float64(rep.Ops) / took.Seconds()
+	if st.Sessions > 0 {
+		rep.Streaming.RebufferRate = float64(rep.Streaming.Rebuffers) / float64(st.Sessions)
+	}
+	fillLoad(rep, cfg.Nodes, before, after)
+	return rep, nil
+}
+
+// sumCounter totals one counter family across every node's registry.
+func sumCounter(nodes []*p2p.Node, name string) uint64 {
+	var sum uint64
+	for _, nd := range nodes {
+		sum += nd.Telemetry().CounterValue(name)
+	}
+	return sum
+}

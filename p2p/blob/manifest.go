@@ -1,0 +1,123 @@
+// The blob manifest: the one small value that makes a pile of scattered
+// chunks read back as a single consistent object. A manifest commits a
+// blob — readers resolve the manifest key first and then fetch exactly
+// the generation of chunks it names, integrity-checked against the
+// per-chunk digests it carries, so a writer replacing a blob never
+// produces a torn read: until the new manifest lands, every reader sees
+// the old generation in full.
+//
+// The encoding is the wire codec's idiom — fixed-width fields,
+// stdlib encoding/binary, length-validated decode — rather than JSON:
+// manifests ride the KV as opaque values and are decoded on every blob
+// open, so they get the same compact, allocation-conscious treatment as
+// the envelopes underneath them.
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// manifestMagic opens every encoded manifest: "CBM" + format version.
+const manifestMagic = "CBM1"
+
+// Digest is one chunk's SHA-256.
+type Digest = [sha256.Size]byte
+
+// Manifest describes one committed blob generation: its identity, its
+// chunking geometry, and the digest of every chunk. len(Sums) is the
+// chunk count; Gen is the blob generation the chunk keys are derived
+// from (each rewrite bumps it, so new chunks land on fresh keys and the
+// replaced generation can be garbage-collected without racing readers
+// onto half-written data).
+type Manifest struct {
+	Name      string
+	Size      int64
+	ChunkSize int
+	Gen       uint64
+	Sums      []Digest
+}
+
+// Count returns the number of chunks.
+func (m *Manifest) Count() int { return len(m.Sums) }
+
+// chunkLen returns the payload length of chunk seq: ChunkSize for every
+// chunk but possibly the last.
+func (m *Manifest) chunkLen(seq int) int {
+	if rem := m.Size - int64(seq)*int64(m.ChunkSize); rem < int64(m.ChunkSize) {
+		return int(rem)
+	}
+	return m.ChunkSize
+}
+
+// ErrBadManifest reports a manifest value that failed to decode —
+// truncated, inconsistent, or not a manifest at all.
+var ErrBadManifest = errors.New("blob: malformed manifest")
+
+// chunkCount returns the chunk count implied by (size, chunkSize).
+func chunkCount(size int64, chunkSize int) int {
+	if size == 0 {
+		return 0
+	}
+	return int((size + int64(chunkSize) - 1) / int64(chunkSize))
+}
+
+// Encode renders the manifest in its fixed-width binary layout:
+//
+//	magic "CBM1" | u32 chunkSize | u64 size | u64 gen |
+//	u16 nameLen | name | u32 count | count × 32-byte SHA-256
+func (m *Manifest) Encode() []byte {
+	out := make([]byte, 0, len(manifestMagic)+4+8+8+2+len(m.Name)+4+len(m.Sums)*sha256.Size)
+	out = append(out, manifestMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(m.ChunkSize))
+	out = binary.BigEndian.AppendUint64(out, uint64(m.Size))
+	out = binary.BigEndian.AppendUint64(out, m.Gen)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Name)))
+	out = append(out, m.Name...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Sums)))
+	for i := range m.Sums {
+		out = append(out, m.Sums[i][:]...)
+	}
+	return out
+}
+
+// DecodeManifest parses an encoded manifest, validating every declared
+// length against the bytes actually present and the chunk count against
+// the (size, chunkSize) geometry — a decoded manifest is always
+// internally consistent, so readers can trust its arithmetic.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < len(manifestMagic)+4+8+8+2 || string(b[:len(manifestMagic)]) != manifestMagic {
+		return nil, ErrBadManifest
+	}
+	b = b[len(manifestMagic):]
+	chunkSize := int(binary.BigEndian.Uint32(b))
+	size := binary.BigEndian.Uint64(b[4:])
+	gen := binary.BigEndian.Uint64(b[12:])
+	nameLen := int(binary.BigEndian.Uint16(b[20:]))
+	b = b[22:]
+	if chunkSize <= 0 || size > 1<<62 {
+		return nil, fmt.Errorf("%w: chunkSize=%d size=%d", ErrBadManifest, chunkSize, size)
+	}
+	if len(b) < nameLen+4 {
+		return nil, ErrBadManifest
+	}
+	name := string(b[:nameLen])
+	count := int(binary.BigEndian.Uint32(b[nameLen:]))
+	b = b[nameLen+4:]
+	if count != chunkCount(int64(size), chunkSize) {
+		return nil, fmt.Errorf("%w: count %d does not match size %d / chunkSize %d", ErrBadManifest, count, size, chunkSize)
+	}
+	if len(b) != count*sha256.Size {
+		return nil, ErrBadManifest
+	}
+	m := &Manifest{Name: name, Size: int64(size), ChunkSize: chunkSize, Gen: gen}
+	if count > 0 {
+		m.Sums = make([]Digest, count)
+		for i := range m.Sums {
+			copy(m.Sums[i][:], b[i*sha256.Size:])
+		}
+	}
+	return m, nil
+}

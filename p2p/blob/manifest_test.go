@@ -1,0 +1,96 @@
+package blob_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cycloid/p2p/blob"
+)
+
+func testManifest(name string, size int64, chunkSize int, gen uint64) *blob.Manifest {
+	m := &blob.Manifest{Name: name, Size: size, ChunkSize: chunkSize, Gen: gen}
+	count := int((size + int64(chunkSize) - 1) / int64(chunkSize))
+	if size == 0 {
+		return m // no chunks: Sums stays nil, as DecodeManifest leaves it
+	}
+	m.Sums = make([]blob.Digest, count)
+	for i := range m.Sums {
+		m.Sums[i] = sha256.Sum256([]byte{byte(i), byte(i >> 8)})
+	}
+	return m
+}
+
+// TestManifestRoundTrip encodes and decodes manifests across the shape
+// space: empty blob, single chunk, ragged tail, empty and long names,
+// high generations.
+func TestManifestRoundTrip(t *testing.T) {
+	for _, m := range []*blob.Manifest{
+		testManifest("", 0, 1, 0),
+		testManifest("a", 1, 4096, 1),
+		testManifest("video/episode-1", 4096*7, 4096, 2),
+		testManifest("ragged", 4096*7+13, 4096, 1<<40),
+		testManifest(string(bytes.Repeat([]byte("n"), 1000)), 64, 64, 9),
+	} {
+		got, err := blob.DecodeManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("decode %q: %v", m.Name, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %q:\n got %+v\nwant %+v", m.Name, got, m)
+		}
+	}
+}
+
+// TestManifestDecodeErrors feeds structurally broken encodings to the
+// decoder; each must fail with ErrBadManifest, never a panic or a
+// silently wrong manifest.
+func TestManifestDecodeErrors(t *testing.T) {
+	valid := testManifest("ok", 100, 64, 1).Encode()
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short":          valid[:8],
+		"bad magic":      append([]byte("XXXX"), valid[4:]...),
+		"truncated sums": valid[:len(valid)-1],
+		"trailing junk":  append(append([]byte{}, valid...), 0),
+		"name past end":  func() []byte { b := append([]byte{}, valid...); b[24] = 0xff; b[25] = 0xff; return b }(),
+		"zero chunkSize": func() []byte { b := append([]byte{}, valid...); b[4], b[5], b[6], b[7] = 0, 0, 0, 0; return b }(),
+		"count mismatch": func() []byte { b := append([]byte{}, valid...); b[len(b)-2*sha256.Size-4+3]++; return b }(),
+	}
+	for name, enc := range cases {
+		if _, err := blob.DecodeManifest(enc); !errors.Is(err, blob.ErrBadManifest) {
+			t.Errorf("%s: err = %v, want ErrBadManifest", name, err)
+		}
+	}
+	// Every truncation of a valid encoding fails cleanly.
+	for i := 0; i < len(valid); i++ {
+		if _, err := blob.DecodeManifest(valid[:i]); err == nil {
+			t.Errorf("truncation to %d bytes decoded successfully", i)
+		}
+	}
+}
+
+// FuzzManifestDecode asserts the decoder never panics on arbitrary
+// bytes and that anything it accepts re-encodes canonically: decode →
+// encode → decode is the identity.
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(testManifest("", 0, 1, 0).Encode())
+	f.Add(testManifest("seed", 4096*3+5, 4096, 7).Encode())
+	f.Add(testManifest("big-gen", 64, 32, 1<<63).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := blob.DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		again, err := blob.DecodeManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("re-encoding a decoded manifest failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, m) {
+			t.Fatalf("decode/encode/decode not the identity:\n got %+v\nwant %+v", again, m)
+		}
+	})
+}

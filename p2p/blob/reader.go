@@ -1,0 +1,218 @@
+// The windowed-parallel blob reader. One slow hop should not stall a
+// stream: up to Window chunk Gets race ahead of the consumer over the
+// pooled transport (the KV's replica fallback underneath each one), so
+// sequential consumption overlaps the per-chunk lookup latency — the
+// same parallel-RPC latency robustness the Kademlia analysis formalizes
+// for multi-key reads. Every chunk is digest-checked against the
+// manifest before the consumer sees a byte of it.
+package blob
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reader reads one committed blob generation: the manifest is resolved
+// once at Open, so the view is immutable even if the blob is rewritten
+// mid-read (a garbage-collected chunk surfaces as ErrStale, never as a
+// torn mix of generations).
+//
+// Reader implements io.Reader (sequential streaming with readahead),
+// io.ReaderAt (stateless range reads, windowed-parallel across chunks)
+// and io.Closer. Read is not safe for concurrent use; ReadAt is.
+type Reader struct {
+	s *Store
+	m *Manifest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // in-flight fetch goroutines
+
+	// Sequential stream state: chunks [0, seq) are consumed, fetches
+	// for [seq, next) are in flight in pending, cur holds the unread
+	// remainder of chunk seq-1.
+	pending map[int]chan fetchRes
+	next    int
+	seq     int
+	cur     []byte
+	err     error
+}
+
+type fetchRes struct {
+	data []byte
+	err  error
+}
+
+// Open resolves name's current manifest and returns a reader over that
+// generation. No chunk is fetched until the first Read/ReadAt, so
+// opening is one KV Get.
+func (s *Store) Open(ctx context.Context, name string) (*Reader, error) {
+	m, err := s.Manifest(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	s.tel.reads.Inc()
+	rctx, cancel := context.WithCancel(ctx)
+	return &Reader{
+		s:       s,
+		m:       m,
+		ctx:     rctx,
+		cancel:  cancel,
+		pending: make(map[int]chan fetchRes),
+	}, nil
+}
+
+// Size returns the blob's byte length.
+func (r *Reader) Size() int64 { return r.m.Size }
+
+// Manifest returns the committed manifest this reader resolved.
+func (r *Reader) Manifest() *Manifest { return r.m }
+
+// Close cancels every in-flight chunk fetch and waits for them to
+// release their transport slots; after Close returns, no fetch
+// goroutine of this reader is running. Always nil.
+func (r *Reader) Close() error {
+	r.cancel()
+	r.wg.Wait()
+	return nil
+}
+
+// fetchChunk gets and verifies one chunk: a KV Get (replica fallback
+// included), a length and digest check against the manifest, and one
+// re-fetch on mismatch before declaring corruption. An empty payload
+// where bytes were committed is the GC tombstone of a replaced
+// generation — ErrStale, the reader raced a rewrite.
+func (r *Reader) fetchChunk(ctx context.Context, seq int) ([]byte, error) {
+	key := chunkKey(r.m.Name, r.m.Gen, seq)
+	want := r.m.chunkLen(seq)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		t0 := time.Now()
+		val, _, err := r.s.node.GetContext(ctx, key)
+		r.s.tel.chunkFetches.Inc()
+		r.s.tel.fetchLatency.Observe(time.Since(t0).Microseconds())
+		if err != nil {
+			return nil, fmt.Errorf("blob: %q chunk %d: %w", r.m.Name, seq, err)
+		}
+		if len(val) == 0 && want > 0 {
+			return nil, fmt.Errorf("blob: %q chunk %d: %w", r.m.Name, seq, ErrStale)
+		}
+		if len(val) == want && sha256.Sum256(val) == r.m.Sums[seq] {
+			return val, nil
+		}
+		lastErr = &IntegrityError{Name: r.m.Name, Seq: seq}
+	}
+	r.s.tel.integrity.Inc()
+	return nil, lastErr
+}
+
+// start launches the prefetch of chunk seq into r.pending.
+func (r *Reader) start(seq int) {
+	ch := make(chan fetchRes, 1)
+	r.pending[seq] = ch
+	r.wg.Add(1)
+	r.s.tel.prefetch.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer r.s.tel.prefetch.Add(-1)
+		data, err := r.fetchChunk(r.ctx, seq)
+		ch <- fetchRes{data: data, err: err}
+	}()
+}
+
+// Read streams the blob sequentially, keeping up to Window chunk
+// fetches in flight ahead of the consumption point. A Read that needs a
+// chunk still in flight blocks for exactly that chunk; readahead keeps
+// filling behind it.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.cur) == 0 {
+		if r.seq >= r.m.Count() {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		// Top up the readahead window, then consume the next chunk.
+		for r.next < r.m.Count() && r.next < r.seq+r.s.window {
+			r.start(r.next)
+			r.next++
+		}
+		ch := r.pending[r.seq]
+		delete(r.pending, r.seq)
+		res := <-ch
+		if res.err != nil {
+			r.err = res.err
+			return 0, r.err
+		}
+		r.cur = res.data
+		r.seq++
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// ReadAt fills p from offset off, fetching the covered chunks with at
+// most Window Gets in flight. It is stateless with respect to the
+// sequential stream and safe for concurrent use. Fewer than len(p)
+// bytes are returned only when the read crosses the end of the blob, in
+// which case err is io.EOF.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("blob: negative offset %d", off)
+	}
+	if off >= r.m.Size {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	want := p
+	short := false
+	if max := r.m.Size - off; int64(len(p)) > max {
+		want, short = p[:max], true
+	}
+	if len(want) == 0 {
+		return 0, nil
+	}
+	first := int(off / int64(r.m.ChunkSize))
+	last := int((off + int64(len(want)) - 1) / int64(r.m.ChunkSize))
+	err := r.s.forEachChunk(r.ctx, last-first+1, func(ctx context.Context, i int) error {
+		seq := first + i
+		r.s.tel.prefetch.Add(1)
+		defer r.s.tel.prefetch.Add(-1)
+		data, ferr := r.fetchChunk(ctx, seq)
+		if ferr != nil {
+			return ferr
+		}
+		// Intersect this chunk's span with [off, off+len(want)).
+		chunkLo := int64(seq) * int64(r.m.ChunkSize)
+		lo, hi := int64(0), int64(len(data))
+		if chunkLo < off {
+			lo = off - chunkLo
+		}
+		if end := off + int64(len(want)); chunkLo+hi > end {
+			hi = end - chunkLo
+		}
+		copy(want[chunkLo+lo-off:], data[lo:hi])
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if short {
+		return len(want), io.EOF
+	}
+	return len(want), nil
+}
+
+var (
+	_ io.Reader   = (*Reader)(nil)
+	_ io.ReaderAt = (*Reader)(nil)
+	_ io.Closer   = (*Reader)(nil)
+)

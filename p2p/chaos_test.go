@@ -493,3 +493,62 @@ func TestChaosOverloadTier(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosStreamingDuringChurn is the blob layer's chaos gate, on a
+// pinned seed and both wire codecs: streaming workers write chunked
+// blobs and play paced viewer sessions while the schedule's churn —
+// kill/restart cycles included, so surviving disks matter — runs
+// underneath. The runner itself asserts the tier's invariants after
+// every round (zero chunk integrity failures fleet-wide, every
+// acknowledged blob readable in full from a live node, bounded error
+// and rebuffer rates), so this test checks for violations and that the
+// scenario actually bit: every scheduled streaming attempt ran, kills
+// happened, and the acknowledged-blob set grew past the seed
+// population and survived to the end.
+func TestChaosStreamingDuringChurn(t *testing.T) {
+	for _, codec := range []string{"json", "binary"} {
+		codec := codec
+		t.Run(codec, func(t *testing.T) {
+			t.Parallel()
+			cfg := chaosrunner.Config{
+				Seed:             438,
+				Rounds:           8,
+				Replicas:         3,
+				Pooled:           true,
+				WireCodec:        codec,
+				KillRestart:      true,
+				StreamingClients: 2,
+				// A session racing a kill legitimately fails until the
+				// stabilization window promotes a replica; the blob
+				// invariants themselves (integrity, acked readback) are
+				// gated separately, so this bound only catches wholesale
+				// breakage.
+				MaxStreamErrorRate: 0.4,
+			}
+			res, err := chaosrunner.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", codec, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%s: %s", codec, v)
+			}
+			if res.Kills < 3 || res.Restarts < 3 {
+				t.Errorf("%s: %d kills / %d restarts ran, want >= 3 each (re-pin the seed)",
+					codec, res.Kills, res.Restarts)
+			}
+			// Every scheduled attempt ran: per round, each worker writes
+			// one blob and plays StreamingSessions (default 2) sessions.
+			if want := 8 * 2 * (1 + 2); res.StreamOps != want {
+				t.Errorf("%s: %d streaming attempts ran, want %d", codec, res.StreamOps, want)
+			}
+			// Kills never forfeit acked blobs (their disks survive), so
+			// the verified set must exceed the 2 provisioned seeds by the
+			// round writes that succeeded — at least one round's worth.
+			if res.AckedBlobs < 2+2 {
+				t.Errorf("%s: only %d acked blobs tracked at the end", codec, res.AckedBlobs)
+			}
+			t.Logf("%s: streamOps=%d rebuffers=%d ackedBlobs=%d kills=%d restarts=%d",
+				codec, res.StreamOps, res.Rebuffers, res.AckedBlobs, res.Kills, res.Restarts)
+		})
+	}
+}

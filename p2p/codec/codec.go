@@ -21,6 +21,7 @@ package codec
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Codec identifies one of the two wire encodings.
@@ -84,9 +85,49 @@ const (
 // field lengths were satisfied.
 var ErrTruncated = errors.New("codec: truncated binary payload")
 
-// maxPooledBuf caps the capacity of buffers returned to the pool, so
-// one oversized frame does not pin megabytes behind the free list.
-const maxPooledBuf = 1 << 16
+// Buffer retention policy. A hard ceiling (maxPooledBuf) keeps a
+// pathological frame from ever pinning itself behind the free list,
+// but a fixed cap alone gets the common case wrong in both directions:
+// too low and a chunked-blob streaming workload (64 KiB payloads)
+// reallocates every frame; too high and one streaming burst leaves the
+// pool full of megabyte buffers long after traffic went back to 200-byte
+// envelopes. So retention adapts: an EWMA of returned capacities tracks
+// the workload's common case, and a buffer more than retainFactor (4×)
+// above it is dropped for the collector. During a burst the EWMA rises
+// within a few returns and large buffers recycle; afterwards it decays
+// and the oversized stragglers are shed on their next return.
+const (
+	maxPooledBuf  = 1 << 20 // hard ceiling, matching the default frame cap
+	retainFactor  = 4       // drop buffers > retainFactor × the common case
+	typicalBufMin = 4096    // EWMA floor: the pool's new-buffer capacity
+)
+
+// typicalBuf is the EWMA (α = 1/8) of capacities seen by PutBuffer.
+// Concurrent updates may lose an increment; the policy is statistical,
+// not an exact bound, so a cheap racy load/store is fine.
+var typicalBuf atomic.Int64
+
+// noteBufSize folds one returned capacity into the EWMA and returns the
+// updated common-case estimate.
+func noteBufSize(c int) int64 {
+	t := typicalBuf.Load()
+	if t < typicalBufMin {
+		t = typicalBufMin
+	}
+	t += (int64(c) - t) / 8
+	if t < typicalBufMin {
+		t = typicalBufMin
+	}
+	typicalBuf.Store(t)
+	return t
+}
+
+// retainBuf decides whether a buffer of capacity c goes back to the
+// pool, updating the common-case estimate as a side effect.
+func retainBuf(c int) bool {
+	t := noteBufSize(c)
+	return c <= maxPooledBuf && int64(c) <= retainFactor*t
+}
 
 // Buffer is a reusable encode/decode byte buffer. Get one with
 // GetBuffer, use B (appending or resizing freely), and return it with
@@ -94,7 +135,7 @@ const maxPooledBuf = 1 << 16
 // struct keeps checkout and return allocation-free.
 type Buffer struct{ B []byte }
 
-var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, typicalBufMin)} }}
 
 // GetBuffer checks a buffer out of the shared pool, length 0.
 func GetBuffer() *Buffer {
@@ -103,10 +144,11 @@ func GetBuffer() *Buffer {
 	return b
 }
 
-// PutBuffer returns a buffer to the shared pool. Buffers grown past the
-// retention cap are dropped for the garbage collector instead.
+// PutBuffer returns a buffer to the shared pool. Buffers grown well past
+// the workload's common case are dropped for the garbage collector
+// instead (see the retention policy above).
 func PutBuffer(b *Buffer) {
-	if b == nil || cap(b.B) > maxPooledBuf {
+	if b == nil || !retainBuf(cap(b.B)) {
 		return
 	}
 	bufPool.Put(b)

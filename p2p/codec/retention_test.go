@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// resetTypical pins the retention EWMA to a known state and restores it
+// afterwards — the EWMA is process-global, shared with every other test
+// exercising the buffer pool.
+func resetTypical(t *testing.T) {
+	t.Helper()
+	was := typicalBuf.Load()
+	typicalBuf.Store(0)
+	t.Cleanup(func() { typicalBuf.Store(was) })
+}
+
+// TestBufferRetentionAdaptive pins the pool's footprint policy: the
+// EWMA of returned capacities tracks the workload's common case, a
+// buffer more than retainFactor above it is dropped, and a sustained
+// shift in the workload moves the threshold instead of pinning the old
+// one forever.
+func TestBufferRetentionAdaptive(t *testing.T) {
+	resetTypical(t)
+
+	// A steady diet of small frames: everything near the common case is
+	// retained.
+	for i := 0; i < 64; i++ {
+		if !retainBuf(8 << 10) {
+			t.Fatalf("iteration %d: an 8 KiB buffer was dropped under an 8 KiB workload", i)
+		}
+	}
+
+	// One blob-sized outlier against the small-frame baseline is dropped
+	// — this is the leak the policy exists to close: before it, a single
+	// 1 MiB frame pinned a 1 MiB buffer in the pool for good.
+	if retainBuf(512 << 10) {
+		t.Fatal("a 512 KiB buffer was retained under an 8 KiB workload")
+	}
+
+	// A sustained shift to large frames raises the EWMA until those same
+	// buffers are the common case and are retained again.
+	retained := false
+	for i := 0; i < 64 && !retained; i++ {
+		retained = retainBuf(512 << 10)
+	}
+	if !retained {
+		t.Fatal("retention never adapted to a sustained 512 KiB workload")
+	}
+
+	// The hard ceiling is absolute: no workload makes the pool retain a
+	// buffer beyond the frame cap.
+	for i := 0; i < 256; i++ {
+		noteBufSize(maxPooledBuf * 2)
+	}
+	if retainBuf(maxPooledBuf + 1) {
+		t.Fatal("a buffer beyond maxPooledBuf was retained")
+	}
+}
+
+// TestBufferRetentionFloor pins the EWMA floor: a run of tiny (or
+// zero-cap) returns cannot drag the threshold below the pool's own
+// new-buffer capacity, which would make the pool drop the buffers it
+// just allocated.
+func TestBufferRetentionFloor(t *testing.T) {
+	resetTypical(t)
+	for i := 0; i < 256; i++ {
+		noteBufSize(0)
+	}
+	if got := typicalBuf.Load(); got < typicalBufMin {
+		t.Fatalf("EWMA sank to %d, below the %d floor", got, typicalBufMin)
+	}
+	if !retainBuf(typicalBufMin) {
+		t.Fatal("a new-buffer-sized capacity was dropped at the floor")
+	}
+}
+
+// TestPutBufferDropsOutliers is the footprint regression test at the
+// API surface: after an outlier is returned, the pool hands out fresh
+// small buffers rather than the retained giant. sync.Pool gives no
+// direct view of its contents, so the test drains it via GC-independent
+// means: it checks PutBuffer's accept/drop decision through the
+// capacity of what GetBuffer returns next on a single-P run.
+func TestPutBufferDropsOutliers(t *testing.T) {
+	resetTypical(t)
+	for i := 0; i < 64; i++ {
+		noteBufSize(4 << 10) // establish a small-frame baseline
+	}
+	outlier := GetBuffer()
+	outlier.B = append(outlier.B[:0], make([]byte, 256<<10)...)
+	PutBuffer(outlier)
+	got := GetBuffer()
+	defer PutBuffer(got)
+	if cap(got.B) >= 256<<10 {
+		t.Fatalf("GetBuffer returned the %d-byte outlier; PutBuffer should have dropped it", cap(got.B))
+	}
+}
+
+// TestBufferRetentionAllocSteadyState pins that the adaptive policy
+// keeps the zero-alloc round trip for common-case buffers — the EWMA
+// bookkeeping must not introduce per-op allocations.
+func TestBufferRetentionAllocSteadyState(t *testing.T) {
+	resetTypical(t)
+	var sink atomic.Int64
+	allocs := testing.AllocsPerRun(200, func() {
+		b := GetBuffer()
+		b.B = append(b.B, "steady-state frame"...)
+		sink.Add(int64(len(b.B)))
+		PutBuffer(b)
+	})
+	if allocs > 0 {
+		t.Errorf("retention bookkeeping allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -435,6 +435,22 @@ func (n *Node) Addr() string { return n.addr }
 // Dim returns the overlay dimension.
 func (n *Node) Dim() int { return n.space.Dim() }
 
+// MaxFrame returns the node's effective wire-frame cap. Layers above
+// the KV (p2p/blob) validate their payload sizing against it at
+// construction instead of discovering the limit on the first oversized
+// frame.
+func (n *Node) MaxFrame() int { return n.cfg.MaxFrame }
+
+// PoolStats reports the outbound connection pool's activity snapshot;
+// ok is false in dial-per-request mode, where no pool exists. Harnesses
+// use it to assert that canceled work released its in-flight slots.
+func (n *Node) PoolStats() (pool.Stats, bool) {
+	if n.pool == nil {
+		return pool.Stats{}, false
+	}
+	return n.pool.Stats(), true
+}
+
 // Close stops serving without running the departure protocol (an
 // ungraceful exit); use Leave for a graceful departure. In-flight
 // requests drain: handlers already dispatched complete and write their

@@ -201,6 +201,7 @@ type Stats struct {
 	Fallbacks uint64 // peers downgraded from v2 to v1
 	Saturated uint64 // calls rejected at the per-peer in-flight cap
 	OpenConns int    // connections currently open
+	Inflight  int    // calls currently in flight across all connections
 }
 
 // Pool multiplexes request/response calls over per-peer persistent
@@ -255,9 +256,14 @@ func (p *Pool) event(e Event) {
 // Stats returns a cumulative activity snapshot.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	open := 0
+	open, inflight := 0, 0
 	for _, conns := range p.peers {
 		open += len(conns)
+		for _, c := range conns {
+			c.mu.Lock()
+			inflight += c.inflight
+			c.mu.Unlock()
+		}
 	}
 	p.mu.Unlock()
 	return Stats{
@@ -268,6 +274,7 @@ func (p *Pool) Stats() Stats {
 		Fallbacks: p.fallbacks.Load(),
 		Saturated: p.saturated.Load(),
 		OpenConns: open,
+		Inflight:  inflight,
 	}
 }
 

@@ -25,8 +25,40 @@ type Writer struct {
 	mu       sync.Mutex
 	buf      []byte // frames queued for the next Write
 	spare    []byte // double buffer, swapped with buf around each Write
+	typical  int64  // EWMA of flushed batch sizes, for buffer retention
 	flushing bool
 	err      error // sticky: first write failure poisons the writer
+}
+
+// Batch-buffer retention. The double buffer grows to the largest batch
+// ever flushed and, uncapped, stays that big for the life of the
+// connection — one 1 MiB blob chunk would pin two megabyte buffers per
+// conn forever. Like codec's shared buffer pool, retention follows the
+// workload: an EWMA of flushed batch sizes tracks the common case and a
+// buffer more than writerRetainFactor above it is dropped for the
+// collector (the next batch reallocates at its natural size).
+const (
+	writerRetainMin    = 4096
+	writerRetainFactor = 4
+)
+
+// trimLocked folds one flushed batch size into the EWMA and returns the
+// buffer to retain: out truncated for reuse, or nil when its capacity
+// has outgrown the workload's common case. Caller holds w.mu.
+func (w *Writer) trimLocked(out []byte) []byte {
+	t := w.typical
+	if t < writerRetainMin {
+		t = writerRetainMin
+	}
+	t += (int64(len(out)) - t) / 8
+	if t < writerRetainMin {
+		t = writerRetainMin
+	}
+	w.typical = t
+	if int64(cap(out)) > writerRetainFactor*t {
+		return nil
+	}
+	return out[:0]
 }
 
 // NewWriter wraps nc. timeout bounds each underlying Write; window, when
@@ -125,7 +157,7 @@ func (w *Writer) flushLocked() {
 		_ = w.nc.SetWriteDeadline(time.Now().Add(w.timeout))
 		_, err := w.nc.Write(out)
 		w.mu.Lock()
-		w.spare = out[:0]
+		w.spare = w.trimLocked(out)
 		if err != nil {
 			w.err = err
 			failed = err

@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWriterTrimRetention pins the batch double-buffer's footprint
+// policy, driving trimLocked directly: buffers near the EWMA of flushed
+// batch sizes are retained (truncated for reuse), a buffer whose
+// capacity outgrew the workload's common case is dropped, and a
+// sustained shift to large batches adapts the threshold.
+func TestWriterTrimRetention(t *testing.T) {
+	w := &Writer{}
+
+	// Common-case batches are retained with their capacity intact.
+	small := make([]byte, 2048, 4096)
+	for i := 0; i < 64; i++ {
+		got := w.trimLocked(small)
+		if got == nil || cap(got) != 4096 || len(got) != 0 {
+			t.Fatalf("iteration %d: small batch buffer not retained: %v", i, got)
+		}
+	}
+
+	// One blob-sized batch against that baseline: the grown buffer is
+	// dropped rather than pinned for the connection's lifetime.
+	if got := w.trimLocked(make([]byte, 1<<20)); got != nil {
+		t.Fatalf("a 1 MiB batch buffer was retained against a 2 KiB baseline (cap %d)", cap(got))
+	}
+
+	// Sustained large batches move the EWMA until they are retained.
+	retained := false
+	for i := 0; i < 64 && !retained; i++ {
+		retained = w.trimLocked(make([]byte, 1<<20)) != nil
+	}
+	if !retained {
+		t.Fatal("writer retention never adapted to sustained 1 MiB batches")
+	}
+
+	// Tiny flushes cannot drag the floor below writerRetainMin.
+	w2 := &Writer{}
+	for i := 0; i < 256; i++ {
+		w2.trimLocked(nil)
+	}
+	if got := w2.trimLocked(make([]byte, 0, writerRetainMin)); got == nil {
+		t.Fatal("a minimum-sized buffer was dropped at the floor")
+	}
+}
+
+// TestWriterSpareShrinksAfterBurst is the end-to-end footprint check: a
+// writer that flushed one giant frame must not keep a giant spare
+// buffer once traffic returns to small frames. The spare is observable
+// indirectly — after the giant flush trimLocked drops it, so the next
+// batch starts from a nil (reallocated-small) buffer.
+func TestWriterSpareShrinksAfterBurst(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() { // swallow everything the writer sends
+		defer drain.Done()
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	w := NewWriter(client, time.Second, 0, nil)
+
+	frame := func(n int) func([]byte) ([]byte, error) {
+		return func(b []byte) ([]byte, error) { return append(b, make([]byte, n)...), nil }
+	}
+	for i := 0; i < 16; i++ {
+		if err := w.Frame(frame(1024)); err != nil {
+			t.Fatalf("small frame %d: %v", i, err)
+		}
+	}
+	if err := w.Frame(frame(1 << 20)); err != nil {
+		t.Fatalf("giant frame: %v", err)
+	}
+
+	w.mu.Lock()
+	spare, buf := cap(w.spare), cap(w.buf)
+	w.mu.Unlock()
+	if spare >= 1<<20 || buf >= 1<<20 {
+		t.Fatalf("writer retained a megabyte buffer after the burst: spare=%d buf=%d", spare, buf)
+	}
+
+	// The writer keeps working after the drop.
+	if err := w.Frame(frame(1024)); err != nil {
+		t.Fatalf("frame after burst: %v", err)
+	}
+	client.Close()
+	drain.Wait()
+}
